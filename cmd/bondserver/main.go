@@ -1,0 +1,120 @@
+// Command bondserver runs the molecular-dynamics bond server of the
+// paper's Figure 9 experiment over real HTTP: clients fetch batches of
+// atom/bond graphs; under high RTT the quality layer shrinks the batch
+// from four timesteps down to one.
+//
+// Usage:
+//
+//	bondserver [-addr :8081] [-atoms 80] [-quality file]
+//	           [-formatserver host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/echo"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("bondserver: ", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8081", "listen address")
+	atoms := flag.Int("atoms", moldyn.DefaultAtoms, "molecule size")
+	seed := flag.Uint64("seed", 1, "trajectory seed")
+	qualityPath := flag.String("quality", "", "quality file (default: built-in Fig. 9 policy)")
+	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	bridge := flag.String("bridge", "", "also publish frames on an ECho bridge at this address (e.g. :9091)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "bridge publish interval")
+	flag.Parse()
+
+	mem := pbio.NewMemServer()
+	var fs pbio.Server = mem
+	if *formatServer != "" {
+		fs = pbio.NewTCPClient(*formatServer)
+		mem = nil
+	}
+	srv := core.NewServer(moldyn.Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+
+	policyText := ""
+	if *qualityPath != "" {
+		raw, err := os.ReadFile(*qualityPath)
+		if err != nil {
+			return err
+		}
+		policyText = string(raw)
+	}
+	sim := moldyn.NewSimulator(*atoms, *seed)
+	if _, err := moldyn.InstallService(srv, sim, policyText); err != nil {
+		return err
+	}
+
+	// Optional ECho bridge: remote sinks (e.g. a vizportal -remote) can
+	// subscribe to the live frame stream over TCP.
+	if *bridge != "" {
+		domain := echo.NewDomain()
+		defer domain.Close()
+		ch, err := domain.CreateChannel("bonds", moldyn.FrameType())
+		if err != nil {
+			return err
+		}
+		bs := echo.NewBridgeServer(domain)
+		if err := bs.ListenAndServe(*bridge); err != nil {
+			return err
+		}
+		defer bs.Close()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		defer func() { close(stop); <-done }()
+		go func() {
+			defer close(done)
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			step := int64(0)
+			for {
+				select {
+				case <-ticker.C:
+					if err := ch.Publish(sim.FrameAt(step).ToValue()); err != nil {
+						return
+					}
+					step++
+				case <-stop:
+					return
+				}
+			}
+		}()
+		fmt.Printf("bondserver: ECho bridge on %s (channel \"bonds\")\n", bs.Addr())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", srv)
+	if mem != nil {
+		// Publish the format registry on the same listener so binary-wire
+		// clients in other processes can resolve formats (/formats).
+		mux.Handle("/formats", pbio.NewHTTPHandler(mem))
+	}
+	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := wsdl.GenerateWithTypes(moldyn.Spec(), "http://"+r.Host+"/soap", moldyn.Types())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(doc)
+	})
+
+	fmt.Printf("bondserver: %d atoms, %d bonds on %s (SOAP at /soap, WSDL at /wsdl)\n", sim.Atoms(), sim.Bonds(), *addr)
+	return http.ListenAndServe(*addr, mux)
+}

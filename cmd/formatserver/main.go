@@ -1,0 +1,43 @@
+// Command formatserver runs a standalone PBIO format server: the
+// registry distributed SOAP-bin deployments share. Endpoints register
+// the formats they send and resolve the format IDs they receive; each
+// does so once per format, caching thereafter.
+//
+// Usage:
+//
+//	formatserver [-addr :9090]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"soapbinq/internal/pbio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("formatserver: ", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9090", "listen address")
+	flag.Parse()
+
+	srv := pbio.NewTCPServer(nil)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("formatserver: listening on %s\n", srv.Addr())
+
+	// Run until interrupted, then drain connections.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	<-sigCh
+	fmt.Println("formatserver: shutting down")
+	return srv.Close()
+}

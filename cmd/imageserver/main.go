@@ -1,0 +1,79 @@
+// Command imageserver runs the quality-managed image service of the
+// paper's Figure 8 experiment over real HTTP: clients request star-field
+// frames plus a transformation; under high RTT the service ships
+// half-resolution frames via its resizeHalf quality handler.
+//
+// Usage:
+//
+//	imageserver [-addr :8080] [-width 640] [-height 480]
+//	            [-quality file] [-formatserver host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/imaging"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("imageserver: ", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	width := flag.Int("width", 640, "frame width")
+	height := flag.Int("height", 480, "frame height")
+	qualityPath := flag.String("quality", "", "quality file (default: built-in Fig. 8 policy)")
+	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	flag.Parse()
+
+	mem := pbio.NewMemServer()
+	var fs pbio.Server = mem
+	if *formatServer != "" {
+		fs = pbio.NewTCPClient(*formatServer)
+		mem = nil
+	}
+	srv := core.NewServer(imaging.Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+
+	policyText := ""
+	if *qualityPath != "" {
+		raw, err := os.ReadFile(*qualityPath)
+		if err != nil {
+			return err
+		}
+		policyText = string(raw)
+	}
+	store := imaging.NewStore(*width, *height)
+	if _, err := imaging.InstallService(srv, store, policyText); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", srv)
+	if mem != nil {
+		// Publish the format registry on the same listener so binary-wire
+		// clients in other processes can resolve formats (/formats).
+		mux.Handle("/formats", pbio.NewHTTPHandler(mem))
+	}
+	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := wsdl.GenerateWithTypes(imaging.Spec(), "http://"+r.Host+"/soap", imaging.Types())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(doc)
+	})
+
+	fmt.Printf("imageserver: serving %dx%d frames on %s (SOAP at /soap, WSDL at /wsdl)\n", *width, *height, *addr)
+	return http.ListenAndServe(*addr, mux)
+}

@@ -1,0 +1,69 @@
+// Command oisserver runs the airline operational-information-system
+// service of the paper's Table I experiment: catering details derived
+// from a continuously maintained flight/passenger data set, served over
+// SOAP-bin (or plain/compressed SOAP, by client choice).
+//
+// Usage:
+//
+//	oisserver [-addr :8082] [-flights 50] [-passengers 150]
+//	          [-formatserver host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/ois"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("oisserver: ", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8082", "listen address")
+	flights := flag.Int("flights", 50, "number of flights to generate")
+	passengers := flag.Int("passengers", 150, "passengers per flight")
+	seed := flag.Uint64("seed", 7, "data set seed")
+	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	flag.Parse()
+
+	mem := pbio.NewMemServer()
+	var fs pbio.Server = mem
+	if *formatServer != "" {
+		fs = pbio.NewTCPClient(*formatServer)
+		mem = nil
+	}
+	dataset := ois.NewDataset()
+	ois.Generate(dataset, *flights, *passengers, *seed)
+
+	srv := core.NewServer(ois.Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("getCatering", ois.NewHandler(dataset))
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", srv)
+	if mem != nil {
+		// Publish the format registry on the same listener so binary-wire
+		// clients in other processes can resolve formats (/formats).
+		mux.Handle("/formats", pbio.NewHTTPHandler(mem))
+	}
+	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := wsdl.Generate(ois.Spec(), "http://"+r.Host+"/soap")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(doc)
+	})
+
+	fmt.Printf("oisserver: %d flights loaded on %s (SOAP at /soap, WSDL at /wsdl)\n", dataset.Flights(), *addr)
+	return http.ListenAndServe(*addr, mux)
+}

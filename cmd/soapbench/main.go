@@ -1,0 +1,54 @@
+// Command soapbench regenerates the tables and figures of the paper's
+// evaluation (Section IV).
+//
+// Usage:
+//
+//	soapbench -list             # enumerate experiments
+//	soapbench -exp fig8         # run one experiment
+//	soapbench -all              # run everything
+//	soapbench -all -quick       # fast smoke pass (fewer sizes/reps)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soapbinq/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soapbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "experiment ID to run")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case *all:
+		for _, e := range bench.All() {
+			if err := bench.Run(e.ID, os.Stdout, *quick); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	case *exp != "":
+		return bench.Run(*exp, os.Stdout, *quick)
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -list, -exp, -all is required")
+	}
+}

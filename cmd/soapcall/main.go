@@ -1,0 +1,209 @@
+// Command soapcall is a generic SOAP-bin client: it reads a service's
+// WSDL (from a file or URL), invokes an operation with arguments from the
+// command line, and prints the result as an XML fragment — the universal
+// output format, whatever wire the call used.
+//
+// Scalar arguments are given as literals; composite parameters (lists,
+// structs) as XML fragments rooted at the parameter name.
+//
+// Usage:
+//
+//	soapcall -wsdl http://host:8082/wsdl -op getCatering DL0104
+//	soapcall -wsdl svc.wsdl -url http://host/soap -op add '<values><item>1</item><item>2</item></values>'
+//	soapcall -wsdl ... -op getImage -wire xml m31 edge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"strconv"
+	"strings"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/wsdl"
+	"soapbinq/internal/xmlenc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soapcall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	wsdlSrc := flag.String("wsdl", "", "WSDL file path or URL (required)")
+	op := flag.String("op", "", "operation to invoke (required)")
+	url := flag.String("url", "", "endpoint URL (default: the WSDL's address)")
+	wireName := flag.String("wire", "bin", "wire format: bin, xml, xmlz")
+	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	flag.Parse()
+
+	if *wsdlSrc == "" || *op == "" {
+		return fmt.Errorf("-wsdl and -op are required")
+	}
+	wire, err := parseWire(*wireName)
+	if err != nil {
+		return err
+	}
+
+	doc, err := readSource(*wsdlSrc)
+	if err != nil {
+		return err
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		return err
+	}
+	spec, err := defs.ServiceSpec()
+	if err != nil {
+		return err
+	}
+	opDef, ok := spec.Op(*op)
+	if !ok {
+		available := make([]string, 0, len(spec.Ops))
+		for name := range spec.Ops {
+			available = append(available, name)
+		}
+		return fmt.Errorf("service %s has no operation %q (has: %s)", spec.Name, *op, strings.Join(available, ", "))
+	}
+
+	endpoint := *url
+	if endpoint == "" {
+		endpoint = defs.Endpoint
+	}
+	if endpoint == "" {
+		return fmt.Errorf("no endpoint: WSDL has no address and -url not given")
+	}
+
+	params, err := buildParams(opDef, flag.Args())
+	if err != nil {
+		return err
+	}
+
+	var fs pbio.Server
+	switch {
+	case *formatServer != "":
+		fs = pbio.NewTCPClient(*formatServer)
+	case wire == core.WireBinary:
+		// The binary wire needs a format registry shared with the server.
+		// App servers in this repository publish theirs at /formats on
+		// the same origin as the SOAP endpoint.
+		fmtURL, err := formatEndpoint(endpoint)
+		if err != nil {
+			return err
+		}
+		fs = pbio.NewHTTPFormatClient(fmtURL)
+	default:
+		fs = pbio.NewMemServer() // XML wires never touch it
+	}
+	client := core.NewClient(spec, &core.HTTPTransport{URL: endpoint}, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+
+	resp, err := client.Call(*op, nil, params...)
+	if err != nil {
+		return err
+	}
+	if resp.Value.Type == nil {
+		fmt.Println("(void)")
+		return nil
+	}
+	out, err := xmlenc.Marshal(core.ResultParam, resp.Value)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "# %s over %s: request %d B, response %d B, total %v\n",
+		*op, wire, resp.Stats.RequestBytes, resp.Stats.ResponseBytes, resp.Stats.Total())
+	return nil
+}
+
+// formatEndpoint derives the /formats URL from the SOAP endpoint origin.
+func formatEndpoint(endpoint string) (string, error) {
+	u, err := neturl.Parse(endpoint)
+	if err != nil {
+		return "", fmt.Errorf("bad endpoint %q: %v", endpoint, err)
+	}
+	u.Path = "/formats"
+	u.RawQuery = ""
+	return u.String(), nil
+}
+
+func parseWire(name string) (core.WireFormat, error) {
+	switch name {
+	case "bin":
+		return core.WireBinary, nil
+	case "xml":
+		return core.WireXML, nil
+	case "xmlz":
+		return core.WireXMLDeflate, nil
+	default:
+		return 0, fmt.Errorf("unknown wire %q (want bin, xml, xmlz)", name)
+	}
+}
+
+func readSource(src string) ([]byte, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	}
+	return os.ReadFile(src)
+}
+
+// buildParams converts command-line arguments to typed parameters:
+// scalars from literals, composites from XML fragments.
+func buildParams(op *core.OpDef, args []string) ([]soap.Param, error) {
+	if len(args) != len(op.Params) {
+		return nil, fmt.Errorf("operation %s takes %d arguments, got %d", op.Name, len(op.Params), len(args))
+	}
+	params := make([]soap.Param, len(args))
+	for i, ps := range op.Params {
+		v, err := parseArg(args[i], ps.Name, ps.Type)
+		if err != nil {
+			return nil, fmt.Errorf("argument %q: %w", ps.Name, err)
+		}
+		params[i] = soap.Param{Name: ps.Name, Value: v}
+	}
+	return params, nil
+}
+
+func parseArg(arg, name string, t *idl.Type) (idl.Value, error) {
+	switch t.Kind {
+	case idl.KindInt:
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("bad int %q", arg)
+		}
+		return idl.IntV(n), nil
+	case idl.KindFloat:
+		f, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("bad float %q", arg)
+		}
+		return idl.FloatV(f), nil
+	case idl.KindChar:
+		n, err := strconv.ParseUint(arg, 10, 8)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("bad char %q (want 0-255)", arg)
+		}
+		return idl.CharV(byte(n)), nil
+	case idl.KindString:
+		return idl.StringV(arg), nil
+	default:
+		// Composite: XML fragment rooted at the parameter name.
+		return xmlenc.Unmarshal([]byte(arg), name, t)
+	}
+}

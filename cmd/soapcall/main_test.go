@@ -1,0 +1,119 @@
+package main
+
+import (
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+)
+
+func TestParseWire(t *testing.T) {
+	for name, want := range map[string]core.WireFormat{
+		"bin":  core.WireBinary,
+		"xml":  core.WireXML,
+		"xmlz": core.WireXMLDeflate,
+	} {
+		got, err := parseWire(name)
+		if err != nil || got != want {
+			t.Errorf("parseWire(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseWire("grpc"); err == nil {
+		t.Error("unknown wire must fail")
+	}
+}
+
+func TestFormatEndpoint(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://host:8082/soap":     "http://host:8082/formats",
+		"http://host/soap?x=1":      "http://host/formats",
+		"https://host:443/api/soap": "https://host:443/formats",
+	} {
+		got, err := formatEndpoint(in)
+		if err != nil || got != want {
+			t.Errorf("formatEndpoint(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := formatEndpoint("://bad"); err == nil {
+		t.Error("bad URL must fail")
+	}
+}
+
+func TestParseArg(t *testing.T) {
+	cases := []struct {
+		arg  string
+		t    *idl.Type
+		want idl.Value
+	}{
+		{"42", idl.Int(), idl.IntV(42)},
+		{"-7", idl.Int(), idl.IntV(-7)},
+		{"2.5", idl.Float(), idl.FloatV(2.5)},
+		{"200", idl.Char(), idl.CharV(200)},
+		{"hello", idl.StringT(), idl.StringV("hello")},
+		{"<v><item>1</item><item>2</item></v>", idl.List(idl.Int()),
+			idl.ListV(idl.Int(), idl.IntV(1), idl.IntV(2))},
+	}
+	for _, tc := range cases {
+		got, err := parseArg(tc.arg, "v", tc.t)
+		if err != nil {
+			t.Errorf("parseArg(%q): %v", tc.arg, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("parseArg(%q) = %s, want %s", tc.arg, got, tc.want)
+		}
+	}
+	for _, bad := range []struct {
+		arg string
+		t   *idl.Type
+	}{
+		{"abc", idl.Int()},
+		{"abc", idl.Float()},
+		{"300", idl.Char()},
+		{"<junk", idl.List(idl.Int())},
+	} {
+		if _, err := parseArg(bad.arg, "v", bad.t); err == nil {
+			t.Errorf("parseArg(%q, %s) must fail", bad.arg, bad.t)
+		}
+	}
+}
+
+func TestBuildParams(t *testing.T) {
+	op := &core.OpDef{
+		Name: "op",
+		Params: []soap.ParamSpec{
+			{Name: "a", Type: idl.Int()},
+			{Name: "b", Type: idl.StringT()},
+		},
+	}
+	params, err := buildParams(op, []string{"5", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params[0].Value.Int != 5 || params[1].Value.Str != "x" {
+		t.Errorf("params = %v", params)
+	}
+	if _, err := buildParams(op, []string{"5"}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := buildParams(op, []string{"bad", "x"}); err == nil {
+		t.Error("bad literal must fail")
+	}
+}
+
+func TestReadSourceFile(t *testing.T) {
+	data, err := readSource("../../testdata/imageservice.wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty wsdl")
+	}
+	if _, err := readSource("/nonexistent/file.wsdl"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if _, err := readSource("http://127.0.0.1:1/wsdl"); err == nil {
+		t.Error("dead URL must fail")
+	}
+}

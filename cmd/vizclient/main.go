@@ -1,0 +1,100 @@
+// Command vizclient is the display client of the paper's Figure 10: it
+// discovers the visualization portal through its self-served WSDL
+// (the 'describe' operation), requests a frame with filter code and a
+// desired output format, and writes the SVG document to disk — ready for
+// any SVG viewer, because SVG "is just an XML document".
+//
+// Usage:
+//
+//	vizclient [-url http://localhost:8083/soap] [-filter "stride=2"]
+//	          [-format svg|png|raw] [-o frame.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	neturl "net/url"
+	"os"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/viz"
+	"soapbinq/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("vizclient: ", err)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://localhost:8083/soap", "portal SOAP endpoint")
+	filter := flag.String("filter", "", `filter code, e.g. "stride=2;elements=C,O"`)
+	out := flag.String("o", "", "output file (default frame.svg / frame.png)")
+	format := flag.String("format", viz.FormatSVG, "output format: svg, png, raw")
+	raw := flag.Bool("raw", false, "shorthand for -format raw")
+	flag.Parse()
+	if *raw {
+		*format = viz.FormatRaw
+	}
+	if *out == "" {
+		*out = "frame." + *format
+	}
+
+	u, err := neturl.Parse(*url)
+	if err != nil {
+		return err
+	}
+	u.Path = "/formats"
+	fs := pbio.NewHTTPFormatClient(u.String())
+	client := core.NewClient(viz.Spec(), &core.HTTPTransport{URL: *url},
+		pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	// Step (2) of Fig. 10: obtain the portal's WSDL and sanity-check it.
+	desc, err := client.Call("describe", nil)
+	if err != nil {
+		return fmt.Errorf("describe: %w", err)
+	}
+	defs, err := wsdl.Parse([]byte(desc.Value.Str))
+	if err != nil {
+		return fmt.Errorf("portal WSDL: %w", err)
+	}
+	fmt.Printf("portal advertises service %q with %d types\n", defs.Name, len(defs.Types))
+
+	// Step (3): request a frame with filter code and output format.
+	resp, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV(*filter)},
+		soap.Param{Name: "format", Value: idl.StringV(*format)},
+	)
+	if err != nil {
+		return fmt.Errorf("getFrame: %w", err)
+	}
+
+	if *format == viz.FormatRaw {
+		frameV, _ := resp.Value.Field("frame")
+		frame, err := moldyn.FrameFromValue(frameV)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frame step %d: %d atoms, %d bonds (%d B response, %v)\n",
+			frame.Step, len(frame.Atoms), len(frame.Bonds),
+			resp.Stats.ResponseBytes, resp.Stats.Total())
+		return nil
+	}
+
+	doc, err := viz.DocFromResponse(resp.Value, *format)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d B %s, %d B response, %v round trip)\n",
+		*out, len(doc), *format, resp.Stats.ResponseBytes, resp.Stats.Total())
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command vizportal runs the remote-visualization service portal of the
+// paper's Figure 10: an ECho bond-data source feeds the portal; display
+// clients fetch frames as SVG (or raw records) with per-request filter
+// code; the portal advertises its interface as WSDL.
+//
+// Usage:
+//
+//	vizportal [-addr :8083] [-atoms 220] [-interval 100ms]
+//	          [-formatserver host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/echo"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("vizportal: ", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8083", "listen address")
+	atoms := flag.Int("atoms", 220, "molecule size")
+	interval := flag.Duration("interval", 100*time.Millisecond, "bond-server publish interval")
+	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	remote := flag.String("remote", "", "subscribe to a remote ECho bridge (bondserver -bridge) instead of the built-in source")
+	flag.Parse()
+
+	mem := pbio.NewMemServer()
+	var fs pbio.Server = mem
+	if *formatServer != "" {
+		fs = pbio.NewTCPClient(*formatServer)
+		mem = nil
+	}
+
+	var portal *viz.Portal
+	if *remote != "" {
+		// Distributed Figure 10: the bond server runs elsewhere; we are
+		// one of its ECho sinks.
+		p, err := viz.NewRemotePortal(*remote, "bonds", "http://localhost"+*addr+"/soap")
+		if err != nil {
+			return err
+		}
+		portal = p
+		defer portal.Close()
+	} else {
+		// Self-contained mode: an in-process bond server feeds the portal.
+		domain := echo.NewDomain()
+		defer domain.Close()
+		ch, err := domain.CreateChannel("bonds", moldyn.FrameType())
+		if err != nil {
+			return err
+		}
+		p, err := viz.NewPortal(domain, "bonds", "http://localhost"+*addr+"/soap")
+		if err != nil {
+			return err
+		}
+		portal = p
+		defer portal.Close()
+
+		sim := moldyn.NewSimulator(*atoms, 17)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			step := int64(0)
+			for {
+				select {
+				case <-ticker.C:
+					if err := ch.Publish(sim.FrameAt(step).ToValue()); err != nil {
+						return
+					}
+					step++
+				case <-stop:
+					return
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
+	}
+
+	srv := core.NewServer(viz.Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := portal.Install(srv); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", srv)
+	if mem != nil {
+		mux.Handle("/formats", pbio.NewHTTPHandler(mem))
+	}
+
+	fmt.Printf("vizportal: publishing every %v on %s (SOAP at /soap; 'describe' op serves WSDL)\n", *interval, *addr)
+	return http.ListenAndServe(*addr, mux)
+}

@@ -1,0 +1,62 @@
+// Command wsdlc is the WSDL compiler of the SOAP-binQ architecture
+// (Figure 1): it reads a WSDL file, and optionally a quality file, and
+// generates the Go client/server stubs with conversion and quality
+// handlers.
+//
+// Usage:
+//
+//	wsdlc -wsdl service.wsdl [-quality service.quality] [-pkg name] [-o out.go]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soapbinq/internal/gen"
+	"soapbinq/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	wsdlPath := flag.String("wsdl", "", "path to the WSDL document (required)")
+	qualityPath := flag.String("quality", "", "path to the quality file (optional)")
+	pkg := flag.String("pkg", "", "generated package name (default: lower-cased service name)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	if *wsdlPath == "" {
+		return fmt.Errorf("-wsdl is required")
+	}
+	doc, err := os.ReadFile(*wsdlPath)
+	if err != nil {
+		return err
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		return err
+	}
+	opts := gen.Options{Package: *pkg}
+	if *qualityPath != "" {
+		q, err := os.ReadFile(*qualityPath)
+		if err != nil {
+			return err
+		}
+		opts.QualityFile = string(q)
+	}
+	src, err := gen.Generate(defs, opts)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(src)
+		return err
+	}
+	return os.WriteFile(*out, src, 0o644)
+}

@@ -1,0 +1,142 @@
+package soapbinq_test
+
+import (
+	"fmt"
+	"time"
+
+	"soapbinq"
+)
+
+// Example shows the smallest complete service: define, serve (in-process
+// here; http.ListenAndServe(addr, server) in production), call.
+func Example() {
+	spec := soapbinq.MustServiceSpec("Greeter",
+		&soapbinq.OpDef{
+			Name:   "greet",
+			Params: []soapbinq.ParamSpec{{Name: "who", Type: soapbinq.String()}},
+			Result: soapbinq.String(),
+		},
+	)
+	formats := soapbinq.NewMemFormatServer()
+	server := soapbinq.NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("greet", func(_ *soapbinq.CallCtx, params []soapbinq.Param) (soapbinq.Value, error) {
+		return soapbinq.StringV("hello, " + params[0].Value.Str), nil
+	})
+
+	client := soapbinq.NewEndpoint(formats).NewClient(spec, &soapbinq.Loopback{Server: server}, soapbinq.WireBinary)
+	resp, err := client.Call("greet", nil, soapbinq.Param{Name: "who", Value: soapbinq.StringV("world")})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(resp.Value.Str)
+	// Output: hello, world
+}
+
+// ExampleWireFormat contrasts the wire sizes of the same call over the
+// SOAP-bin binary wire and regular XML SOAP.
+func ExampleWireFormat() {
+	spec := soapbinq.MustServiceSpec("Echo",
+		&soapbinq.OpDef{
+			Name:   "echo",
+			Params: []soapbinq.ParamSpec{{Name: "v", Type: soapbinq.List(soapbinq.Int())}},
+			Result: soapbinq.List(soapbinq.Int()),
+		},
+	)
+	formats := soapbinq.NewMemFormatServer()
+	server := soapbinq.NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("echo", func(_ *soapbinq.CallCtx, params []soapbinq.Param) (soapbinq.Value, error) {
+		return params[0].Value, nil
+	})
+
+	vals := make([]soapbinq.Value, 100)
+	for i := range vals {
+		vals[i] = soapbinq.IntV(int64(i))
+	}
+	arg := soapbinq.Value{Type: soapbinq.List(soapbinq.Int()), List: vals}
+
+	var sizes []int
+	for _, wire := range []soapbinq.WireFormat{soapbinq.WireBinary, soapbinq.WireXML} {
+		client := soapbinq.NewEndpoint(formats).NewClient(spec, &soapbinq.Loopback{Server: server}, wire)
+		resp, err := client.Call("echo", nil, soapbinq.Param{Name: "v", Value: arg})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		sizes = append(sizes, resp.Stats.ResponseBytes)
+	}
+	fmt.Println(sizes[0] < sizes[1])
+	// Output: true
+}
+
+// ExampleQualityClient demonstrates the binQ loop: a policy downgrades
+// the message type once the (simulated) link degrades.
+func ExampleQualityClient() {
+	big := soapbinq.StructT("Reading",
+		soapbinq.F("seq", soapbinq.Int()),
+		soapbinq.F("samples", soapbinq.List(soapbinq.Float())),
+	)
+	lite := soapbinq.StructT("ReadingLite", soapbinq.F("seq", soapbinq.Int()))
+	types := map[string]*soapbinq.Type{"Reading": big, "ReadingLite": lite}
+	policy, err := soapbinq.ParseQualityPolicy(
+		"attribute rtt\n0 50ms Reading\n50ms inf ReadingLite\n", types, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	samples := make([]soapbinq.Value, 30000)
+	for i := range samples {
+		samples[i] = soapbinq.FloatV(float64(i))
+	}
+	reading := soapbinq.StructV(big, soapbinq.IntV(1),
+		soapbinq.Value{Type: soapbinq.List(soapbinq.Float()), List: samples})
+
+	spec := soapbinq.MustServiceSpec("Sensor", &soapbinq.OpDef{Name: "read", Result: big})
+	formats := soapbinq.NewMemFormatServer()
+	server := soapbinq.NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("read", soapbinq.QualityMiddleware(policy, nil,
+		func(*soapbinq.CallCtx, []soapbinq.Param) (soapbinq.Value, error) {
+			return reading.Clone(), nil
+		}))
+
+	// A slow emulated link: ~240 KB responses over 2 Mbit/s ≈ 1 s.
+	link := soapbinq.LinkProfile{Name: "slow", UpBps: 2e6, DownBps: 2e6, Latency: time.Millisecond}
+	sim := soapbinq.NewSimLink(link, &soapbinq.Loopback{Server: server})
+	client := soapbinq.NewQualityClient(
+		soapbinq.NewEndpoint(formats).NewClient(spec, sim, soapbinq.WireBinary), policy)
+
+	downgraded := false
+	for i := 0; i < 8; i++ {
+		resp, err := client.Call("read", nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if resp.Header[soapbinq.MsgTypeHeader] == "ReadingLite" {
+			downgraded = true
+			break
+		}
+	}
+	fmt.Println(downgraded)
+	// Output: true
+}
+
+// ExampleGenerateWSDL shows a service describing itself.
+func ExampleGenerateWSDL() {
+	spec := soapbinq.MustServiceSpec("Clock",
+		&soapbinq.OpDef{Name: "now", Result: soapbinq.Int()},
+	)
+	doc, err := soapbinq.GenerateWSDL(spec, "http://clock.example/soap")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defs, err := soapbinq.ParseWSDL(doc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(defs.Name, defs.Endpoint)
+	// Output: Clock http://clock.example/soap
+}

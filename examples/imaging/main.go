@@ -1,0 +1,131 @@
+// Imaging example — the paper's Figure 8 scenario on the public API: a
+// frame server that adapts image resolution to network conditions through
+// a quality file, driven over an emulated 100 Mbps link with a congestion
+// window injected mid-run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"soapbinq"
+)
+
+// Two message types of the same shape under different names: the quality
+// file selects between them, and the receiver-side field copy maps one
+// onto the other.
+var (
+	fullFrame = soapbinq.StructT("FullFrame",
+		soapbinq.F("width", soapbinq.Int()),
+		soapbinq.F("height", soapbinq.Int()),
+		soapbinq.F("pixels", soapbinq.List(soapbinq.Char())),
+	)
+	thumbFrame = soapbinq.StructT("ThumbFrame",
+		soapbinq.F("width", soapbinq.Int()),
+		soapbinq.F("height", soapbinq.Int()),
+		soapbinq.F("pixels", soapbinq.List(soapbinq.Char())),
+	)
+)
+
+const policyText = `
+# Send full frames while the smoothed RTT is under 80ms; thumbnails beyond.
+attribute rtt
+default FullFrame
+0 80ms FullFrame
+80ms inf ThumbFrame
+handler ThumbFrame shrink
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := soapbinq.MustServiceSpec("FrameService",
+		&soapbinq.OpDef{Name: "getFrame", Result: fullFrame},
+	)
+
+	// The quality handler: real downsampling (2×2 box average on a
+	// grayscale frame), not just a field copy.
+	handlers := map[string]soapbinq.QualityHandler{
+		"shrink": func(v soapbinq.Value, _ map[string]float64) (soapbinq.Value, error) {
+			w, _ := v.Field("width")
+			h, _ := v.Field("height")
+			pix, _ := v.Field("pixels")
+			w2, h2 := int(w.Int)/2, int(h.Int)/2
+			out := make([]soapbinq.Value, w2*h2)
+			for y := 0; y < h2; y++ {
+				for x := 0; x < w2; x++ {
+					sum := int(pix.List[(2*y)*int(w.Int)+2*x].Char) +
+						int(pix.List[(2*y)*int(w.Int)+2*x+1].Char) +
+						int(pix.List[(2*y+1)*int(w.Int)+2*x].Char) +
+						int(pix.List[(2*y+1)*int(w.Int)+2*x+1].Char)
+					out[y*w2+x] = soapbinq.CharV(byte(sum / 4))
+				}
+			}
+			return soapbinq.StructV(thumbFrame,
+				soapbinq.IntV(int64(w2)), soapbinq.IntV(int64(h2)),
+				soapbinq.Value{Type: soapbinq.List(soapbinq.Char()), List: out},
+			), nil
+		},
+	}
+	types := map[string]*soapbinq.Type{"FullFrame": fullFrame, "ThumbFrame": thumbFrame}
+	policy, err := soapbinq.ParseQualityPolicy(policyText, types, handlers)
+	if err != nil {
+		return err
+	}
+
+	// Server: a synthetic 256×192 grayscale gradient frame.
+	const w, h = 256, 192
+	pixels := make([]soapbinq.Value, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pixels[y*w+x] = soapbinq.CharV(byte((x ^ y) & 0xFF))
+		}
+	}
+	frame := soapbinq.StructV(fullFrame,
+		soapbinq.IntV(w), soapbinq.IntV(h),
+		soapbinq.Value{Type: soapbinq.List(soapbinq.Char()), List: pixels},
+	)
+
+	formats := soapbinq.NewMemFormatServer()
+	server := soapbinq.NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("getFrame", soapbinq.QualityMiddleware(policy, nil,
+		func(*soapbinq.CallCtx, []soapbinq.Param) (soapbinq.Value, error) {
+			return frame.Clone(), nil
+		}))
+
+	// An emulated fast link with a congestion window in the middle.
+	link := soapbinq.LinkProfile{Name: "lan", UpBps: 20e6, DownBps: 20e6, Latency: time.Millisecond}
+	sim := soapbinq.NewSimLink(link, &soapbinq.Loopback{Server: server})
+	client := soapbinq.NewQualityClient(
+		soapbinq.NewEndpoint(formats).NewClient(spec, sim, soapbinq.WireBinary), policy)
+
+	fmt.Println("req  type        WxH      response")
+	for i := 0; i < 24; i++ {
+		switch i {
+		case 8:
+			sim.SetCrossRate(19.5e6) // iperf on
+		case 16:
+			sim.SetCrossRate(0) // iperf off
+		}
+		resp, err := client.Call("getFrame", nil)
+		if err != nil {
+			return err
+		}
+		mtype := resp.Header[soapbinq.MsgTypeHeader]
+		if mtype == "" {
+			mtype = "FullFrame"
+		}
+		gotW, _ := resp.Value.Field("width")
+		gotH, _ := resp.Value.Field("height")
+		fmt.Printf("%3d  %-10s %3dx%-4d %8.1fms\n",
+			i, mtype, gotW.Int, gotH.Int,
+			float64(resp.Stats.Total())/float64(time.Millisecond))
+		sim.Advance(30 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Molecular-dynamics example — the paper's Figure 9 scenario on the
+// public API: a bond server batches 1–4 timesteps per response depending
+// on the RTT the client reports, keeping response times inside a band
+// over an emulated ADSL link with cross-traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"soapbinq"
+)
+
+// One timestep of the bond graph.
+var frameType = soapbinq.StructT("Frame",
+	soapbinq.F("step", soapbinq.Int()),
+	soapbinq.F("positions", soapbinq.List(soapbinq.Float())),
+)
+
+// batchType builds the named 1–4-timestep batch message types.
+func batchType(name string) *soapbinq.Type {
+	return soapbinq.StructT(name,
+		soapbinq.F("from", soapbinq.Int()),
+		soapbinq.F("frames", soapbinq.List(frameType)),
+	)
+}
+
+var batches = map[string]*soapbinq.Type{
+	"Batch4": batchType("Batch4"),
+	"Batch3": batchType("Batch3"),
+	"Batch2": batchType("Batch2"),
+	"Batch1": batchType("Batch1"),
+}
+
+const policyText = `
+attribute rtt
+default Batch4
+0 150ms Batch4
+150ms 200ms Batch3
+200ms 250ms Batch2
+250ms inf Batch1
+handler Batch4 batch4
+handler Batch3 batch3
+handler Batch2 batch2
+handler Batch1 batch1
+`
+
+const atomsPerFrame = 500
+
+func makeFrame(step int64) soapbinq.Value {
+	pos := make([]soapbinq.Value, atomsPerFrame)
+	t := float64(step) * 0.05
+	for i := range pos {
+		pos[i] = soapbinq.FloatV(math.Sin(t + float64(i)*0.1))
+	}
+	return soapbinq.StructV(frameType,
+		soapbinq.IntV(step),
+		soapbinq.Value{Type: soapbinq.List(soapbinq.Float()), List: pos},
+	)
+}
+
+func makeBatch(target *soapbinq.Type, from int64, k int) soapbinq.Value {
+	frames := make([]soapbinq.Value, k)
+	for i := range frames {
+		frames[i] = makeFrame(from + int64(i))
+	}
+	return soapbinq.StructV(target,
+		soapbinq.IntV(from),
+		soapbinq.Value{Type: soapbinq.List(frameType), List: frames},
+	)
+}
+
+func rebatch(target *soapbinq.Type, k int) soapbinq.QualityHandler {
+	return func(v soapbinq.Value, _ map[string]float64) (soapbinq.Value, error) {
+		from, _ := v.Field("from")
+		frames, _ := v.Field("frames")
+		if k > len(frames.List) {
+			k = len(frames.List)
+		}
+		return soapbinq.StructV(target, from,
+			soapbinq.Value{Type: soapbinq.List(frameType), List: frames.List[:k]}), nil
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := soapbinq.MustServiceSpec("BondServer",
+		&soapbinq.OpDef{
+			Name:   "getBonds",
+			Params: []soapbinq.ParamSpec{{Name: "from", Type: soapbinq.Int()}},
+			Result: batches["Batch4"],
+		},
+	)
+	handlers := map[string]soapbinq.QualityHandler{
+		"batch4": rebatch(batches["Batch4"], 4),
+		"batch3": rebatch(batches["Batch3"], 3),
+		"batch2": rebatch(batches["Batch2"], 2),
+		"batch1": rebatch(batches["Batch1"], 1),
+	}
+	policy, err := soapbinq.ParseQualityPolicy(policyText, batches, handlers)
+	if err != nil {
+		return err
+	}
+
+	formats := soapbinq.NewMemFormatServer()
+	server := soapbinq.NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("getBonds", soapbinq.QualityMiddleware(policy, nil,
+		func(_ *soapbinq.CallCtx, params []soapbinq.Param) (soapbinq.Value, error) {
+			return makeBatch(batches["Batch4"], params[0].Value.Int, 4), nil
+		}))
+
+	sim := soapbinq.NewSimLink(soapbinq.ADSL, &soapbinq.Loopback{Server: server})
+	client := soapbinq.NewQualityClient(
+		soapbinq.NewEndpoint(formats).NewClient(spec, sim, soapbinq.WireBinary), policy)
+
+	fmt.Println("req  steps  rtt_est    response")
+	from := int64(0)
+	for i := 0; i < 30; i++ {
+		switch i {
+		case 10:
+			sim.SetCrossRate(0.6e6) // congestion on
+		case 20:
+			sim.SetCrossRate(0) // congestion off
+		}
+		resp, err := client.Call("getBonds", nil,
+			soapbinq.Param{Name: "from", Value: soapbinq.IntV(from)})
+		if err != nil {
+			return err
+		}
+		frames, _ := resp.Value.Field("frames")
+		n := len(frames.List)
+		if n == 0 {
+			n = 1
+		}
+		from += int64(n)
+		fmt.Printf("%3d  %5d  %7.1fms %8.1fms\n", i, n,
+			float64(client.RTT())/float64(time.Millisecond),
+			float64(resp.Stats.Total())/float64(time.Millisecond))
+		sim.Advance(20 * time.Millisecond)
+	}
+	fmt.Printf("delivered %d timesteps total\n", from)
+	return nil
+}

@@ -1,0 +1,3 @@
+module soapbinq
+
+go 1.22

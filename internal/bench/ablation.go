@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/stats"
+	"soapbinq/internal/workload"
+	"soapbinq/internal/xdr"
+)
+
+func init() {
+	register(Experiment{ID: "ablation-cache", Title: "Ablation: format-server caching (cold vs warm per-message cost)", Run: ablationCache})
+	register(Experiment{ID: "ablation-hysteresis", Title: "Ablation: selector hysteresis under boundary oscillation", Run: ablationHysteresis})
+	register(Experiment{ID: "ablation-rmr", Title: "Ablation: receiver-makes-right vs canonical (XDR) conversion", Run: ablationRMR})
+}
+
+// ablationCache quantifies the design choice the paper highlights: PBIO
+// registers each format once and caches it, so only the first message of
+// a type pays the handshake. We compare a warm registry against an
+// adversarial cold path that resolves through the format server on every
+// message, for increasingly deep formats (where descriptors are largest).
+func ablationCache(w io.Writer, quick bool) error {
+	n, discard := reps(quick)
+	// Use the real TCP format server so the cold path pays an actual
+	// network round trip, as a distributed deployment would.
+	tcpSrv := pbio.NewTCPServer(nil)
+	if err := tcpSrv.ListenAndServe("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer tcpSrv.Close()
+
+	series := stats.NewSeries("depth", "warm_us", "cold_us", "cold/warm")
+	for _, depth := range structDepths(quick) {
+		v := workload.NestedStruct(depth, 3)
+
+		// Warm: shared registries, formats cached after the first use.
+		fs := pbio.NewTCPClient(tcpSrv.Addr())
+		defer fs.Close()
+		enc := pbio.NewCodec(pbio.NewRegistry(fs))
+		dec := pbio.NewCodec(pbio.NewRegistry(fs))
+		msg, err := enc.Marshal(v)
+		if err != nil {
+			return err
+		}
+		warm := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+			start := time.Now()
+			enc.Marshal(v)
+			dec.Unmarshal(msg)
+			return us(start)
+		})).Mean
+
+		// Cold: a fresh receiver registry per message — every decode
+		// resolves the format through the server over TCP (the handshake
+		// the cache eliminates after the first message of a type).
+		cold := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+			start := time.Now()
+			enc.Marshal(v)
+			freshDec := pbio.NewCodec(pbio.NewRegistry(fs))
+			freshDec.Unmarshal(msg)
+			return us(start)
+		})).Mean
+
+		ratio := 0.0
+		if warm > 0 {
+			ratio = cold / warm
+		}
+		series.Add(float64(depth), warm, cold, ratio)
+	}
+	series.Render(w)
+	return nil
+}
+
+// ablationHysteresis replays the paper's §IV-C oscillation scenario — RTT
+// samples alternating around a rule boundary — against selectors with and
+// without the history-based mechanism, counting message-type switches.
+func ablationHysteresis(w io.Writer, quick bool) error {
+	samples := 200
+	if quick {
+		samples = 40
+	}
+	big := idl.Struct("Big", idl.F("n", idl.Int()), idl.F("pad", idl.List(idl.Char())))
+	small := idl.Struct("Small", idl.F("n", idl.Int()))
+	types := map[string]*idl.Type{"Big": big, "Small": small}
+	policy := quality.MustParsePolicy("attribute rtt\n0 50ms Big\n50ms inf Small\n", types, nil)
+
+	run := func(minDwell int, guard float64) int {
+		sel := quality.NewSelector(policy)
+		sel.MinDwell = minDwell
+		sel.GuardBand = guard
+		for i := 0; i < samples; i++ {
+			if i%2 == 0 {
+				sel.Select(55 * time.Millisecond)
+			} else {
+				sel.Select(45 * time.Millisecond)
+			}
+		}
+		return sel.Switches()
+	}
+
+	table := stats.NewTable("selector", "switches", "samples")
+	table.AddRow("no hysteresis (dwell=1, guard=0)", fmt.Sprintf("%d", run(1, 0)), fmt.Sprintf("%d", samples))
+	table.AddRow("dwell only (dwell=2, guard=0)", fmt.Sprintf("%d", run(2, 0)), fmt.Sprintf("%d", samples))
+	table.AddRow("dwell+guard (default)", fmt.Sprintf("%d", run(2, 0.1)), fmt.Sprintf("%d", samples))
+	table.Render(w)
+	return nil
+}
+
+// ablationRMR compares receiver-makes-right decoding (convert only when
+// byte orders differ) against the canonical-format approach (XDR: both
+// sides always convert), on same-order and cross-order pairs.
+func ablationRMR(w io.Writer, quick bool) error {
+	n, discard := reps(quick)
+	v := workload.IntArray(arraySizes(quick)[len(arraySizes(quick))-1])
+
+	fs := pbio.NewMemServer()
+	same := pbio.NewCodecOrder(pbio.NewRegistry(fs), binary.LittleEndian)
+	cross := pbio.NewCodecOrder(pbio.NewRegistry(fs), binary.BigEndian)
+	receiver := pbio.NewCodec(pbio.NewRegistry(fs))
+
+	sameMsg, err := same.Marshal(v)
+	if err != nil {
+		return err
+	}
+	crossMsg, err := cross.Marshal(v)
+	if err != nil {
+		return err
+	}
+	xdrMsg, err := xdr.Marshal(v)
+	if err != nil {
+		return err
+	}
+
+	sameUS := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+		start := time.Now()
+		receiver.Unmarshal(sameMsg)
+		return us(start)
+	})).Mean
+	crossUS := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+		start := time.Now()
+		receiver.Unmarshal(crossMsg)
+		return us(start)
+	})).Mean
+	xdrUS := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+		start := time.Now()
+		xdr.Unmarshal(xdrMsg, v.Type)
+		return us(start)
+	})).Mean
+
+	table := stats.NewTable("decode path", "us/msg")
+	table.AddRow("PBIO same order (no conversion)", fmt.Sprintf("%.1f", sameUS))
+	table.AddRow("PBIO cross order (receiver makes right)", fmt.Sprintf("%.1f", crossUS))
+	table.AddRow("XDR canonical (always converts)", fmt.Sprintf("%.1f", xdrUS))
+	table.Render(w)
+	return nil
+}

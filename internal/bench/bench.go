@@ -1,0 +1,80 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section IV). Each experiment prints the same rows/series the
+// paper reports; `cmd/soapbench` exposes them on the command line and the
+// repository root's bench_test.go wraps them in testing.B benchmarks.
+//
+// Absolute numbers will differ from the 2004 testbed (2.2 GHz Pentium 4s,
+// real ADSL); the experiments are built so the paper's *shapes* hold —
+// who wins, by roughly what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-vs-measured for each entry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig4a", "table1"
+	Title string // what the paper shows
+	Run   func(w io.Writer, quick bool) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes one experiment by ID.
+func Run(id string, w io.Writer, quick bool) error {
+	e, ok := ByID(id)
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	return e.Run(w, quick)
+}
+
+// arraySizes returns the int-array element counts swept by the
+// microbenchmarks (256 B – 1 MB of payload in full mode).
+func arraySizes(quick bool) []int {
+	if quick {
+		return []int{64, 1024}
+	}
+	return []int{32, 256, 2048, 16384, 131072}
+}
+
+// structDepths returns the nested-struct depths swept.
+func structDepths(quick bool) []int {
+	if quick {
+		return []int{2, 4}
+	}
+	return []int{1, 2, 4, 6, 8, 10}
+}
+
+// reps returns (measured runs, discarded warm-up runs).
+func reps(quick bool) (int, int) {
+	if quick {
+		return 3, 1
+	}
+	return 30, 3
+}

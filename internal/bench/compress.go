@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/stats"
+	"soapbinq/internal/workload"
+	"soapbinq/internal/xmlenc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-compress",
+		Title: "Ablation: compression level vs size/time for the compressed-SOAP baseline",
+		Run:   ablationCompress,
+	})
+}
+
+// ablationCompress sweeps DEFLATE levels over the microbenchmark XML
+// documents, showing the CPU-vs-size trade the compressed-SOAP baseline
+// sits on (the paper uses one Lempel-Ziv setting; this quantifies the
+// neighborhood around it and why compression wins on slow links but not
+// fast ones).
+func ablationCompress(w io.Writer, quick bool) error {
+	n, discard := reps(quick)
+	sizes := arraySizes(quick)
+	v := workload.IntArray(sizes[len(sizes)-1])
+	doc, err := xmlenc.Marshal("v", v)
+	if err != nil {
+		return err
+	}
+
+	table := stats.NewTable("level", "xml_B", "compressed_B", "ratio", "compress_us", "inflate_us")
+	levels := []struct {
+		name  string
+		level int
+	}{
+		{"none (store)", flate.NoCompression},
+		{"fastest (1)", flate.BestSpeed},
+		{"default (-1)", flate.DefaultCompression},
+		{"best (9)", flate.BestCompression},
+	}
+	for _, lv := range levels {
+		z, err := deflateLevel(doc, lv.level)
+		if err != nil {
+			return err
+		}
+		compUS := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+			start := time.Now()
+			deflateLevel(doc, lv.level)
+			return us(start)
+		})).Mean
+		infUS := stats.Summarize(stats.Repeat(n, discard, func() float64 {
+			start := time.Now()
+			core.Inflate(z, 0)
+			return us(start)
+		})).Mean
+		table.AddRow(lv.name,
+			fmt.Sprintf("%d", len(doc)),
+			fmt.Sprintf("%d", len(z)),
+			fmt.Sprintf("%.2f", float64(len(doc))/float64(len(z))),
+			fmt.Sprintf("%.0f", compUS),
+			fmt.Sprintf("%.0f", infUS),
+		)
+	}
+	table.Render(w)
+	return nil
+}
+
+func deflateLevel(data []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

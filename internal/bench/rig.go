@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"net/http/httptest"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/netem"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+// echoSpec builds the microbenchmark service: echoArray and echoStruct
+// operations for the paper's two parameter families.
+func echoSpec(depth int) *core.ServiceSpec {
+	return core.MustServiceSpec("MicroBench",
+		&core.OpDef{
+			Name:   "echoArray",
+			Params: []soap.ParamSpec{{Name: "v", Type: workload.IntArrayType()}},
+			Result: workload.IntArrayType(),
+		},
+		&core.OpDef{
+			Name:   "echoStruct",
+			Params: []soap.ParamSpec{{Name: "v", Type: workload.NestedStructType(depth)}},
+			Result: workload.NestedStructType(depth),
+		},
+	)
+}
+
+func newEchoServer(spec *core.ServiceSpec, fs *pbio.MemServer) *core.Server {
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	echoHandler := func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	}
+	srv.MustHandle("echoArray", echoHandler)
+	srv.MustHandle("echoStruct", echoHandler)
+	return srv
+}
+
+// simRig is a client/server pair joined by a netem virtual link.
+type simRig struct {
+	client *core.Client
+	sim    *netem.Sim
+	server *core.Server
+}
+
+// newSimRig builds the pair for a given wire format and link profile.
+func newSimRig(depth int, wire core.WireFormat, link netem.LinkProfile) *simRig {
+	fs := pbio.NewMemServer()
+	spec := echoSpec(depth)
+	srv := newEchoServer(spec, fs)
+	sim := netem.NewSim(link, &core.Loopback{Server: srv})
+	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	return &simRig{client: client, sim: sim, server: srv}
+}
+
+// newXMLServerSimRig is newSimRig with the server-side handlers adapted to
+// an XML-native application (compatibility mode: conversions on both
+// ends).
+func newXMLServerSimRig(depth int, link netem.LinkProfile) *simRig {
+	fs := pbio.NewMemServer()
+	spec := echoSpec(depth)
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	// The XML application: identity on the XML fragment, re-rooted to
+	// <return>. The adapter charges the up/down conversions.
+	arrayT := workload.IntArrayType()
+	structT := workload.NestedStructType(depth)
+	srv.MustHandle("echoArray", srv.XMLHandler("echoArray", arrayT, echoXMLFragment))
+	srv.MustHandle("echoStruct", srv.XMLHandler("echoStruct", structT, echoXMLFragment))
+	sim := netem.NewSim(link, &core.Loopback{Server: srv})
+	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	return &simRig{client: client, sim: sim, server: srv}
+}
+
+// echoXMLFragment re-roots the first parameter fragment as <return>,
+// byte-level work an XML application would do for free.
+func echoXMLFragment(_ *core.CallCtx, xmlParams [][]byte) ([]byte, error) {
+	frag := xmlParams[0]
+	// Replace the root tag "<v>…</v>" with "<return>…</return>".
+	inner := frag[len("<v>") : len(frag)-len("</v>")]
+	out := make([]byte, 0, len(inner)+len("<return></return>"))
+	out = append(out, "<return>"...)
+	out = append(out, inner...)
+	return append(out, "</return>"...), nil
+}
+
+// httpRig is a client/server pair over a real localhost HTTP connection,
+// used by the Fig. 4 comparison against Sun RPC (also over a real socket).
+type httpRig struct {
+	client *core.Client
+	ts     *httptest.Server
+}
+
+func newHTTPRig(depth int, wire core.WireFormat) *httpRig {
+	fs := pbio.NewMemServer()
+	spec := echoSpec(depth)
+	srv := newEchoServer(spec, fs)
+	ts := httptest.NewServer(srv)
+	transport := &core.HTTPTransport{URL: ts.URL, Client: ts.Client()}
+	client := core.NewClient(spec, transport, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	return &httpRig{client: client, ts: ts}
+}
+
+func (r *httpRig) Close() { r.ts.Close() }
+
+// callArray invokes echoArray and returns the call stats.
+func callArray(client *core.Client, v idl.Value) (core.CallStats, error) {
+	resp, err := client.Call("echoArray", nil, soap.Param{Name: "v", Value: v})
+	if err != nil {
+		return core.CallStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// callStruct invokes echoStruct and returns the call stats.
+func callStruct(client *core.Client, v idl.Value) (core.CallStats, error) {
+	resp, err := client.Call("echoStruct", nil, soap.Param{Name: "v", Value: v})
+	if err != nil {
+		return core.CallStats{}, err
+	}
+	return resp.Stats, nil
+}

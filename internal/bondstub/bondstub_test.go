@@ -1,0 +1,85 @@
+package bondstub
+
+import (
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+)
+
+// impl serves the generated interface from the moldyn simulator, showing
+// the typed stubs working over deeply nested generated types (Batch4 →
+// frames → atoms/bonds).
+type impl struct {
+	sim *moldyn.Simulator
+}
+
+func (s *impl) GetBonds(from int64) (Batch4, error) {
+	out := Batch4{From: from}
+	for i := int64(0); i < 4; i++ {
+		f := s.sim.FrameAt(from + i)
+		frame := Frame{Step: f.Step}
+		for _, a := range f.Atoms {
+			frame.Atoms = append(frame.Atoms, Atom{ID: a.ID, Element: a.Element, X: a.X, Y: a.Y, Z: a.Z})
+		}
+		for _, b := range f.Bonds {
+			frame.Bonds = append(frame.Bonds, Bond{A: b.A, B: b.B})
+		}
+		out.Frames = append(out.Frames, frame)
+	}
+	return out, nil
+}
+
+func TestGeneratedBondStubs(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(NewBondServerSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := RegisterBondServer(srv, &impl{sim: moldyn.NewSimulator(24, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewBondServerClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	batch, err := client.GetBonds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.From != 100 || len(batch.Frames) != 4 {
+		t.Fatalf("batch = from %d, %d frames", batch.From, len(batch.Frames))
+	}
+	if batch.Frames[0].Step != 100 || batch.Frames[3].Step != 103 {
+		t.Errorf("steps = %d..%d", batch.Frames[0].Step, batch.Frames[3].Step)
+	}
+	if len(batch.Frames[0].Atoms) != 24 || len(batch.Frames[0].Bonds) == 0 {
+		t.Errorf("frame shape: %d atoms, %d bonds", len(batch.Frames[0].Atoms), len(batch.Frames[0].Bonds))
+	}
+
+	// Generated quality table covers all four batch types.
+	policy, err := NewBondServerQualityPolicy(moldyn.Handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Batch1", "Batch2", "Batch3", "Batch4"} {
+		if _, ok := policy.Type(name); !ok {
+			t.Errorf("quality table missing %s", name)
+		}
+	}
+}
+
+func TestGeneratedValueRoundTrip(t *testing.T) {
+	b := Batch4{From: 7, Frames: []Frame{{
+		Step:  7,
+		Atoms: []Atom{{ID: 1, Element: 'C', X: 1.5, Y: -2, Z: 0.25}},
+		Bonds: []Bond{{A: 1, B: 1}},
+	}}}
+	v := b.ToValue()
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Batch4FromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames[0].Atoms[0] != b.Frames[0].Atoms[0] {
+		t.Errorf("atom round trip: %+v", got.Frames[0].Atoms[0])
+	}
+}

@@ -1,0 +1,78 @@
+package bondstub
+
+import (
+	"errors"
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+)
+
+// failingImpl exercises the generated error paths.
+type failingImpl struct{}
+
+func (failingImpl) GetBonds(int64) (Batch4, error) {
+	return Batch4{}, errors.New("simulator offline")
+}
+
+func TestGeneratedServerErrorPath(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(NewBondServerSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := RegisterBondServer(srv, failingImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewBondServerClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	if _, err := client.GetBonds(0); err == nil {
+		t.Error("implementation error must propagate")
+	}
+}
+
+func TestGeneratedFromValueErrors(t *testing.T) {
+	// Every generated fromValue must reject ill-shaped input.
+	if _, err := Batch4FromValue(idl.IntV(1)); err == nil {
+		t.Error("scalar must not decode as Batch4")
+	}
+	if _, err := FrameFromValue(idl.StringV("x")); err == nil {
+		t.Error("string must not decode as Frame")
+	}
+	if _, err := AtomFromValue(idl.Value{}); err == nil {
+		t.Error("untyped must not decode as Atom")
+	}
+	if _, err := BondFromValue(idl.FloatV(1)); err == nil {
+		t.Error("float must not decode as Bond")
+	}
+	// A struct with the right arity but wrong field types.
+	bad := idl.StructV(
+		idl.Struct("Fake2", idl.F("a", idl.StringT()), idl.F("b", idl.StringT())),
+		idl.StringV("x"), idl.StringV("y"),
+	)
+	if _, err := BondFromValue(bad); err == nil {
+		t.Error("wrong field types must not decode as Bond")
+	}
+}
+
+func TestGeneratedRegisterTwiceFails(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(NewBondServerSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := RegisterBondServer(srv, failingImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterBondServer(srv, failingImpl{}); err == nil {
+		t.Error("double registration must fail")
+	}
+}
+
+func TestGeneratedClientTransportError(t *testing.T) {
+	fs := pbio.NewMemServer()
+	client := NewBondServerClient(deadTransport{}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	if _, err := client.GetBonds(0); err == nil {
+		t.Error("transport error must propagate through typed stub")
+	}
+}
+
+type deadTransport struct{}
+
+func (deadTransport) RoundTrip(*core.WireRequest) (*core.WireResponse, error) {
+	return nil, errors.New("down")
+}

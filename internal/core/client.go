@@ -1,0 +1,361 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/xmlenc"
+)
+
+// WireRequest is a serialized request handed to a Transport.
+type WireRequest struct {
+	ContentType string
+	Action      string // operation name, for XML requests
+	Body        []byte
+}
+
+// WireResponse is what a Transport returns.
+type WireResponse struct {
+	ContentType string
+	Body        []byte
+}
+
+// Transport moves serialized envelopes between client and server. The two
+// provided implementations are HTTPTransport (real net/http) and the
+// netem package's simulated transports; tests may supply their own.
+type Transport interface {
+	RoundTrip(req *WireRequest) (*WireResponse, error)
+}
+
+// TimedTransport is implemented by transports that know the true duration
+// of the last round trip better than a wall clock does — in particular the
+// netem virtual-clock simulator, where link delay is modeled rather than
+// slept. When a client's transport implements it, CallStats.RoundTripTime
+// uses the reported value, and the quality layer's RTT estimation adapts
+// to simulated network conditions exactly as it would to real ones.
+type TimedTransport interface {
+	Transport
+	// LastRoundTrip reports the duration of the most recent RoundTrip.
+	// It is only meaningful when calls are not interleaved, which is how
+	// every benchmark and quality loop in this repository drives it.
+	LastRoundTrip() time.Duration
+}
+
+// HTTPTransport posts envelopes to a SOAP endpoint over HTTP.
+type HTTPTransport struct {
+	URL    string
+	Client *http.Client // nil means http.DefaultClient
+}
+
+// RoundTrip implements Transport.
+func (t *HTTPTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
+	hreq, err := http.NewRequest(http.MethodPost, t.URL, bytes.NewReader(req.Body))
+	if err != nil {
+		return nil, fmt.Errorf("core: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", req.ContentType)
+	if req.Action != "" {
+		hreq.Header.Set(ActionHeader, `"`+req.Action+`"`)
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("core: http: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("core: read response: %w", err)
+	}
+	// Fault responses use 500 but still carry a parseable envelope; other
+	// statuses are transport-level failures.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		return nil, fmt.Errorf("core: http status %s", resp.Status)
+	}
+	return &WireResponse{ContentType: resp.Header.Get("Content-Type"), Body: body}, nil
+}
+
+// CallStats records where one invocation spent its time and bytes — the
+// quantities the paper's microbenchmarks decompose (marshalling, transport,
+// unmarshalling; message sizes).
+type CallStats struct {
+	MarshalTime   time.Duration // request serialization (and compression)
+	RoundTripTime time.Duration // transport round trip
+	UnmarshalTime time.Duration // response deserialization
+	RequestBytes  int
+	ResponseBytes int
+}
+
+// Total returns the end-to-end invocation cost.
+func (s CallStats) Total() time.Duration {
+	return s.MarshalTime + s.RoundTripTime + s.UnmarshalTime
+}
+
+// Response is the decoded result of a Call.
+type Response struct {
+	Value  idl.Value
+	Header soap.Header
+	Stats  CallStats
+}
+
+// TypeResolver maps a quality message-type name (from the response header)
+// to its type, letting XML-wire clients decode downgraded responses. The
+// quality package provides one from its policy.
+type TypeResolver func(name string) (*idl.Type, bool)
+
+// MsgTypeHeader is the response header entry naming the quality message
+// type actually used, when it differs from the declared result type.
+const MsgTypeHeader = "sbq-mtype"
+
+// Client invokes operations on a SOAP-bin service.
+type Client struct {
+	transport Transport
+	spec      *ServiceSpec
+	codec     *pbio.Codec
+	wire      WireFormat
+
+	// AllowResultVariance accepts responses whose type differs from the
+	// declared result type (quality-managed downgrades). The quality
+	// layer reconciles the value afterwards.
+	AllowResultVariance bool
+
+	// ResolveType decodes downgraded XML responses; unused on the binary
+	// wire, where PBIO messages are self-describing.
+	ResolveType TypeResolver
+}
+
+// NewClient builds a client for spec over the given transport and wire
+// format. The codec carries the PBIO registry (and format-server
+// connection) for binary wire use.
+func NewClient(spec *ServiceSpec, transport Transport, codec *pbio.Codec, wire WireFormat) *Client {
+	return &Client{transport: transport, spec: spec, codec: codec, wire: wire}
+}
+
+// Wire returns the client's wire format.
+func (c *Client) Wire() WireFormat { return c.wire }
+
+// Codec returns the client's PBIO codec.
+func (c *Client) Codec() *pbio.Codec { return c.codec }
+
+// Spec returns the client's service spec.
+func (c *Client) Spec() *ServiceSpec { return c.spec }
+
+// Call invokes an operation with native (idl.Value) parameters — the
+// high-performance mode path when the wire format is WireBinary.
+func (c *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
+	opDef, ok := c.spec.Op(op)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown operation %q", op)
+	}
+
+	start := time.Now()
+	req, err := c.encodeRequest(opDef, hdr, params)
+	if err != nil {
+		return nil, err
+	}
+	marshalled := time.Now()
+
+	wresp, err := c.transport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	returned := time.Now()
+
+	resp, err := c.decodeResponse(opDef, wresp)
+	if err != nil {
+		return nil, err
+	}
+	done := time.Now()
+
+	resp.Stats.MarshalTime = marshalled.Sub(start)
+	resp.Stats.RoundTripTime = returned.Sub(marshalled)
+	if tt, ok := c.transport.(TimedTransport); ok {
+		resp.Stats.RoundTripTime = tt.LastRoundTrip()
+	}
+	resp.Stats.UnmarshalTime = done.Sub(returned)
+	resp.Stats.RequestBytes = len(req.Body)
+	resp.Stats.ResponseBytes = len(wresp.Body)
+	return resp, nil
+}
+
+func (c *Client) encodeRequest(op *OpDef, hdr soap.Header, params []soap.Param) (*WireRequest, error) {
+	switch c.wire {
+	case WireBinary:
+		body, err := marshalBinary(c.codec, frameRequest, op.Name, hdr, params)
+		if err != nil {
+			return nil, err
+		}
+		return &WireRequest{ContentType: ContentTypeBinary, Body: body}, nil
+	case WireXML, WireXMLDeflate:
+		body, err := soap.Marshal(&soap.Message{Op: op.Name, Params: params, Header: hdr})
+		if err != nil {
+			return nil, err
+		}
+		ct := ContentTypeXML
+		if c.wire == WireXMLDeflate {
+			if body, err = Deflate(body); err != nil {
+				return nil, err
+			}
+			ct = ContentTypeXMLDeflate
+		}
+		return &WireRequest{ContentType: ct, Action: op.Name, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported wire format %v", c.wire)
+	}
+}
+
+func (c *Client) decodeResponse(op *OpDef, wresp *WireResponse) (*Response, error) {
+	switch wresp.ContentType {
+	case ContentTypeBinary:
+		env, err := unmarshalBinary(c.codec, wresp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if env.Kind == frameFault {
+			return nil, env.Fault
+		}
+		if env.Kind != frameResponse {
+			return nil, fmt.Errorf("core: unexpected frame kind %d", env.Kind)
+		}
+		resp := &Response{Header: env.Header}
+		if op.Result == nil && len(env.Params) == 0 {
+			return resp, nil
+		}
+		v, ok := findParam(env.Params, ResultParam)
+		if !ok {
+			return nil, fmt.Errorf("core: response without %q parameter", ResultParam)
+		}
+		if !c.AllowResultVariance && (op.Result == nil || !v.Type.Equal(op.Result)) {
+			return nil, fmt.Errorf("core: result type %s, want %s", v.Type, op.Result)
+		}
+		resp.Value = v
+		return resp, nil
+	case ContentTypeXML, ContentTypeXMLDeflate, "text/xml":
+		body := wresp.Body
+		if wresp.ContentType == ContentTypeXMLDeflate {
+			var err error
+			if body, err = Inflate(body, 0); err != nil {
+				return nil, err
+			}
+		}
+		return c.decodeXMLResponse(op, body)
+	default:
+		return nil, fmt.Errorf("core: unsupported response content type %q", wresp.ContentType)
+	}
+}
+
+func (c *Client) decodeXMLResponse(op *OpDef, body []byte) (*Response, error) {
+	resultType := op.Result
+	// A quality-managed server names the substituted message type in the
+	// header; peek at it before schema-driven parsing.
+	if c.AllowResultVariance && c.ResolveType != nil {
+		if name, ok := peekHeaderEntry(body, MsgTypeHeader); ok {
+			if t, found := c.ResolveType(name); found {
+				resultType = t
+			} else {
+				return nil, fmt.Errorf("core: response uses unknown message type %q", name)
+			}
+		}
+	}
+	spec := soap.OpSpec{Op: op.ResponseOp()}
+	if resultType != nil {
+		spec.Params = []soap.ParamSpec{{Name: ResultParam, Type: resultType}}
+	}
+	msg, err := soap.Parse(body, spec)
+	if err != nil {
+		var f *soap.Fault
+		if errors.As(err, &f) {
+			return nil, f
+		}
+		return nil, err
+	}
+	resp := &Response{Header: msg.Header}
+	if len(msg.Params) > 0 {
+		resp.Value = msg.Params[0].Value
+	}
+	return resp, nil
+}
+
+// peekHeaderEntry extracts one header entry value from a serialized XML
+// envelope without a full parse (the full parse needs the result type,
+// which depends on this very entry).
+func peekHeaderEntry(body []byte, key string) (string, bool) {
+	marker := []byte(`<entry name="` + key + `">`)
+	i := bytes.Index(body, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := body[i+len(marker):]
+	j := bytes.IndexByte(rest, '<')
+	if j < 0 {
+		return "", false
+	}
+	return string(rest[:j]), true
+}
+
+// XMLCallResult is what CallXML returns: the response as an XML fragment
+// plus the underlying response and the client-side conversion costs (the
+// "just in time" conversions of interoperability/compatibility mode).
+type XMLCallResult struct {
+	XML      []byte // result fragment rooted at <return>, nil for void ops
+	Response *Response
+	// ConvertIn is the XML→binary time for request parameters;
+	// ConvertOut the binary→XML time for the result.
+	ConvertIn  time.Duration
+	ConvertOut time.Duration
+}
+
+// CallXML invokes an operation for an XML-native application: request
+// parameters arrive as XML fragments (each rooted at an element named
+// after the parameter), are down-converted to binary for transport, and
+// the result is up-converted back to XML. Combined with WireBinary this
+// is the paper's compatibility mode; the conversions are exactly the costs
+// Figure 6 charges against SOAP-bin.
+func (c *Client) CallXML(op string, hdr soap.Header, xmlParams ...[]byte) (*XMLCallResult, error) {
+	opDef, ok := c.spec.Op(op)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown operation %q", op)
+	}
+	if len(xmlParams) != len(opDef.Params) {
+		return nil, fmt.Errorf("core: operation %s: got %d parameters, want %d", op, len(xmlParams), len(opDef.Params))
+	}
+
+	start := time.Now()
+	params := make([]soap.Param, len(xmlParams))
+	for i, frag := range xmlParams {
+		ps := opDef.Params[i]
+		v, err := xmlenc.Unmarshal(frag, ps.Name, ps.Type)
+		if err != nil {
+			return nil, fmt.Errorf("core: down-convert %q: %w", ps.Name, err)
+		}
+		params[i] = soap.Param{Name: ps.Name, Value: v}
+	}
+	convertIn := time.Since(start)
+
+	resp, err := c.Call(op, hdr, params...)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &XMLCallResult{Response: resp, ConvertIn: convertIn}
+	if resp.Value.Type != nil {
+		upStart := time.Now()
+		frag, err := xmlenc.Marshal(ResultParam, resp.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: up-convert result: %w", err)
+		}
+		res.ConvertOut = time.Since(upStart)
+		res.XML = frag
+	}
+	return res, nil
+}

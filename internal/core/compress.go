@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Deflate compresses a serialized envelope with Lempel-Ziv (DEFLATE),
+// implementing the paper's "SOAP with online compression" baseline.
+func Deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, fmt.Errorf("core: deflate init: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("core: deflate: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("core: deflate close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Inflate reverses Deflate. maxSize bounds the decompressed size to guard
+// against decompression bombs; pass 0 for the package default (64 MiB).
+func Inflate(data []byte, maxSize int64) ([]byte, error) {
+	if maxSize <= 0 {
+		maxSize = 64 << 20
+	}
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, io.LimitReader(r, maxSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("core: inflate: %w", err)
+	}
+	if n > maxSize {
+		return nil, fmt.Errorf("core: inflated payload exceeds %d bytes", maxSize)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+	"soapbinq/internal/xmlenc"
+)
+
+// testService builds the echo/sum service used across the core tests.
+func testService() *ServiceSpec {
+	return MustServiceSpec("TestService",
+		&OpDef{
+			Name: "echo",
+			Params: []soap.ParamSpec{
+				{Name: "payload", Type: workload.NestedStructType(3)},
+			},
+			Result: workload.NestedStructType(3),
+		},
+		&OpDef{
+			Name: "sum",
+			Params: []soap.ParamSpec{
+				{Name: "values", Type: idl.List(idl.Int())},
+			},
+			Result: idl.Int(),
+		},
+		&OpDef{
+			Name: "ping", // void in, void out
+		},
+		&OpDef{
+			Name:   "fail",
+			Result: idl.Int(),
+		},
+	)
+}
+
+// newRig wires a server and a client over an in-process loopback sharing
+// one format server.
+func newRig(t *testing.T, wire WireFormat) (*Client, *Server) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	})
+	srv.MustHandle("sum", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		var total int64
+		for _, e := range params[0].Value.List {
+			total += e.Int
+		}
+		return idl.IntV(total), nil
+	})
+	srv.MustHandle("ping", func(_ *CallCtx, _ []soap.Param) (idl.Value, error) {
+		return idl.Value{}, nil
+	})
+	srv.MustHandle("fail", func(_ *CallCtx, _ []soap.Param) (idl.Value, error) {
+		return idl.Value{}, errors.New("kaboom")
+	})
+	client := NewClient(testService(), &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	return client, srv
+}
+
+func wires() []WireFormat {
+	return []WireFormat{WireBinary, WireXML, WireXMLDeflate}
+}
+
+func TestCallRoundTripAllWires(t *testing.T) {
+	payload := workload.NestedStruct(3, 2)
+	for _, wire := range wires() {
+		t.Run(wire.String(), func(t *testing.T) {
+			client, _ := newRig(t, wire)
+			resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.Value.Equal(payload) {
+				t.Error("echo result mismatch")
+			}
+			if resp.Stats.RequestBytes == 0 || resp.Stats.ResponseBytes == 0 {
+				t.Errorf("stats not populated: %+v", resp.Stats)
+			}
+		})
+	}
+}
+
+func TestSumAndVoid(t *testing.T) {
+	for _, wire := range wires() {
+		client, _ := newRig(t, wire)
+		resp, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(10)})
+		if err != nil {
+			t.Fatalf("%v: %v", wire, err)
+		}
+		want := int64(0)
+		for _, e := range workload.IntArray(10).List {
+			want += e.Int
+		}
+		if resp.Value.Int != want {
+			t.Errorf("%v: sum = %d, want %d", wire, resp.Value.Int, want)
+		}
+
+		pong, err := client.Call("ping", nil)
+		if err != nil {
+			t.Fatalf("%v: ping: %v", wire, err)
+		}
+		if pong.Value.Type != nil {
+			t.Errorf("%v: void op returned %s", wire, pong.Value)
+		}
+	}
+}
+
+func TestFaultPropagation(t *testing.T) {
+	for _, wire := range wires() {
+		client, _ := newRig(t, wire)
+		_, err := client.Call("fail", nil)
+		var f *soap.Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("%v: error %v is not a fault", wire, err)
+		}
+		if f.Code != "Server" || !strings.Contains(f.String, "kaboom") {
+			t.Errorf("%v: fault = %+v", wire, f)
+		}
+	}
+}
+
+func TestExplicitFaultPassthrough(t *testing.T) {
+	client, srv := newRig(t, WireBinary)
+	spec := srv.Spec()
+	spec.Ops["fail"] = spec.Ops["fail"] // unchanged; re-register handler
+	srv.mu.Lock()
+	srv.handlers["fail"] = func(_ *CallCtx, _ []soap.Param) (idl.Value, error) {
+		return idl.Value{}, &soap.Fault{Code: "Client", String: "bad input", Detail: "field x"}
+	}
+	srv.mu.Unlock()
+	_, err := client.Call("fail", nil)
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != "Client" || f.Detail != "field x" {
+		t.Fatalf("fault = %v", err)
+	}
+}
+
+func TestHeadersTravelBothWays(t *testing.T) {
+	for _, wire := range wires() {
+		client, srv := newRig(t, wire)
+		srv.mu.Lock()
+		srv.handlers["ping"] = func(ctx *CallCtx, _ []soap.Param) (idl.Value, error) {
+			ctx.SetResponseHeader("echoed", ctx.RequestHeader["ts"])
+			return idl.Value{}, nil
+		}
+		srv.mu.Unlock()
+		resp, err := client.Call("ping", soap.Header{"ts": "987"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header["echoed"] != "987" {
+			t.Errorf("%v: response header = %v", wire, resp.Header)
+		}
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	client, _ := newRig(t, WireBinary)
+	if _, err := client.Call("nosuch", nil); err == nil {
+		t.Error("unknown op must fail client-side")
+	}
+	// Wrong param type is rejected server-side as a Client fault.
+	_, err := client.Call("sum", nil, soap.Param{Name: "values", Value: idl.IntV(1)})
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != "Client" {
+		t.Errorf("wrong type: %v", err)
+	}
+	// Wrong param name.
+	_, err = client.Call("sum", nil, soap.Param{Name: "nums", Value: workload.IntArray(1)})
+	if !errors.As(err, &f) || f.Code != "Client" {
+		t.Errorf("wrong name: %v", err)
+	}
+	// Wrong arity.
+	_, err = client.Call("sum", nil)
+	if !errors.As(err, &f) || f.Code != "Client" {
+		t.Errorf("wrong arity: %v", err)
+	}
+}
+
+func TestServerProcessBadInputs(t *testing.T) {
+	_, srv := newRig(t, WireBinary)
+
+	ct, body := srv.Process("application/weird", "", nil)
+	if ct != ContentTypeXML || !strings.Contains(string(body), "Fault") {
+		t.Errorf("bad content type: ct=%q body=%q", ct, body)
+	}
+	ct, body = srv.Process(ContentTypeBinary, "", []byte{})
+	if ct != ContentTypeBinary || body[0] != frameFault {
+		t.Error("empty binary body must fault")
+	}
+	ct, _ = srv.Process(ContentTypeXML, "", []byte("<junk/>"))
+	if ct != ContentTypeXML {
+		t.Error("missing SOAPAction must fault in XML")
+	}
+	// Unknown op via action.
+	_, body = srv.Process(ContentTypeXML, "nosuch", []byte("<junk/>"))
+	if !strings.Contains(string(body), "unknown operation") {
+		t.Errorf("unknown op body: %q", body)
+	}
+	// Deflate wire with garbage bytes.
+	ct, _ = srv.Process(ContentTypeXMLDeflate, "ping", []byte{1, 2, 3})
+	if ct != ContentTypeXMLDeflate && ct != ContentTypeXML {
+		t.Errorf("garbage deflate ct = %q", ct)
+	}
+	// Response frame sent as request.
+	respFrame, err := marshalBinary(srv.Codec(), frameResponse, "ping", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body = srv.Process(ContentTypeBinary, "", respFrame)
+	env, err := unmarshalBinary(srv.Codec(), body)
+	if err != nil || env.Kind != frameFault {
+		t.Errorf("response-as-request: %v %v", env, err)
+	}
+}
+
+func TestHandleRegistrationErrors(t *testing.T) {
+	_, srv := newRig(t, WireBinary)
+	if err := srv.Handle("nosuch", func(*CallCtx, []soap.Param) (idl.Value, error) { return idl.Value{}, nil }); err == nil {
+		t.Error("unknown op must not register")
+	}
+	if err := srv.Handle("echo", nil); err == nil {
+		t.Error("nil handler must not register")
+	}
+	if err := srv.Handle("echo", func(*CallCtx, []soap.Param) (idl.Value, error) { return idl.Value{}, nil }); err == nil {
+		t.Error("duplicate handler must not register")
+	}
+}
+
+func TestServiceSpecValidation(t *testing.T) {
+	if _, err := NewServiceSpec(""); err == nil {
+		t.Error("unnamed service must fail")
+	}
+	if _, err := NewServiceSpec("S", &OpDef{}); err == nil {
+		t.Error("unnamed op must fail")
+	}
+	if _, err := NewServiceSpec("S", &OpDef{Name: "a"}, &OpDef{Name: "a"}); err == nil {
+		t.Error("duplicate op must fail")
+	}
+	if _, err := NewServiceSpec("S", &OpDef{Name: "a", Params: []soap.ParamSpec{{}}}); err == nil {
+		t.Error("malformed param must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustServiceSpec must panic on error")
+		}
+	}()
+	MustServiceSpec("")
+}
+
+func TestCallXMLCompatibilityMode(t *testing.T) {
+	// XML application on the client side, binary wire: the compatibility
+	// mode pipeline XML → binary → wire → binary → XML.
+	client, _ := newRig(t, WireBinary)
+	payload := workload.NestedStruct(3, 2)
+	frag, err := xmlenc.Marshal("payload", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.CallXML("echo", nil, frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := xmlenc.Unmarshal(res.XML, ResultParam, payload.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Error("XML round trip through binary wire mismatch")
+	}
+	if res.ConvertIn <= 0 || res.ConvertOut <= 0 {
+		t.Errorf("conversion times not measured: %+v", res)
+	}
+
+	// Arity errors are client-side.
+	if _, err := client.CallXML("echo", nil); err == nil {
+		t.Error("missing XML param must fail")
+	}
+	if _, err := client.CallXML("nosuch", nil); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if _, err := client.CallXML("echo", nil, []byte("<junk")); err == nil {
+		t.Error("malformed XML param must fail")
+	}
+}
+
+func TestXMLHandlerCompatibilityServer(t *testing.T) {
+	// XML application on the server side too: handler sees XML, returns XML.
+	fs := pbio.NewMemServer()
+	spec := testService()
+	srv := NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("sum", srv.XMLHandler("sum", idl.Int(), func(_ *CallCtx, xmlParams [][]byte) ([]byte, error) {
+		v, err := xmlenc.Unmarshal(xmlParams[0], "values", idl.List(idl.Int()))
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		for _, e := range v.List {
+			total += e.Int
+		}
+		return xmlenc.Marshal(ResultParam, idl.IntV(total))
+	}))
+	client := NewClient(spec, &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), WireBinary)
+	resp, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value.Int == 0 {
+		t.Error("sum = 0")
+	}
+
+	// XML handler whose function errors propagates a fault.
+	srv.MustHandle("fail", srv.XMLHandler("fail", idl.Int(), func(*CallCtx, [][]byte) ([]byte, error) {
+		return nil, fmt.Errorf("xml boom")
+	}))
+	_, err = client.Call("fail", nil)
+	var f *soap.Fault
+	if !errors.As(err, &f) || !strings.Contains(f.String, "xml boom") {
+		t.Errorf("fault = %v", err)
+	}
+}
+
+func TestResultVarianceBinary(t *testing.T) {
+	// Server substitutes a smaller result type (quality downgrade); the
+	// client accepts it only with AllowResultVariance.
+	small := idl.Struct("Small", idl.F("id", idl.Int()))
+	client, srv := newRig(t, WireBinary)
+	srv.mu.Lock()
+	srv.handlers["echo"] = func(ctx *CallCtx, _ []soap.Param) (idl.Value, error) {
+		ctx.SetResponseHeader(MsgTypeHeader, "Small")
+		return idl.StructV(small, idl.IntV(7)), nil
+	}
+	srv.mu.Unlock()
+
+	payload := workload.NestedStruct(3, 1)
+	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
+		t.Fatal("variance without AllowResultVariance must fail")
+	}
+	client.AllowResultVariance = true
+	resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value.Type.Name != "Small" {
+		t.Errorf("result type = %s", resp.Value.Type)
+	}
+	if resp.Header[MsgTypeHeader] != "Small" {
+		t.Errorf("header = %v", resp.Header)
+	}
+}
+
+func TestResultVarianceXML(t *testing.T) {
+	small := idl.Struct("Small", idl.F("id", idl.Int()))
+	client, srv := newRig(t, WireXML)
+	srv.mu.Lock()
+	srv.handlers["echo"] = func(ctx *CallCtx, _ []soap.Param) (idl.Value, error) {
+		ctx.SetResponseHeader(MsgTypeHeader, "Small")
+		return idl.StructV(small, idl.IntV(9)), nil
+	}
+	srv.mu.Unlock()
+
+	payload := workload.NestedStruct(3, 1)
+	client.AllowResultVariance = true
+	client.ResolveType = func(name string) (*idl.Type, bool) {
+		if name == "Small" {
+			return small, true
+		}
+		return nil, false
+	}
+	resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := resp.Value.Field("id")
+	if id.Int != 9 {
+		t.Errorf("id = %d", id.Int)
+	}
+
+	// Unknown message type name must be an error, not silent misparse.
+	client.ResolveType = func(string) (*idl.Type, bool) { return nil, false }
+	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
+		t.Error("unknown mtype must fail")
+	}
+}
+
+func TestAllowTypeVarianceRequests(t *testing.T) {
+	// With AllowTypeVariance the server accepts a downgraded request
+	// parameter; the handler sees the raw arrived value.
+	client, srv := newRig(t, WireBinary)
+	small := idl.Struct("Tiny", idl.F("n", idl.Int()))
+	srv.mu.Lock()
+	srv.handlers["echo"] = func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	}
+	srv.mu.Unlock()
+
+	arg := soap.Param{Name: "payload", Value: idl.StructV(small, idl.IntV(1))}
+	if _, err := client.Call("echo", nil, arg); err == nil {
+		t.Fatal("variant request without server flag must fault")
+	}
+	srv.AllowTypeVariance = true
+	client.AllowResultVariance = true
+	resp, err := client.Call("echo", nil, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value.Type.Name != "Tiny" {
+		t.Errorf("echoed type = %s", resp.Value.Type)
+	}
+}
+
+func TestWireFormatStrings(t *testing.T) {
+	if WireBinary.String() != "soap-bin" || WireXML.String() != "soap-xml" || WireXMLDeflate.String() != "soap-xml-deflate" {
+		t.Error("wire names changed; benchmark tables depend on them")
+	}
+	if !strings.Contains(WireFormat(9).String(), "wire(") {
+		t.Error("unknown wire String")
+	}
+	for _, w := range wires() {
+		got, err := WireFromContentType(w.ContentType())
+		if err != nil || got != w {
+			t.Errorf("content-type round trip for %v: %v %v", w, got, err)
+		}
+	}
+	if _, err := WireFromContentType("nope"); err == nil {
+		t.Error("unknown content type must fail")
+	}
+}
+
+func TestDeflateRoundTripAndLimits(t *testing.T) {
+	data := []byte(strings.Repeat("soap is verbose ", 1000))
+	z, err := Deflate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(data) {
+		t.Errorf("compression did not shrink: %d → %d", len(data), len(z))
+	}
+	back, err := Inflate(z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(data) {
+		t.Error("deflate round trip mismatch")
+	}
+	if _, err := Inflate(z, 10); err == nil {
+		t.Error("size limit must be enforced")
+	}
+	if _, err := Inflate([]byte{1, 2, 3}, 0); err == nil {
+		t.Error("garbage must not inflate")
+	}
+}
+
+func TestBinaryEnvelopeMalformed(t *testing.T) {
+	_, srv := newRig(t, WireBinary)
+	codec := srv.Codec()
+	good, err := marshalBinary(codec, frameRequest, "ping", soap.Header{"k": "v"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation of a valid envelope must fail cleanly.
+	for i := 0; i < len(good); i++ {
+		if _, err := unmarshalBinary(codec, good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := unmarshalBinary(codec, append(append([]byte{}, good...), 0xAA)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 42
+	if _, err := unmarshalBinary(codec, bad); err == nil {
+		t.Error("unknown frame kind accepted")
+	}
+}
+
+func TestBinaryFaultClipsHugeDetail(t *testing.T) {
+	huge := strings.Repeat("x", 0x10001)
+	frame := marshalBinaryFault("op", nil, &soap.Fault{Code: "Server", String: "s", Detail: huge})
+	_, srv := newRig(t, WireBinary)
+	env, err := unmarshalBinary(srv.Codec(), frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Fault.Detail) != 0xFFFF {
+		t.Errorf("detail len = %d", len(env.Fault.Detail))
+	}
+}
+
+func TestBinaryHeaderClipsHugeValues(t *testing.T) {
+	_, srv := newRig(t, WireBinary)
+	huge := strings.Repeat("v", 0x10010)
+	frame, err := marshalBinary(srv.Codec(), frameRequest, "ping", soap.Header{"k": huge}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := unmarshalBinary(srv.Codec(), frame)
+	if err != nil {
+		t.Fatalf("clipped header frame must still parse: %v", err)
+	}
+	if len(env.Header["k"]) != 0xFFFF {
+		t.Errorf("header value len = %d, want clipped to 0xFFFF", len(env.Header["k"]))
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+// flakyTransport fails every k-th round trip with a transport error, and
+// can corrupt response bytes instead of failing.
+type flakyTransport struct {
+	inner     Transport
+	mu        sync.Mutex
+	n         int
+	failEvery int
+	corrupt   bool
+}
+
+func (f *flakyTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
+	f.mu.Lock()
+	f.n++
+	n := f.n
+	f.mu.Unlock()
+	if f.failEvery > 0 && n%f.failEvery == 0 {
+		return nil, errors.New("flaky: injected transport failure")
+	}
+	resp, err := f.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.corrupt {
+		body := append([]byte{}, resp.Body...)
+		if len(body) > 0 {
+			body[len(body)/2] ^= 0xFF
+		}
+		return &WireResponse{ContentType: resp.ContentType, Body: body}, nil
+	}
+	return resp, nil
+}
+
+func TestClientSurvivesTransportFailures(t *testing.T) {
+	client, srv := newRig(t, WireBinary)
+	flaky := &flakyTransport{inner: &Loopback{Server: srv}, failEvery: 3}
+	client.transport = flaky
+
+	payload := workload.NestedStruct(3, 1)
+	var okCount, errCount int
+	for i := 0; i < 12; i++ {
+		_, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+		if err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if errCount != 4 || okCount != 8 {
+		t.Errorf("ok=%d err=%d, want 8/4", okCount, errCount)
+	}
+}
+
+func TestClientRejectsCorruptedResponses(t *testing.T) {
+	for _, wire := range wires() {
+		client, srv := newRig(t, wire)
+		client.transport = &flakyTransport{inner: &Loopback{Server: srv}, corrupt: true}
+		payload := workload.NestedStruct(3, 1)
+		// Corruption may land anywhere; the client must return an error,
+		// never panic and never silently return wrong data of the wrong
+		// shape. (A flipped bit inside a scalar payload byte is
+		// indistinguishable from data, so value corruption itself cannot
+		// always be detected — structural integrity must be.)
+		resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+		if err == nil && !resp.Value.Type.Equal(payload.Type) {
+			t.Errorf("%v: corrupted response decoded to wrong type %s", wire, resp.Value.Type)
+		}
+	}
+}
+
+// errTransport always fails, proving error wrapping shows the cause.
+type errTransport struct{}
+
+func (errTransport) RoundTrip(*WireRequest) (*WireResponse, error) {
+	return nil, fmt.Errorf("network unreachable")
+}
+
+func TestTransportErrorPropagates(t *testing.T) {
+	client, _ := newRig(t, WireBinary)
+	client.transport = errTransport{}
+	_, err := client.Call("ping", nil)
+	if err == nil || err.Error() != "network unreachable" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	client, _ := newRig(t, WireBinary)
+	payload := workload.NestedStruct(3, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.Value.Equal(payload) {
+					errs <- errors.New("corrupted concurrent echo")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerRejectsWrongFormatServer(t *testing.T) {
+	// A client whose codec talks to a *different* format server cannot
+	// decode the server's response formats: the call must error cleanly.
+	specA := testService()
+	fsA := pbio.NewMemServer()
+	srv := NewServer(specA, pbio.NewCodec(pbio.NewRegistry(fsA)))
+	srv.MustHandle("sum", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return idl.IntV(1), nil
+	})
+	fsB := pbio.NewMemServer()
+	client := NewClient(specA, &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fsB)), WireBinary)
+	_, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(2)})
+	if err == nil {
+		t.Error("mismatched format servers must error")
+	}
+	if !errors.Is(err, pbio.ErrUnknownFormat) {
+		// The failure can surface either as the server failing to decode
+		// the request (fault) or the client failing to decode the
+		// response; both are acceptable, but silent success is not.
+		var f *soap.Fault
+		if !errors.As(err, &f) {
+			t.Errorf("unexpected error type: %v", err)
+		}
+	}
+}

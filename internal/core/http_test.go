@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+func newHTTPRig(t *testing.T, wire WireFormat) (*Client, *Server) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	})
+	srv.MustHandle("fail", func(_ *CallCtx, _ []soap.Param) (idl.Value, error) {
+		return idl.Value{}, errors.New("kaboom")
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	transport := &HTTPTransport{URL: ts.URL, Client: ts.Client()}
+	client := NewClient(testService(), transport, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	return client, srv
+}
+
+func TestHTTPRoundTripAllWires(t *testing.T) {
+	payload := workload.NestedStruct(3, 2)
+	for _, wire := range wires() {
+		t.Run(wire.String(), func(t *testing.T) {
+			client, _ := newHTTPRig(t, wire)
+			resp, err := client.Call("echo", soap.Header{"ts": "1"}, soap.Param{Name: "payload", Value: payload})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.Value.Equal(payload) {
+				t.Error("echo over HTTP mismatch")
+			}
+		})
+	}
+}
+
+func TestHTTPFaultStatus500(t *testing.T) {
+	client, _ := newHTTPRig(t, WireBinary)
+	_, err := client.Call("fail", nil)
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	// XML wire too: 500 + parseable fault envelope.
+	clientXML, _ := newHTTPRig(t, WireXML)
+	_, err = clientXML.Call("fail", nil)
+	if !errors.As(err, &f) || !strings.Contains(f.String, "kaboom") {
+		t.Fatalf("xml fault: %v", err)
+	}
+}
+
+func TestHTTPRejectsNonPost(t *testing.T) {
+	_, srv := newHTTPRig(t, WireBinary)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRequestSizeLimit(t *testing.T) {
+	client, srv := newHTTPRig(t, WireBinary)
+	srv.MaxRequestBytes = 64
+	_, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: workload.NestedStruct(3, 3)})
+	if err == nil {
+		t.Error("oversized request must fail")
+	}
+}
+
+func TestHTTPTransportErrors(t *testing.T) {
+	tr := &HTTPTransport{URL: "http://127.0.0.1:1/nope"}
+	if _, err := tr.RoundTrip(&WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
+		t.Error("dead endpoint must error")
+	}
+	tr2 := &HTTPTransport{URL: ":bad url:"}
+	if _, err := tr2.RoundTrip(&WireRequest{ContentType: ContentTypeBinary}); err == nil {
+		t.Error("bad URL must error")
+	}
+}
+
+func TestTrimActionQuotes(t *testing.T) {
+	for in, want := range map[string]string{
+		`"echo"`: "echo",
+		`echo`:   "echo",
+		`"`:      `"`,
+		``:       ``,
+	} {
+		if got := trimActionQuotes(in); got != want {
+			t.Errorf("trimActionQuotes(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package core
+
+// Loopback is a Transport that invokes a Server directly in-process, with
+// no network between: the zero-cost baseline for microbenchmarks and the
+// building block the netem package wraps link models around.
+type Loopback struct {
+	Server *Server
+}
+
+// RoundTrip implements Transport.
+func (l *Loopback) RoundTrip(req *WireRequest) (*WireResponse, error) {
+	ct, body := l.Server.Process(req.ContentType, req.Action, req.Body)
+	return &WireResponse{ContentType: ct, Body: body}, nil
+}
+
+var _ Transport = (*Loopback)(nil)

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/xmlenc"
+)
+
+// CallCtx carries per-invocation context into handlers. Handlers and
+// quality middleware may set ResponseHeader entries; they are delivered to
+// the client in the response envelope.
+type CallCtx struct {
+	Op             string
+	Wire           WireFormat
+	RequestHeader  soap.Header
+	ResponseHeader soap.Header
+	ReceivedAt     time.Time
+}
+
+// SetResponseHeader records a response header entry, allocating lazily.
+func (c *CallCtx) SetResponseHeader(k, v string) {
+	if c.ResponseHeader == nil {
+		c.ResponseHeader = soap.Header{}
+	}
+	c.ResponseHeader[k] = v
+}
+
+// HandlerFunc implements one operation. The returned value becomes the
+// single "return" parameter of the response; for void operations return
+// the zero Value. Returning a *soap.Fault (as the error) propagates it
+// verbatim; any other error becomes a Server fault.
+type HandlerFunc func(ctx *CallCtx, params []soap.Param) (idl.Value, error)
+
+// Server dispatches SOAP-bin and SOAP-XML requests to registered
+// handlers. It is transport-independent: Process handles raw envelopes,
+// and ServeHTTP adapts it to net/http.
+type Server struct {
+	spec  *ServiceSpec
+	codec *pbio.Codec
+
+	// AllowTypeVariance permits request parameters whose types differ
+	// from the spec (quality-managed clients may send reduced message
+	// types); the quality middleware reconciles them before the handler
+	// runs. Off by default: unknown types are a Client fault.
+	AllowTypeVariance bool
+
+	// MaxRequestBytes bounds HTTP request bodies (default 256 MiB).
+	MaxRequestBytes int64
+
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+	stats    ServerStats
+}
+
+// ServerStats counts server traffic, for operational monitoring and the
+// load-oriented assertions in tests and benchmarks.
+type ServerStats struct {
+	Requests int            // envelopes processed (including faults)
+	Faults   int            // fault responses produced
+	BytesIn  int64          // request envelope bytes
+	BytesOut int64          // response envelope bytes
+	PerOp    map[string]int // successful dispatches per operation
+}
+
+// NewServer builds a server for the given service backed by a PBIO codec
+// (which brings the format registry / format server connection with it).
+func NewServer(spec *ServiceSpec, codec *pbio.Codec) *Server {
+	return &Server{
+		spec:     spec,
+		codec:    codec,
+		handlers: make(map[string]HandlerFunc),
+	}
+}
+
+// Spec returns the service spec the server was built with.
+func (s *Server) Spec() *ServiceSpec { return s.spec }
+
+// Codec returns the server's PBIO codec.
+func (s *Server) Codec() *pbio.Codec { return s.codec }
+
+// Handle registers the handler for an operation declared in the spec.
+func (s *Server) Handle(op string, h HandlerFunc) error {
+	if _, ok := s.spec.Op(op); !ok {
+		return fmt.Errorf("core: operation %q not in service %s", op, s.spec.Name)
+	}
+	if h == nil {
+		return fmt.Errorf("core: nil handler for %q", op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[op]; dup {
+		return fmt.Errorf("core: duplicate handler for %q", op)
+	}
+	s.handlers[op] = h
+	return nil
+}
+
+// MustHandle is Handle for static registration; it panics on error.
+func (s *Server) MustHandle(op string, h HandlerFunc) {
+	if err := s.Handle(op, h); err != nil {
+		panic(err)
+	}
+}
+
+// XMLHandler adapts an XML-native application function (compatibility
+// mode): incoming binary parameters are up-converted to XML fragments, the
+// function's XML result is parsed back to a value for transport. The
+// resultType tells the adapter how to parse the function's output; the
+// result fragment must be rooted at <return>.
+func (s *Server) XMLHandler(op string, resultType *idl.Type, fn func(ctx *CallCtx, xmlParams [][]byte) ([]byte, error)) HandlerFunc {
+	return func(ctx *CallCtx, params []soap.Param) (idl.Value, error) {
+		frags := make([][]byte, len(params))
+		for i, p := range params {
+			b, err := xmlenc.Marshal(p.Name, p.Value)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("up-convert %q: %w", p.Name, err)
+			}
+			frags[i] = b
+		}
+		out, err := fn(ctx, frags)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		if resultType == nil {
+			return idl.Value{}, nil
+		}
+		v, err := xmlenc.Unmarshal(out, ResultParam, resultType)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("down-convert result: %w", err)
+		}
+		return v, nil
+	}
+}
+
+// Stats snapshots the server's traffic counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := s.stats
+	snap.PerOp = make(map[string]int, len(s.stats.PerOp))
+	for k, v := range s.stats.PerOp {
+		snap.PerOp[k] = v
+	}
+	return snap
+}
+
+// account records one processed request in the stats.
+func (s *Server) account(op string, in, out int, fault bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	s.stats.BytesIn += int64(in)
+	s.stats.BytesOut += int64(out)
+	if fault {
+		s.stats.Faults++
+		return
+	}
+	if s.stats.PerOp == nil {
+		s.stats.PerOp = make(map[string]int)
+	}
+	s.stats.PerOp[op]++
+}
+
+// Process handles one serialized request envelope and returns the
+// serialized response. It never returns an error: all failures become
+// fault envelopes in the same wire format as the request (falling back to
+// XML when the request's format is unknown).
+func (s *Server) Process(contentType, action string, body []byte) (respContentType string, respBody []byte) {
+	ct, resp := s.process(contentType, action, body)
+	op := action
+	if op == "" && contentType == ContentTypeBinary {
+		// Binary requests carry the op in the envelope, not SOAPAction.
+		if len(body) > 1 {
+			if name, _, err := readString16(body[1:]); err == nil {
+				op = name
+			}
+		}
+	}
+	// Deflate-wire faults are not inspected (that would cost an inflate);
+	// they count as successes in PerOp, which the stats docs note.
+	s.account(op, len(body), len(resp), isFaultBody(ct, resp))
+	return ct, resp
+}
+
+func (s *Server) process(contentType, action string, body []byte) (respContentType string, respBody []byte) {
+	wire, err := WireFromContentType(contentType)
+	if err != nil {
+		return s.faultBody(WireXML, "", nil, &soap.Fault{Code: "Client", String: err.Error()})
+	}
+	ctx := &CallCtx{Wire: wire, ReceivedAt: time.Now()}
+
+	op, params, hdr, ferr := s.decodeRequest(wire, action, body)
+	if ferr != nil {
+		return s.faultBody(wire, op, nil, ferr)
+	}
+	ctx.Op = op
+	ctx.RequestHeader = hdr
+
+	opDef, ok := s.spec.Op(op)
+	if !ok {
+		return s.faultBody(wire, op, nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown operation %q", op)})
+	}
+	if f := s.checkParams(opDef, params); f != nil {
+		return s.faultBody(wire, op, nil, f)
+	}
+
+	s.mu.RLock()
+	h := s.handlers[op]
+	s.mu.RUnlock()
+	if h == nil {
+		return s.faultBody(wire, op, nil, &soap.Fault{Code: "Server", String: fmt.Sprintf("operation %q not implemented", op)})
+	}
+
+	result, err := h(ctx, params)
+	if err != nil {
+		var f *soap.Fault
+		if !errors.As(err, &f) {
+			f = &soap.Fault{Code: "Server", String: err.Error()}
+		}
+		return s.faultBody(wire, op, ctx.ResponseHeader, f)
+	}
+	return s.responseBody(wire, opDef, ctx.ResponseHeader, result)
+}
+
+// decodeRequest parses the request envelope of either wire format. The
+// returned fault (if any) is a client fault.
+func (s *Server) decodeRequest(wire WireFormat, action string, body []byte) (op string, params []soap.Param, hdr soap.Header, f *soap.Fault) {
+	switch wire {
+	case WireBinary:
+		env, err := unmarshalBinary(s.codec, body)
+		if err != nil {
+			return "", nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+		}
+		if env.Kind != frameRequest {
+			return env.Op, nil, nil, &soap.Fault{Code: "Client", String: "expected request frame"}
+		}
+		return env.Op, env.Params, env.Header, nil
+	case WireXML, WireXMLDeflate:
+		if wire == WireXMLDeflate {
+			raw, err := Inflate(body, s.MaxRequestBytes)
+			if err != nil {
+				return "", nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+			}
+			body = raw
+		}
+		if action == "" {
+			return "", nil, nil, &soap.Fault{Code: "Client", String: "missing SOAPAction"}
+		}
+		opDef, ok := s.spec.Op(action)
+		if !ok {
+			return action, nil, nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown operation %q", action)}
+		}
+		msg, err := soap.Parse(body, opDef.RequestSpec())
+		if err != nil {
+			return action, nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+		}
+		return action, msg.Params, msg.Header, nil
+	default:
+		return "", nil, nil, &soap.Fault{Code: "Client", String: "unsupported wire format"}
+	}
+}
+
+// checkParams validates decoded parameters against the operation spec.
+func (s *Server) checkParams(op *OpDef, params []soap.Param) *soap.Fault {
+	if len(params) != len(op.Params) {
+		return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: got %d parameters, want %d", op.Name, len(params), len(op.Params))}
+	}
+	for i, want := range op.Params {
+		got := params[i]
+		if got.Name != want.Name {
+			return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: parameter %d is %q, want %q", op.Name, i, got.Name, want.Name)}
+		}
+		if !s.AllowTypeVariance && (got.Value.Type == nil || !got.Value.Type.Equal(want.Type)) {
+			return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: parameter %q has type %s, want %s", op.Name, want.Name, got.Value.Type, want.Type)}
+		}
+	}
+	return nil
+}
+
+func (s *Server) responseBody(wire WireFormat, op *OpDef, hdr soap.Header, result idl.Value) (string, []byte) {
+	var params []soap.Param
+	if result.Type != nil {
+		params = []soap.Param{{Name: ResultParam, Value: result}}
+	}
+	switch wire {
+	case WireBinary:
+		body, err := marshalBinary(s.codec, frameResponse, op.ResponseOp(), hdr, params)
+		if err != nil {
+			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+		}
+		return ContentTypeBinary, body
+	default:
+		body, err := soap.Marshal(&soap.Message{Op: op.ResponseOp(), Params: params, Header: hdr})
+		if err != nil {
+			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+		}
+		if wire == WireXMLDeflate {
+			z, err := Deflate(body)
+			if err != nil {
+				return s.faultBody(WireXML, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+			}
+			return ContentTypeXMLDeflate, z
+		}
+		return ContentTypeXML, body
+	}
+}
+
+func (s *Server) faultBody(wire WireFormat, op string, hdr soap.Header, f *soap.Fault) (string, []byte) {
+	if wire == WireBinary {
+		return ContentTypeBinary, marshalBinaryFault(op, hdr, f)
+	}
+	body, err := soap.MarshalFault(f)
+	if err != nil {
+		// MarshalFault cannot realistically fail; keep a defensive fallback.
+		body = []byte(xmlFaultFallback)
+	}
+	if wire == WireXMLDeflate {
+		if z, zerr := Deflate(body); zerr == nil {
+			return ContentTypeXMLDeflate, z
+		}
+	}
+	return ContentTypeXML, body
+}
+
+const xmlFaultFallback = `<?xml version="1.0" encoding="UTF-8"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` +
+	soap.EnvelopeNS + `"><SOAP-ENV:Body><SOAP-ENV:Fault><faultcode>Server</faultcode>` +
+	`<faultstring>internal error</faultstring></SOAP-ENV:Fault></SOAP-ENV:Body></SOAP-ENV:Envelope>`
+
+// ActionHeader is the HTTP request header carrying the operation name for
+// XML requests, as in SOAP 1.1 over HTTP. net/http canonicalizes header
+// keys, so Get/Set with this constant match any capitalization.
+const ActionHeader = "SOAPAction"
+
+// ServeHTTP implements http.Handler: POST with a SOAP-bin or SOAP-XML
+// body. Fault responses use status 500 per the SOAP 1.1 HTTP binding.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := s.MaxRequestBytes
+	if limit <= 0 {
+		limit = 256 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > limit {
+		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	action := trimActionQuotes(r.Header.Get(ActionHeader))
+	ct, resp := s.Process(r.Header.Get("Content-Type"), action, body)
+	w.Header().Set("Content-Type", ct)
+	if isFaultBody(ct, resp) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	w.Write(resp)
+}
+
+// trimActionQuotes strips the quotes SOAP 1.1 clients put around
+// SOAPAction values.
+func trimActionQuotes(a string) string {
+	if len(a) >= 2 && a[0] == '"' && a[len(a)-1] == '"' {
+		return a[1 : len(a)-1]
+	}
+	return a
+}
+
+// isFaultBody detects fault envelopes cheaply for HTTP status selection.
+func isFaultBody(ct string, body []byte) bool {
+	if ct == ContentTypeBinary {
+		return len(body) > 0 && body[0] == frameFault
+	}
+	// XML (possibly compressed): only uncompressed bodies are inspected;
+	// compressed fault detection is not worth an inflate here.
+	if ct == ContentTypeXML {
+		return bytes.Contains(body, []byte("<SOAP-ENV:Fault>"))
+	}
+	return false
+}

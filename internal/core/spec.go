@@ -1,0 +1,95 @@
+// Package core implements the SOAP-bin protocol, the paper's central
+// contribution: SOAP messaging in which parameter payloads travel as PBIO
+// binary data instead of XML text, with XML retained as the descriptive
+// layer (WSDL) and produced only when an endpoint actually needs it.
+//
+// The package supports the paper's three modes of operation:
+//
+//   - High-performance mode: both endpoints exchange native (idl.Value)
+//     data; parameters never exist in XML form. Client.Call with
+//     WireBinary.
+//   - Interoperability mode: the server operates on binary data while a
+//     client that needs XML converts "just in time" at its own boundary.
+//     Client.CallXML with WireBinary.
+//   - Compatibility mode: both endpoints are XML applications; data is
+//     down-converted to binary for transport and up-converted on arrival.
+//     Client.CallXML against a server whose handlers use XMLHandler.
+//
+// Plain SOAP (WireXML) and deflate-compressed SOAP (WireXMLDeflate) are
+// provided as the baselines the paper measures against.
+package core
+
+import (
+	"fmt"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+)
+
+// OpDef declares one operation of a service: its request parameters and
+// its result type. A nil Result declares a void operation.
+type OpDef struct {
+	Name   string
+	Params []soap.ParamSpec
+	Result *idl.Type
+}
+
+// RequestSpec returns the soap.OpSpec for decoding this operation's
+// request envelope.
+func (o *OpDef) RequestSpec() soap.OpSpec {
+	return soap.OpSpec{Op: o.Name, Params: o.Params}
+}
+
+// ResponseOp is the conventional name of the response wrapper element.
+func (o *OpDef) ResponseOp() string { return o.Name + "Response" }
+
+// ResultParam is the conventional name of the single return parameter.
+const ResultParam = "return"
+
+// ServiceSpec is the compiled interface description of a service — the
+// in-memory equivalent of what the WSDL compiler extracts from a WSDL
+// document.
+type ServiceSpec struct {
+	Name string
+	Ops  map[string]*OpDef
+}
+
+// NewServiceSpec builds a spec from operation definitions. Duplicate or
+// unnamed operations are rejected.
+func NewServiceSpec(name string, ops ...*OpDef) (*ServiceSpec, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: service without a name")
+	}
+	spec := &ServiceSpec{Name: name, Ops: make(map[string]*OpDef, len(ops))}
+	for _, op := range ops {
+		if op.Name == "" {
+			return nil, fmt.Errorf("core: service %s has an unnamed operation", name)
+		}
+		if _, dup := spec.Ops[op.Name]; dup {
+			return nil, fmt.Errorf("core: service %s has duplicate operation %q", name, op.Name)
+		}
+		for _, p := range op.Params {
+			if p.Name == "" || p.Type == nil {
+				return nil, fmt.Errorf("core: operation %s has a malformed parameter", op.Name)
+			}
+		}
+		spec.Ops[op.Name] = op
+	}
+	return spec, nil
+}
+
+// MustServiceSpec is NewServiceSpec for statically known-good specs
+// (program initialization); it panics on error.
+func MustServiceSpec(name string, ops ...*OpDef) *ServiceSpec {
+	spec, err := NewServiceSpec(name, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Op looks up an operation by name.
+func (s *ServiceSpec) Op(name string) (*OpDef, bool) {
+	op, ok := s.Ops[name]
+	return op, ok
+}

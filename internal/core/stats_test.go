@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+func TestServerStats(t *testing.T) {
+	client, srv := newRig(t, WireBinary)
+	payload := workload.NestedStruct(3, 1)
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Call("fail", nil); err == nil {
+		t.Fatal("fail op must fault")
+	}
+
+	st := srv.Stats()
+	if st.Requests != 4 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.Faults != 1 {
+		t.Errorf("faults = %d", st.Faults)
+	}
+	if st.PerOp["echo"] != 3 {
+		t.Errorf("perOp = %v", st.PerOp)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Errorf("bytes = %d/%d", st.BytesIn, st.BytesOut)
+	}
+	// Snapshot isolation: mutating the returned map must not leak.
+	st.PerOp["echo"] = 999
+	if srv.Stats().PerOp["echo"] != 3 {
+		t.Error("stats snapshot aliased internal map")
+	}
+}
+
+func TestServerStatsXMLWire(t *testing.T) {
+	client, srv := newRig(t, WireXML)
+	if _, err := client.Call("ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.PerOp["ping"] != 1 || st.Requests != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestServerStatsCountUnparseableRequests(t *testing.T) {
+	_, srv := newRig(t, WireBinary)
+	srv.Process("application/weird", "", nil)
+	srv.Process(ContentTypeBinary, "", []byte{0xFF})
+	st := srv.Stats()
+	if st.Requests != 2 || st.Faults != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}

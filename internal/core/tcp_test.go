@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+func newTCPRig(t *testing.T, wire WireFormat) (*Client, *TCPListener) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	})
+	srv.MustHandle("fail", func(*CallCtx, []soap.Param) (idl.Value, error) {
+		return idl.Value{}, errors.New("kaboom")
+	})
+	ln, err := ServeTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	transport := NewTCPTransport(ln.Addr())
+	t.Cleanup(func() { transport.Close() })
+	client := NewClient(testService(), transport, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	return client, ln
+}
+
+func TestTCPTransportAllWires(t *testing.T) {
+	payload := workload.NestedStruct(3, 2)
+	for _, wire := range wires() {
+		t.Run(wire.String(), func(t *testing.T) {
+			client, _ := newTCPRig(t, wire)
+			resp, err := client.Call("echo", soap.Header{"k": "v"}, soap.Param{Name: "payload", Value: payload})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.Value.Equal(payload) {
+				t.Error("echo over TCP mismatch")
+			}
+		})
+	}
+}
+
+func TestTCPTransportFaults(t *testing.T) {
+	client, _ := newTCPRig(t, WireBinary)
+	_, err := client.Call("fail", nil)
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.String != "kaboom" {
+		t.Fatalf("fault = %v", err)
+	}
+}
+
+func TestTCPTransportSequentialCallsShareConnection(t *testing.T) {
+	client, _ := newTCPRig(t, WireBinary)
+	payload := workload.IntArray(32)
+	for i := 0; i < 25; i++ {
+		if _, err := client.Call("sum", nil, soap.Param{Name: "values", Value: payload}); err == nil {
+			t.Fatal("sum handler is not registered in this rig; expected fault")
+		}
+	}
+}
+
+func TestTCPTransportReconnects(t *testing.T) {
+	client, ln := newTCPRig(t, WireBinary)
+	payload := workload.NestedStruct(3, 1)
+	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+		t.Fatal(err)
+	}
+	ln.mu.Lock()
+	for c := range ln.conns {
+		c.Close()
+	}
+	ln.mu.Unlock()
+	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+}
+
+func TestTCPTransportDialFailure(t *testing.T) {
+	tr := NewTCPTransport("127.0.0.1:1")
+	defer tr.Close()
+	if _, err := tr.RoundTrip(&WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
+		t.Error("dead endpoint must fail")
+	}
+	if _, err := tr.RoundTrip(&WireRequest{ContentType: "weird"}); err == nil {
+		t.Error("unknown content type must fail")
+	}
+}
+
+func TestTCPListenerCloseIdempotent(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	ln, err := ServeTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+// WireFormat selects the on-the-wire representation of SOAP messages.
+type WireFormat int
+
+const (
+	// WireBinary is the SOAP-bin envelope: operation and header metadata
+	// in a compact binary frame, parameters as self-describing PBIO
+	// messages.
+	WireBinary WireFormat = iota + 1
+	// WireXML is regular SOAP 1.1: a full XML envelope.
+	WireXML
+	// WireXMLDeflate is the compressed-XML baseline: a SOAP 1.1 envelope
+	// compressed with DEFLATE (Lempel-Ziv, as in the paper).
+	WireXMLDeflate
+)
+
+// String returns the short name used in benchmark tables.
+func (w WireFormat) String() string {
+	switch w {
+	case WireBinary:
+		return "soap-bin"
+	case WireXML:
+		return "soap-xml"
+	case WireXMLDeflate:
+		return "soap-xml-deflate"
+	default:
+		return fmt.Sprintf("wire(%d)", int(w))
+	}
+}
+
+// ContentType returns the HTTP content type announcing this wire format.
+func (w WireFormat) ContentType() string {
+	switch w {
+	case WireBinary:
+		return ContentTypeBinary
+	case WireXMLDeflate:
+		return ContentTypeXMLDeflate
+	default:
+		return ContentTypeXML
+	}
+}
+
+// HTTP content types for the three wire formats.
+const (
+	ContentTypeXML        = "text/xml; charset=utf-8"
+	ContentTypeBinary     = "application/x-soapbin"
+	ContentTypeXMLDeflate = "application/x-soap-deflate"
+)
+
+// WireFromContentType maps an HTTP content type to its wire format.
+func WireFromContentType(ct string) (WireFormat, error) {
+	switch ct {
+	case ContentTypeBinary:
+		return WireBinary, nil
+	case ContentTypeXMLDeflate:
+		return WireXMLDeflate, nil
+	case ContentTypeXML, "text/xml":
+		return WireXML, nil
+	default:
+		return 0, fmt.Errorf("core: unsupported content type %q", ct)
+	}
+}
+
+// Binary envelope layout (all integers big-endian):
+//
+//	u8  kind (1 request, 2 response, 3 fault)
+//	u16 op length, op bytes
+//	u16 header entry count; per entry u16+bytes key, u16+bytes value
+//	request/response:
+//	  u16 param count; per param u16+bytes name, u32 length, PBIO message
+//	fault:
+//	  u16+bytes code, u16+bytes string, u16+bytes detail
+const (
+	frameRequest  = 1
+	frameResponse = 2
+	frameFault    = 3
+)
+
+// binEnvelope is the decoded form of a binary SOAP-bin frame.
+type binEnvelope struct {
+	Kind   byte
+	Op     string
+	Header soap.Header
+	Params []soap.Param
+	Fault  *soap.Fault
+}
+
+// marshalBinary encodes a request or response frame. Parameter values are
+// encoded as framed PBIO messages, so the receiver can decode them from
+// format IDs alone — this is what lets quality management substitute
+// smaller message types per invocation without renegotiating the spec.
+func marshalBinary(codec *pbio.Codec, kind byte, op string, hdr soap.Header, params []soap.Param) ([]byte, error) {
+	if op == "" {
+		return nil, fmt.Errorf("core: binary envelope without operation")
+	}
+	if len(op) > 0xFFFF {
+		return nil, fmt.Errorf("core: operation name too long (%d bytes)", len(op))
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, kind)
+	buf = appendString16(buf, op)
+	buf = appendHeader(buf, hdr)
+	if len(params) > 0xFFFF {
+		return nil, fmt.Errorf("core: too many parameters (%d)", len(params))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(params)))
+	for _, p := range params {
+		if len(p.Name) > 0xFFFF {
+			return nil, fmt.Errorf("core: parameter name too long (%d bytes)", len(p.Name))
+		}
+		buf = appendString16(buf, p.Name)
+		msg, err := codec.Marshal(p.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: parameter %q: %w", p.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
+		buf = append(buf, msg...)
+	}
+	return buf, nil
+}
+
+// marshalBinaryFault encodes a fault frame.
+func marshalBinaryFault(op string, hdr soap.Header, f *soap.Fault) []byte {
+	if op == "" {
+		op = "Fault"
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, frameFault)
+	buf = appendString16(buf, op)
+	buf = appendHeader(buf, hdr)
+	buf = appendString16(buf, clip16(f.Code))
+	buf = appendString16(buf, clip16(f.String))
+	buf = appendString16(buf, clip16(f.Detail))
+	return buf
+}
+
+// clip16 truncates strings to the u16 length-prefix limit, applied to the
+// free-form strings on the binary wire (fault texts, header entries) so
+// oversized application data degrades instead of corrupting the frame.
+func clip16(s string) string {
+	if len(s) > 0xFFFF {
+		return s[:0xFFFF]
+	}
+	return s
+}
+
+// unmarshalBinary decodes any binary frame. Fault frames populate Fault;
+// request/response frames populate Params, with each PBIO message decoded
+// through the codec's registry (self-describing formats).
+func unmarshalBinary(codec *pbio.Codec, data []byte) (*binEnvelope, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("core: empty binary envelope")
+	}
+	env := &binEnvelope{Kind: data[0]}
+	rest := data[1:]
+	var err error
+	if env.Op, rest, err = readString16(rest); err != nil {
+		return nil, fmt.Errorf("core: envelope op: %w", err)
+	}
+	if env.Header, rest, err = readHeader(rest); err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case frameFault:
+		f := &soap.Fault{}
+		if f.Code, rest, err = readString16(rest); err != nil {
+			return nil, fmt.Errorf("core: fault code: %w", err)
+		}
+		if f.String, rest, err = readString16(rest); err != nil {
+			return nil, fmt.Errorf("core: fault string: %w", err)
+		}
+		if f.Detail, rest, err = readString16(rest); err != nil {
+			return nil, fmt.Errorf("core: fault detail: %w", err)
+		}
+		env.Fault = f
+	case frameRequest, frameResponse:
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("core: truncated param count")
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		env.Params = make([]soap.Param, 0, n)
+		for i := 0; i < n; i++ {
+			var name string
+			if name, rest, err = readString16(rest); err != nil {
+				return nil, fmt.Errorf("core: param %d name: %w", i, err)
+			}
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("core: param %q: truncated length", name)
+			}
+			sz := int(binary.BigEndian.Uint32(rest))
+			rest = rest[4:]
+			if len(rest) < sz {
+				return nil, fmt.Errorf("core: param %q: truncated body (%d of %d bytes)", name, len(rest), sz)
+			}
+			v, err := codec.Unmarshal(rest[:sz])
+			if err != nil {
+				return nil, fmt.Errorf("core: param %q: %w", name, err)
+			}
+			rest = rest[sz:]
+			env.Params = append(env.Params, soap.Param{Name: name, Value: v})
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown frame kind %d", env.Kind)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: %d trailing envelope bytes", len(rest))
+	}
+	return env, nil
+}
+
+func appendHeader(buf []byte, hdr soap.Header) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(hdr)))
+	for _, k := range sortedHeaderKeys(hdr) {
+		// Header entries are protocol metadata (timestamps, attribute
+		// values); clip rather than corrupt the frame if an application
+		// stuffs something enormous in.
+		buf = appendString16(buf, clip16(k))
+		buf = appendString16(buf, clip16(hdr[k]))
+	}
+	return buf
+}
+
+func readHeader(b []byte) (soap.Header, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("core: truncated header count")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n == 0 {
+		return nil, b, nil
+	}
+	hdr := make(soap.Header, n)
+	var err error
+	for i := 0; i < n; i++ {
+		var k, v string
+		if k, b, err = readString16(b); err != nil {
+			return nil, nil, fmt.Errorf("core: header key %d: %w", i, err)
+		}
+		if v, b, err = readString16(b); err != nil {
+			return nil, nil, fmt.Errorf("core: header value %q: %w", k, err)
+		}
+		hdr[k] = v
+	}
+	return hdr, b, nil
+}
+
+func sortedHeaderKeys(h soap.Header) []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("truncated length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("truncated string (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// findParam returns the named parameter from a decoded list.
+func findParam(params []soap.Param, name string) (idl.Value, bool) {
+	for _, p := range params {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return idl.Value{}, false
+}

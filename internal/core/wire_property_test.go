@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+// Property: the binary envelope round-trips arbitrary ops, headers and
+// parameter sets.
+func TestQuickBinaryEnvelopeRoundTrip(t *testing.T) {
+	fs := pbio.NewMemServer()
+	enc := pbio.NewCodec(pbio.NewRegistry(fs))
+	dec := pbio.NewCodec(pbio.NewRegistry(fs))
+
+	f := func(opSeed uint8, hdrKeys []string, typeSeed uint64, nParams uint8) bool {
+		op := "op" + string(rune('A'+opSeed%26))
+		hdr := soap.Header{}
+		for i, k := range hdrKeys {
+			if k == "" || i > 6 {
+				continue
+			}
+			hdr[k] = k + "-value"
+		}
+		typ := workload.RandomType(typeSeed)
+		n := int(nParams % 4)
+		params := make([]soap.Param, n)
+		for i := 0; i < n; i++ {
+			params[i] = soap.Param{
+				Name:  "p" + string(rune('0'+i)),
+				Value: workload.Random(typ, typeSeed+uint64(i)),
+			}
+		}
+		frame, err := marshalBinary(enc, frameRequest, op, hdr, params)
+		if err != nil {
+			return false
+		}
+		env, err := unmarshalBinary(dec, frame)
+		if err != nil {
+			return false
+		}
+		if env.Op != op || env.Kind != frameRequest || len(env.Params) != n {
+			return false
+		}
+		for k, v := range hdr {
+			if env.Header[k] != v {
+				return false
+			}
+		}
+		for i := range params {
+			if env.Params[i].Name != params[i].Name || !env.Params[i].Value.Equal(params[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fault frames round-trip arbitrary texts (clipped at the u16
+// limit).
+func TestQuickBinaryFaultRoundTrip(t *testing.T) {
+	fs := pbio.NewMemServer()
+	dec := pbio.NewCodec(pbio.NewRegistry(fs))
+	f := func(code, msg, detail string) bool {
+		frame := marshalBinaryFault("anyOp", nil, &soap.Fault{Code: code, String: msg, Detail: detail})
+		env, err := unmarshalBinary(dec, frame)
+		if err != nil || env.Kind != frameFault {
+			return false
+		}
+		return env.Fault.Code == clip16(code) &&
+			env.Fault.String == clip16(msg) &&
+			env.Fault.Detail == clip16(detail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package echo implements a typed publish/subscribe event system modeled
+// on ECho, the authors' event-delivery middleware for large-data
+// applications. The remote-visualization experiment (Figure 10) uses an
+// ECho event source — the bond server — behind the SOAP-binQ service
+// portal.
+//
+// Channels are typed by an idl.Type; subscribers receive every published
+// event, optionally through a filter that can drop or transform events
+// (ECho's derived channels).
+package echo
+
+import (
+	"fmt"
+	"sync"
+
+	"soapbinq/internal/idl"
+)
+
+// Filter transforms or drops events on a subscription: return the
+// (possibly modified) event and true to deliver, or false to drop.
+type Filter func(idl.Value) (idl.Value, bool)
+
+// HandlerFunc consumes delivered events.
+type HandlerFunc func(idl.Value)
+
+// Channel is a typed event channel. Create with Domain.CreateChannel.
+type Channel struct {
+	name string
+	typ  *idl.Type
+
+	mu     sync.Mutex
+	subs   map[int]*subscription
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+	stats  ChannelStats
+}
+
+// ChannelStats counts channel traffic.
+type ChannelStats struct {
+	Published int
+	Delivered int
+	Dropped   int // filtered out or ill-typed
+}
+
+type subscription struct {
+	id      int
+	filter  Filter
+	handler HandlerFunc
+	events  chan idl.Value
+	done    chan struct{}
+
+	sendMu sync.Mutex
+	closed bool
+}
+
+// send delivers an event unless the subscription has been cancelled.
+// Sending under sendMu serializes against close: a Publish racing a
+// cancel either completes its delivery first or observes closed.
+func (s *subscription) send(ev idl.Value) bool {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.events <- ev
+	return true
+}
+
+// shut closes the event queue exactly once.
+func (s *subscription) shut() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.events)
+	}
+}
+
+// subscriberBuffer bounds each subscriber's queue; ECho targets
+// large-data events, so the buffer is small and publishers block rather
+// than accumulate unbounded memory.
+const subscriberBuffer = 16
+
+// Domain manages a namespace of channels (ECho's event domain).
+type Domain struct {
+	mu       sync.Mutex
+	channels map[string]*Channel
+}
+
+// NewDomain creates an empty event domain.
+func NewDomain() *Domain {
+	return &Domain{channels: make(map[string]*Channel)}
+}
+
+// CreateChannel creates a typed channel.
+func (d *Domain) CreateChannel(name string, typ *idl.Type) (*Channel, error) {
+	if typ == nil {
+		return nil, fmt.Errorf("echo: channel %q without a type", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.channels[name]; dup {
+		return nil, fmt.Errorf("echo: channel %q exists", name)
+	}
+	ch := &Channel{name: name, typ: typ, subs: make(map[int]*subscription)}
+	d.channels[name] = ch
+	return ch, nil
+}
+
+// Open returns an existing channel.
+func (d *Domain) Open(name string) (*Channel, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch, ok := d.channels[name]
+	return ch, ok
+}
+
+// Close closes every channel in the domain.
+func (d *Domain) Close() {
+	d.mu.Lock()
+	channels := make([]*Channel, 0, len(d.channels))
+	for _, ch := range d.channels {
+		channels = append(channels, ch)
+	}
+	d.mu.Unlock()
+	for _, ch := range channels {
+		ch.Close()
+	}
+}
+
+// Name returns the channel name.
+func (c *Channel) Name() string { return c.name }
+
+// Type returns the channel's event type.
+func (c *Channel) Type() *idl.Type { return c.typ }
+
+// Subscribe registers a handler with an optional filter. Each
+// subscription gets its own delivery goroutine, so one slow consumer
+// cannot starve the others. The returned cancel function unsubscribes and
+// waits for in-flight deliveries.
+func (c *Channel) Subscribe(filter Filter, handler HandlerFunc) (cancel func(), err error) {
+	if handler == nil {
+		return nil, fmt.Errorf("echo: nil handler")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("echo: channel %q closed", c.name)
+	}
+	c.nextID++
+	sub := &subscription{
+		id:      c.nextID,
+		filter:  filter,
+		handler: handler,
+		events:  make(chan idl.Value, subscriberBuffer),
+		done:    make(chan struct{}),
+	}
+	c.subs[sub.id] = sub
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	go func() {
+		defer c.wg.Done()
+		defer close(sub.done)
+		for ev := range sub.events {
+			sub.handler(ev)
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			delete(c.subs, sub.id)
+			c.mu.Unlock()
+			sub.shut()
+			<-sub.done
+		})
+	}, nil
+}
+
+// Publish delivers an event to all current subscribers, applying their
+// filters. Ill-typed events are rejected.
+func (c *Channel) Publish(ev idl.Value) error {
+	if ev.Type == nil || !ev.Type.Equal(c.typ) {
+		return fmt.Errorf("echo: channel %q: event type %s, want %s", c.name, ev.Type, c.typ)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("echo: channel %q closed", c.name)
+	}
+	c.stats.Published++
+	subs := make([]*subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+
+	for _, s := range subs {
+		out := ev
+		if s.filter != nil {
+			var keep bool
+			out, keep = s.filter(ev)
+			if !keep {
+				c.mu.Lock()
+				c.stats.Dropped++
+				c.mu.Unlock()
+				continue
+			}
+		}
+		delivered := s.send(out)
+		c.mu.Lock()
+		if delivered {
+			c.stats.Delivered++
+		} else {
+			c.stats.Dropped++
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats snapshots the traffic counters.
+func (c *Channel) Stats() ChannelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops the channel: future publishes and subscriptions fail, all
+// delivery goroutines drain and exit.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]*subscription, 0, len(c.subs))
+	for id, s := range c.subs {
+		delete(c.subs, id)
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.shut()
+	}
+	c.wg.Wait()
+}

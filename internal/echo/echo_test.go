@@ -1,0 +1,224 @@
+package echo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+)
+
+func TestCreateOpenChannel(t *testing.T) {
+	d := NewDomain()
+	ch, err := d.CreateChannel("bonds", moldyn.FrameType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Name() != "bonds" || !ch.Type().Equal(moldyn.FrameType()) {
+		t.Error("channel metadata mismatch")
+	}
+	if _, err := d.CreateChannel("bonds", idl.Int()); err == nil {
+		t.Error("duplicate channel must fail")
+	}
+	if _, err := d.CreateChannel("x", nil); err == nil {
+		t.Error("untyped channel must fail")
+	}
+	got, ok := d.Open("bonds")
+	if !ok || got != ch {
+		t.Error("Open must find the channel")
+	}
+	if _, ok := d.Open("nope"); ok {
+		t.Error("Open of missing channel")
+	}
+	d.Close()
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+
+	var mu sync.Mutex
+	var got []int64
+	done := make(chan struct{}, 10)
+	cancel, err := ch.Subscribe(nil, func(ev idl.Value) {
+		mu.Lock()
+		got = append(got, ev.Int)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ch.Publish(idl.IntV(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("delivery timeout")
+		}
+	}
+	cancel()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 || got[0] != 0 || got[4] != 4 {
+		t.Errorf("got = %v", got)
+	}
+	st := ch.Stats()
+	if st.Published != 5 || st.Delivered != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFilterTransformsAndDrops(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+
+	var sum atomic.Int64
+	delivered := make(chan struct{}, 10)
+	// Keep evens, doubled.
+	cancel, _ := ch.Subscribe(func(ev idl.Value) (idl.Value, bool) {
+		if ev.Int%2 != 0 {
+			return idl.Value{}, false
+		}
+		return idl.IntV(ev.Int * 2), true
+	}, func(ev idl.Value) {
+		sum.Add(ev.Int)
+		delivered <- struct{}{}
+	})
+	defer cancel()
+
+	for i := int64(1); i <= 4; i++ {
+		ch.Publish(idl.IntV(i))
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-delivered:
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	if sum.Load() != 12 { // 2*2 + 4*2
+		t.Errorf("sum = %d", sum.Load())
+	}
+	if st := ch.Stats(); st.Dropped != 2 {
+		t.Errorf("dropped = %d", st.Dropped)
+	}
+}
+
+func TestPublishTypeChecked(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+	if err := ch.Publish(idl.StringV("no")); err == nil {
+		t.Error("ill-typed publish must fail")
+	}
+	if err := ch.Publish(idl.Value{}); err == nil {
+		t.Error("untyped publish must fail")
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	if _, err := ch.Subscribe(nil, nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+	ch.Close()
+	if _, err := ch.Subscribe(nil, func(idl.Value) {}); err == nil {
+		t.Error("subscribe after close must fail")
+	}
+	if err := ch.Publish(idl.IntV(1)); err == nil {
+		t.Error("publish after close must fail")
+	}
+	ch.Close() // idempotent
+}
+
+func TestCancelIsIdempotentAndStopsDelivery(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+	var n atomic.Int32
+	cancel, _ := ch.Subscribe(nil, func(idl.Value) { n.Add(1) })
+	ch.Publish(idl.IntV(1))
+	cancel()
+	cancel()
+	after := n.Load()
+	ch.Publish(idl.IntV(2))
+	time.Sleep(20 * time.Millisecond)
+	if n.Load() != after {
+		t.Error("delivery after cancel")
+	}
+	if st := ch.Stats(); st.Published != 2 {
+		t.Errorf("published = %d", st.Published)
+	}
+}
+
+func TestConcurrentPublishAndCancel(t *testing.T) {
+	// Race hunting: publishers racing cancellers must not panic.
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cancel, err := ch.Subscribe(nil, func(idl.Value) {})
+				if err != nil {
+					return
+				}
+				cancel()
+			}
+		}()
+	}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ch.Publish(idl.IntV(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMultipleSubscribersIndependentQueues(t *testing.T) {
+	d := NewDomain()
+	ch, _ := d.CreateChannel("ints", idl.Int())
+	defer d.Close()
+
+	fast := make(chan struct{}, 64)
+	slowRelease := make(chan struct{})
+	c1, _ := ch.Subscribe(nil, func(idl.Value) { fast <- struct{}{} })
+	defer c1()
+	c2, _ := ch.Subscribe(nil, func(idl.Value) { <-slowRelease })
+	defer c2()
+
+	// Publish fewer events than the slow subscriber's buffer: the fast
+	// subscriber must receive them all even though the slow one has not
+	// consumed any.
+	for i := 0; i < subscriberBuffer; i++ {
+		if err := ch.Publish(idl.IntV(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < subscriberBuffer; i++ {
+		select {
+		case <-fast:
+		case <-time.After(2 * time.Second):
+			t.Fatal("fast subscriber starved by slow one")
+		}
+	}
+	close(slowRelease)
+}

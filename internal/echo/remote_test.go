@@ -1,0 +1,171 @@
+package echo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+)
+
+func startBridge(t *testing.T) (*Domain, *BridgeServer) {
+	t.Helper()
+	domain := NewDomain()
+	t.Cleanup(domain.Close)
+	bridge := NewBridgeServer(domain)
+	if err := bridge.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bridge.Close() })
+	return domain, bridge
+}
+
+func TestRemoteSubscription(t *testing.T) {
+	domain, bridge := startBridge(t)
+	ch, err := domain.CreateChannel("bonds", moldyn.FrameType())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []int64
+	arrived := make(chan struct{}, 16)
+	cancel, err := SubscribeRemote(bridge.Addr(), "bonds", func(ev idl.Value) {
+		f, err := moldyn.FrameFromValue(ev)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got = append(got, f.Step)
+		mu.Unlock()
+		arrived <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// Give the bridge a moment to install its local subscription.
+	waitForSubscriber(t, ch)
+
+	sim := moldyn.NewSimulator(20, 3)
+	for step := int64(0); step < 3; step++ {
+		if err := ch.Publish(sim.FrameAt(step).ToValue()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(3 * time.Second):
+			t.Fatal("remote delivery timeout")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("steps = %v", got)
+	}
+}
+
+// waitForSubscriber blocks until the channel has at least one subscriber.
+func waitForSubscriber(t *testing.T, ch *Channel) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ch.mu.Lock()
+		n := len(ch.subs)
+		ch.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bridge never subscribed locally")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRemoteSubscriptionUnknownChannel(t *testing.T) {
+	_, bridge := startBridge(t)
+	if _, err := SubscribeRemote(bridge.Addr(), "nope", func(idl.Value) {}); err == nil {
+		t.Error("unknown channel must fail")
+	}
+}
+
+func TestRemoteSubscribeValidation(t *testing.T) {
+	_, bridge := startBridge(t)
+	if _, err := SubscribeRemote(bridge.Addr(), "x", nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+	if _, err := SubscribeRemote("127.0.0.1:1", "x", func(idl.Value) {}); err == nil {
+		t.Error("dead bridge must fail")
+	}
+}
+
+func TestRemoteCancelStopsDelivery(t *testing.T) {
+	domain, bridge := startBridge(t)
+	ch, _ := domain.CreateChannel("ints", idl.Int())
+
+	got := make(chan struct{}, 64)
+	cancel, err := SubscribeRemote(bridge.Addr(), "ints", func(idl.Value) {
+		got <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscriber(t, ch)
+	ch.Publish(idl.IntV(1))
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first event never arrived")
+	}
+
+	cancel()
+	cancel() // idempotent
+
+	// After cancel the bridge-side subscription drains away; publishing
+	// must not panic or deliver remotely.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ch.mu.Lock()
+		n := len(ch.subs)
+		ch.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bridge subscription never drained after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ch.Publish(idl.IntV(2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Error("event delivered after cancel")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestBridgeCloseIdempotent(t *testing.T) {
+	domain := NewDomain()
+	defer domain.Close()
+	bridge := NewBridgeServer(domain)
+	if err := bridge.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Error("serve after close must fail")
+	}
+}

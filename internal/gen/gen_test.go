@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/imaging"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/wsdl"
+)
+
+func imagingDefs(t *testing.T) *wsdl.Definitions {
+	t.Helper()
+	doc, err := wsdl.Generate(imaging.Spec(), "http://localhost/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs
+}
+
+func TestGenerateParsesAndFormats(t *testing.T) {
+	defs := imagingDefs(t)
+	src, err := Generate(defs, Options{Package: "imagestub", QualityFile: imaging.DefaultPolicyText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, parser.AllErrors); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, numbered(src))
+	}
+	if _, err := format.Source(src); err != nil {
+		t.Fatalf("generated code does not format: %v", err)
+	}
+	for _, want := range []string{
+		"package imagestub",
+		"type Image640 struct {",
+		"Pixels []byte",
+		"func NewImageServiceSpec() *core.ServiceSpec",
+		"type ImageServiceClient struct",
+		"func (c *ImageServiceClient) GetImage(argName string, argTransform string) (Image640, error)",
+		"type ImageServiceServer interface",
+		"func RegisterImageService(srv *core.Server, impl ImageServiceServer) error",
+		"const ImageServiceQualityFile",
+		"func NewImageServiceQualityPolicy(handlers map[string]quality.Handler)",
+		"DO NOT EDIT",
+	} {
+		if !containsNormalized(string(src), want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateWithoutQualityOmitsPolicy(t *testing.T) {
+	defs := imagingDefs(t)
+	src, err := Generate(defs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "quality.") {
+		t.Error("quality imports must be omitted without a quality file")
+	}
+	if !strings.Contains(string(src), "package imageservice") {
+		t.Error("default package name must derive from the service name")
+	}
+}
+
+func TestGenerateNestedAndVoidOps(t *testing.T) {
+	inner := idl.Struct("Inner", idl.F("xs", idl.List(idl.Float())))
+	outer := idl.Struct("Outer", idl.F("in", inner), idl.F("tags", idl.List(idl.StringT())))
+	spec := core.MustServiceSpec("Nested",
+		&core.OpDef{Name: "put", Params: []soap.ParamSpec{{Name: "o", Type: outer}}},
+		&core.OpDef{Name: "get", Result: idl.List(outer)},
+		&core.OpDef{Name: "ping"},
+	)
+	doc, err := wsdl.Generate(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(defs, Options{Package: "nested"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, parser.AllErrors); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, numbered(src))
+	}
+	for _, want := range []string{
+		"type Inner struct",
+		"type Outer struct",
+		"In Inner",
+		"Tags []string",
+		"func (c *NestedClient) Get() ([]Outer, error)",
+		"func (c *NestedClient) Ping() error",
+		"func (c *NestedClient) Put(argO Outer) error",
+	} {
+		if !containsNormalized(string(src), want) {
+			t.Errorf("generated code missing %q\n%s", want, src)
+		}
+	}
+}
+
+func TestGoNameMapping(t *testing.T) {
+	for in, want := range map[string]string{
+		"getImage":   "GetImage",
+		"depart_min": "DepartMin",
+		"a-b.c":      "ABC",
+		"x":          "X",
+		"":           "",
+	} {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGoTypeMapping(t *testing.T) {
+	for _, tc := range []struct {
+		t    *idl.Type
+		want string
+	}{
+		{idl.Int(), "int64"},
+		{idl.Float(), "float64"},
+		{idl.Char(), "byte"},
+		{idl.StringT(), "string"},
+		{idl.List(idl.Char()), "[]byte"},
+		{idl.List(idl.List(idl.Int())), "[][]int64"},
+		{idl.Struct("my_rec", idl.F("x", idl.Int())), "MyRec"},
+	} {
+		if got := goType(tc.t); got != tc.want {
+			t.Errorf("goType(%s) = %q, want %q", tc.t, got, tc.want)
+		}
+	}
+}
+
+// containsNormalized reports substring presence with whitespace runs
+// collapsed, so gofmt's column alignment does not break assertions.
+func containsNormalized(haystack, needle string) bool {
+	return strings.Contains(collapse(haystack), collapse(needle))
+}
+
+func collapse(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func numbered(src []byte) string {
+	lines := strings.Split(string(src), "\n")
+	var b strings.Builder
+	for i, l := range lines {
+		b.WriteString(strings.TrimRight(strings.Join([]string{itoa(i + 1), l}, "\t"), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

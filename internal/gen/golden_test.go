@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"soapbinq/internal/wsdl"
+)
+
+// TestCheckedInStubsMatchGenerator regenerates the committed stub
+// packages from their testdata inputs and verifies the output is
+// byte-identical — the checked-in code must never drift from what wsdlc
+// produces.
+func TestCheckedInStubsMatchGenerator(t *testing.T) {
+	cases := []struct {
+		wsdlPath    string
+		qualityPath string
+		pkg         string
+		generated   string
+	}{
+		{"../../testdata/imageservice.wsdl", "../../testdata/imageservice.quality", "imagestub", "../imagestub/imagestub.go"},
+		{"../../testdata/bondserver.wsdl", "../../testdata/bondserver.quality", "bondstub", "../bondstub/bondstub.go"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			doc, err := os.ReadFile(tc.wsdlPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qf, err := os.ReadFile(tc.qualityPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defs, err := wsdl.Parse(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(tc.generated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Generate(defs, Options{Package: tc.pkg, QualityFile: string(qf)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(normalize(got), normalize(want)) {
+				t.Errorf("%s is stale; regenerate with:\n  go run ./cmd/wsdlc -wsdl %s -quality %s -pkg %s -o %s",
+					tc.generated, tc.wsdlPath, tc.qualityPath, tc.pkg, tc.generated)
+			}
+		})
+	}
+}
+
+// normalize strips trailing whitespace differences gofmt may introduce.
+func normalize(b []byte) []byte {
+	lines := bytes.Split(b, []byte("\n"))
+	for i := range lines {
+		lines[i] = bytes.TrimRight(lines[i], " \t")
+	}
+	return bytes.Join(lines, []byte("\n"))
+}

@@ -1,0 +1,271 @@
+// Package idl defines the interface type system shared by every codec in
+// this repository (PBIO, XML, XDR) and the dynamic values that applications
+// hand to the SOAP-bin transport.
+//
+// The type system is deliberately the one used by Soup, the SOAP
+// implementation the paper builds on: the basic types are integer, char,
+// string and float, and more complex types are built through lists and
+// structs. A Type is immutable after construction; Values are typed trees
+// that mirror a Type's structure.
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the six type constructors of the Soup schema.
+type Kind int
+
+// The six kinds. KindInt is a 64-bit signed integer on the wire, KindFloat
+// a 64-bit IEEE 754 double, KindChar a single byte, KindString a
+// length-prefixed UTF-8 string. Lists are homogeneous variable-length
+// sequences; structs are named records with ordered fields.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindChar
+	KindString
+	KindList
+	KindStruct
+)
+
+// String returns the lower-case name of the kind as it appears in WSDL
+// documents and PBIO format descriptions.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindChar:
+		return "char"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	case KindStruct:
+		return "struct"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Field is a named, typed member of a struct type.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Type describes a parameter type. Exactly one of the constructor families
+// applies depending on Kind: scalar kinds use no extra fields, KindList
+// uses Elem, and KindStruct uses Name and Fields.
+//
+// Types are immutable; share them freely across goroutines.
+type Type struct {
+	Kind   Kind
+	Name   string  // struct type name; empty for non-structs
+	Elem   *Type   // list element type; nil for non-lists
+	Fields []Field // struct fields in declaration order; nil for non-structs
+}
+
+// Singleton scalar types. Scalars carry no state, so all users share these.
+var (
+	intType    = &Type{Kind: KindInt}
+	floatType  = &Type{Kind: KindFloat}
+	charType   = &Type{Kind: KindChar}
+	stringType = &Type{Kind: KindString}
+)
+
+// Int returns the integer scalar type.
+func Int() *Type { return intType }
+
+// Float returns the float scalar type.
+func Float() *Type { return floatType }
+
+// Char returns the char scalar type.
+func Char() *Type { return charType }
+
+// String_ returns the string scalar type. The trailing underscore avoids
+// colliding with the conventional String() method name space in callers
+// that dot-import test helpers; most code calls idl.StringT.
+func String_() *Type { return stringType }
+
+// StringT returns the string scalar type.
+func StringT() *Type { return stringType }
+
+// List returns a list type with the given element type.
+func List(elem *Type) *Type {
+	if elem == nil {
+		panic("idl: List element type must not be nil")
+	}
+	return &Type{Kind: KindList, Elem: elem}
+}
+
+// Struct returns a struct type with the given name and fields. The name is
+// required: PBIO formats and WSDL complex types are both identified by
+// name. Field names must be unique and non-empty.
+func Struct(name string, fields ...Field) *Type {
+	t := &Type{Kind: KindStruct, Name: name, Fields: fields}
+	if err := t.check(map[*Type]bool{}); err != nil {
+		panic("idl: " + err.Error())
+	}
+	return t
+}
+
+// F is shorthand for constructing a Field.
+func F(name string, t *Type) Field { return Field{Name: name, Type: t} }
+
+// Validate checks structural invariants: non-nil element/field types,
+// unique non-empty field names, named structs, and absence of cycles.
+func (t *Type) Validate() error {
+	if t == nil {
+		return fmt.Errorf("nil type")
+	}
+	return t.check(map[*Type]bool{})
+}
+
+func (t *Type) check(seen map[*Type]bool) error {
+	if t == nil {
+		return fmt.Errorf("nil type")
+	}
+	switch t.Kind {
+	case KindInt, KindFloat, KindChar, KindString:
+		return nil
+	case KindList:
+		if t.Elem == nil {
+			return fmt.Errorf("list type with nil element")
+		}
+		return t.Elem.check(seen)
+	case KindStruct:
+		if t.Name == "" {
+			return fmt.Errorf("struct type without a name")
+		}
+		if seen[t] {
+			return fmt.Errorf("recursive struct type %q", t.Name)
+		}
+		seen[t] = true
+		defer delete(seen, t)
+		names := make(map[string]bool, len(t.Fields))
+		for _, f := range t.Fields {
+			if f.Name == "" {
+				return fmt.Errorf("struct %q has a field with an empty name", t.Name)
+			}
+			if names[f.Name] {
+				return fmt.Errorf("struct %q has duplicate field %q", t.Name, f.Name)
+			}
+			names[f.Name] = true
+			if err := f.Type.check(seen); err != nil {
+				return fmt.Errorf("struct %q field %q: %w", t.Name, f.Name, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %d", int(t.Kind))
+	}
+}
+
+// Equal reports whether two types are structurally identical, including
+// struct names and field order.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindList:
+		return t.Elem.Equal(u.Elem)
+	case KindStruct:
+		if t.Name != u.Name || len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.Equal(u.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Signature returns a canonical textual rendering of the type, used as the
+// identity key in the PBIO format server and for stable hashing. Two types
+// are Equal exactly when their signatures match.
+func (t *Type) Signature() string {
+	var b strings.Builder
+	t.writeSignature(&b)
+	return b.String()
+}
+
+func (t *Type) writeSignature(b *strings.Builder) {
+	switch t.Kind {
+	case KindList:
+		b.WriteString("list<")
+		t.Elem.writeSignature(b)
+		b.WriteByte('>')
+	case KindStruct:
+		b.WriteString("struct ")
+		b.WriteString(t.Name)
+		b.WriteByte('{')
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			f.Type.writeSignature(b)
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString(t.Kind.String())
+	}
+}
+
+// String implements fmt.Stringer with a compact human-readable rendering.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindList:
+		return "list<" + t.Elem.String() + ">"
+	case KindStruct:
+		return "struct " + t.Name
+	default:
+		return t.Kind.String()
+	}
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (t *Type) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Depth returns the maximum nesting depth of the type: scalars are depth 0,
+// a list or struct is one more than its deepest constituent. The nested
+// struct microbenchmarks sweep this quantity.
+func (t *Type) Depth() int {
+	switch t.Kind {
+	case KindList:
+		return 1 + t.Elem.Depth()
+	case KindStruct:
+		max := 0
+		for _, f := range t.Fields {
+			if d := f.Type.Depth(); d > max {
+				max = d
+			}
+		}
+		return 1 + max
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,158 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindChar:   "char",
+		KindString: "string",
+		KindList:   "list",
+		KindStruct: "struct",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestScalarSingletons(t *testing.T) {
+	if Int() != Int() || Float() != Float() || Char() != Char() || StringT() != StringT() {
+		t.Fatal("scalar constructors must return shared singletons")
+	}
+	if String_() != StringT() {
+		t.Fatal("String_ and StringT must agree")
+	}
+}
+
+func TestStructConstructionAndLookup(t *testing.T) {
+	pt := Struct("Point", F("x", Float()), F("y", Float()))
+	if pt.Kind != KindStruct || pt.Name != "Point" {
+		t.Fatalf("unexpected struct type: %+v", pt)
+	}
+	if i := pt.FieldIndex("y"); i != 1 {
+		t.Errorf("FieldIndex(y) = %d, want 1", i)
+	}
+	if i := pt.FieldIndex("z"); i != -1 {
+		t.Errorf("FieldIndex(z) = %d, want -1", i)
+	}
+}
+
+func TestStructPanicsOnInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty name", func() { Struct("", F("x", Int())) }},
+		{"dup field", func() { Struct("S", F("x", Int()), F("x", Int())) }},
+		{"empty field name", func() { Struct("S", F("", Int())) }},
+		{"nil field type", func() { Struct("S", F("x", nil)) }},
+		{"nil list elem", func() { List(nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Struct("S", F("a", List(Int())), F("b", Struct("T", F("c", StringT()))))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	var nilT *Type
+	if err := nilT.Validate(); err == nil {
+		t.Error("nil type must not validate")
+	}
+	bad := &Type{Kind: KindList} // nil Elem built by hand
+	if err := bad.Validate(); err == nil {
+		t.Error("list with nil elem must not validate")
+	}
+	unnamed := &Type{Kind: KindStruct}
+	if err := unnamed.Validate(); err == nil {
+		t.Error("unnamed struct must not validate")
+	}
+	rec := &Type{Kind: KindStruct, Name: "R"}
+	rec.Fields = []Field{{Name: "self", Type: rec}}
+	if err := rec.Validate(); err == nil {
+		t.Error("recursive struct must not validate")
+	}
+	unknown := &Type{Kind: Kind(42)}
+	if err := unknown.Validate(); err == nil {
+		t.Error("unknown kind must not validate")
+	}
+}
+
+func TestEqualAndSignature(t *testing.T) {
+	a := Struct("Pair", F("l", Int()), F("r", List(Float())))
+	b := Struct("Pair", F("l", Int()), F("r", List(Float())))
+	c := Struct("Pair", F("l", Int()), F("r", List(Int())))
+	d := Struct("Pair2", F("l", Int()), F("r", List(Float())))
+	e := Struct("Pair", F("l", Int()))
+
+	if !a.Equal(b) {
+		t.Error("structurally identical types must be Equal")
+	}
+	for _, other := range []*Type{c, d, e, Int(), nil} {
+		if a.Equal(other) {
+			t.Errorf("a.Equal(%s) = true, want false", other)
+		}
+	}
+	if a.Signature() != b.Signature() {
+		t.Error("equal types must share a signature")
+	}
+	if a.Signature() == c.Signature() {
+		t.Error("different types must have different signatures")
+	}
+	want := "struct Pair{l:int;r:list<float>}"
+	if got := a.Signature(); got != want {
+		t.Errorf("Signature() = %q, want %q", got, want)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := List(Struct("S", F("x", Int()))).String(); got != "list<struct S>" {
+		t.Errorf("String() = %q", got)
+	}
+	var nilT *Type
+	if got := nilT.String(); got != "<nil>" {
+		t.Errorf("nil String() = %q", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := Int().Depth(); d != 0 {
+		t.Errorf("scalar depth = %d, want 0", d)
+	}
+	if d := List(Int()).Depth(); d != 1 {
+		t.Errorf("list depth = %d, want 1", d)
+	}
+	nested := Struct("a", F("f", Struct("b", F("g", List(Int())))))
+	if d := nested.Depth(); d != 3 {
+		t.Errorf("nested depth = %d, want 3", d)
+	}
+}
+
+func TestSignatureDistinguishesNameShapes(t *testing.T) {
+	// Field/name boundary confusion must not alias signatures.
+	a := Struct("S", F("ab", Int()), F("c", Int()))
+	b := Struct("S", F("a", Int()), F("bc", Int()))
+	if a.Signature() == b.Signature() {
+		t.Errorf("signatures alias: %q", a.Signature())
+	}
+	if !strings.Contains(a.Signature(), "ab:int") {
+		t.Errorf("unexpected signature %q", a.Signature())
+	}
+}

@@ -1,0 +1,272 @@
+package idl
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Value is a dynamically typed parameter value: a tree whose shape mirrors
+// its Type. Exactly one payload field is meaningful, selected by
+// Type.Kind:
+//
+//	KindInt    → Int
+//	KindFloat  → Float
+//	KindChar   → Char
+//	KindString → Str
+//	KindList   → List (elements all of Type.Elem)
+//	KindStruct → Fields (parallel to Type.Fields)
+//
+// Values are what applications exchange with the SOAP-bin transport in
+// "native" form; codecs translate them to and from PBIO, XML and XDR.
+type Value struct {
+	Type   *Type
+	Int    int64
+	Float  float64
+	Char   byte
+	Str    string
+	List   []Value
+	Fields []Value
+}
+
+// IntV constructs an integer value.
+func IntV(v int64) Value { return Value{Type: intType, Int: v} }
+
+// FloatV constructs a float value.
+func FloatV(v float64) Value { return Value{Type: floatType, Float: v} }
+
+// CharV constructs a char value.
+func CharV(v byte) Value { return Value{Type: charType, Char: v} }
+
+// StringV constructs a string value.
+func StringV(v string) Value { return Value{Type: stringType, Str: v} }
+
+// ListV constructs a list value of the given element type. The element
+// type is required even when elems is non-empty so that empty lists stay
+// fully typed.
+func ListV(elem *Type, elems ...Value) Value {
+	return Value{Type: List(elem), List: elems}
+}
+
+// StructV constructs a struct value for type t from field values given in
+// declaration order. It panics if the arity does not match; use Zero and
+// SetField for incremental construction.
+func StructV(t *Type, fields ...Value) Value {
+	if t.Kind != KindStruct {
+		panic("idl: StructV on non-struct type " + t.String())
+	}
+	if len(fields) != len(t.Fields) {
+		panic(fmt.Sprintf("idl: StructV(%s): got %d fields, want %d", t.Name, len(fields), len(t.Fields)))
+	}
+	return Value{Type: t, Fields: fields}
+}
+
+// Zero returns the zero value of a type: 0, 0.0, 0x00, "", the empty list,
+// or a struct of zero fields. The quality-management receive path pads
+// missing fields with exactly these values.
+func Zero(t *Type) Value {
+	switch t.Kind {
+	case KindList:
+		return Value{Type: t}
+	case KindStruct:
+		fields := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = Zero(f.Type)
+		}
+		return Value{Type: t, Fields: fields}
+	default:
+		return Value{Type: t}
+	}
+}
+
+// Check verifies that the value tree is consistent with its type: payload
+// fields match kinds, list elements share the element type, and struct
+// field values line up with the declared fields.
+func (v Value) Check() error {
+	if v.Type == nil {
+		return fmt.Errorf("value with nil type")
+	}
+	switch v.Type.Kind {
+	case KindInt, KindFloat, KindChar, KindString:
+		return nil
+	case KindList:
+		for i, e := range v.List {
+			if e.Type == nil || !e.Type.Equal(v.Type.Elem) {
+				return fmt.Errorf("list element %d has type %s, want %s", i, e.Type, v.Type.Elem)
+			}
+			if err := e.Check(); err != nil {
+				return fmt.Errorf("list element %d: %w", i, err)
+			}
+		}
+		return nil
+	case KindStruct:
+		if len(v.Fields) != len(v.Type.Fields) {
+			return fmt.Errorf("struct %s has %d field values, want %d", v.Type.Name, len(v.Fields), len(v.Type.Fields))
+		}
+		for i, f := range v.Fields {
+			want := v.Type.Fields[i]
+			if f.Type == nil || !f.Type.Equal(want.Type) {
+				return fmt.Errorf("struct %s field %q has type %s, want %s", v.Type.Name, want.Name, f.Type, want.Type)
+			}
+			if err := f.Check(); err != nil {
+				return fmt.Errorf("struct %s field %q: %w", v.Type.Name, want.Name, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %d", int(v.Type.Kind))
+	}
+}
+
+// Equal reports deep equality of two values, including their types.
+// Float comparison is exact (bit equality via ==, so NaN ≠ NaN), matching
+// what a wire round-trip must preserve.
+func (v Value) Equal(u Value) bool {
+	if (v.Type == nil) != (u.Type == nil) {
+		return false
+	}
+	if v.Type != nil && !v.Type.Equal(u.Type) {
+		return false
+	}
+	if v.Type == nil {
+		return true
+	}
+	switch v.Type.Kind {
+	case KindInt:
+		return v.Int == u.Int
+	case KindFloat:
+		return math.Float64bits(v.Float) == math.Float64bits(u.Float)
+	case KindChar:
+		return v.Char == u.Char
+	case KindString:
+		return v.Str == u.Str
+	case KindList:
+		if len(v.List) != len(u.List) {
+			return false
+		}
+		for i := range v.List {
+			if !v.List[i].Equal(u.List[i]) {
+				return false
+			}
+		}
+		return true
+	case KindStruct:
+		if len(v.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range v.Fields {
+			if !v.Fields[i].Equal(u.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Clone returns a deep copy of the value. Types are shared (immutable);
+// list and field slices are copied.
+func (v Value) Clone() Value {
+	switch {
+	case v.Type == nil:
+		return v
+	case v.Type.Kind == KindList:
+		if v.List == nil {
+			return v
+		}
+		elems := make([]Value, len(v.List))
+		for i := range v.List {
+			elems[i] = v.List[i].Clone()
+		}
+		c := v
+		c.List = elems
+		return c
+	case v.Type.Kind == KindStruct:
+		if v.Fields == nil {
+			return v
+		}
+		fields := make([]Value, len(v.Fields))
+		for i := range v.Fields {
+			fields[i] = v.Fields[i].Clone()
+		}
+		c := v
+		c.Fields = fields
+		return c
+	default:
+		return v
+	}
+}
+
+// Field returns the value of the named struct field. The boolean is false
+// when the value is not a struct or lacks the field.
+func (v Value) Field(name string) (Value, bool) {
+	if v.Type == nil || v.Type.Kind != KindStruct {
+		return Value{}, false
+	}
+	i := v.Type.FieldIndex(name)
+	if i < 0 || i >= len(v.Fields) {
+		return Value{}, false
+	}
+	return v.Fields[i], true
+}
+
+// SetField replaces the named struct field and reports whether it existed.
+func (v *Value) SetField(name string, f Value) bool {
+	if v.Type == nil || v.Type.Kind != KindStruct {
+		return false
+	}
+	i := v.Type.FieldIndex(name)
+	if i < 0 || i >= len(v.Fields) {
+		return false
+	}
+	v.Fields[i] = f
+	return true
+}
+
+// String renders the value compactly for debugging and test failures.
+func (v Value) String() string {
+	var b strings.Builder
+	v.write(&b)
+	return b.String()
+}
+
+func (v Value) write(b *strings.Builder) {
+	if v.Type == nil {
+		b.WriteString("<untyped>")
+		return
+	}
+	switch v.Type.Kind {
+	case KindInt:
+		fmt.Fprintf(b, "%d", v.Int)
+	case KindFloat:
+		fmt.Fprintf(b, "%g", v.Float)
+	case KindChar:
+		fmt.Fprintf(b, "%q", v.Char)
+	case KindString:
+		fmt.Fprintf(b, "%q", v.Str)
+	case KindList:
+		b.WriteByte('[')
+		for i, e := range v.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteByte(']')
+	case KindStruct:
+		b.WriteString(v.Type.Name)
+		b.WriteByte('{')
+		for i, f := range v.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if i < len(v.Type.Fields) {
+				b.WriteString(v.Type.Fields[i].Name)
+				b.WriteString(": ")
+			}
+			f.write(b)
+		}
+		b.WriteByte('}')
+	}
+}

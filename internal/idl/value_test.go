@@ -1,0 +1,260 @@
+package idl
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var point = Struct("Point", F("x", Float()), F("y", Float()))
+
+func TestScalarConstructors(t *testing.T) {
+	if v := IntV(42); v.Type.Kind != KindInt || v.Int != 42 {
+		t.Errorf("IntV: %v", v)
+	}
+	if v := FloatV(2.5); v.Type.Kind != KindFloat || v.Float != 2.5 {
+		t.Errorf("FloatV: %v", v)
+	}
+	if v := CharV('a'); v.Type.Kind != KindChar || v.Char != 'a' {
+		t.Errorf("CharV: %v", v)
+	}
+	if v := StringV("hi"); v.Type.Kind != KindString || v.Str != "hi" {
+		t.Errorf("StringV: %v", v)
+	}
+}
+
+func TestStructVAndField(t *testing.T) {
+	p := StructV(point, FloatV(1), FloatV(2))
+	if err := p.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	y, ok := p.Field("y")
+	if !ok || y.Float != 2 {
+		t.Fatalf("Field(y) = %v, %v", y, ok)
+	}
+	if _, ok := p.Field("z"); ok {
+		t.Error("Field(z) should not exist")
+	}
+	if !p.SetField("x", FloatV(9)) {
+		t.Fatal("SetField(x) failed")
+	}
+	x, _ := p.Field("x")
+	if x.Float != 9 {
+		t.Errorf("after SetField, x = %v", x)
+	}
+	if p.SetField("nope", FloatV(0)) {
+		t.Error("SetField on missing field must return false")
+	}
+	scalar := IntV(1)
+	if scalar.SetField("x", FloatV(0)) {
+		t.Error("SetField on scalar must return false")
+	}
+	if _, ok := IntV(1).Field("x"); ok {
+		t.Error("Field on scalar must return false")
+	}
+}
+
+func TestStructVPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"non-struct": func() { StructV(Int()) },
+		"arity":      func() { StructV(point, FloatV(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestZero(t *testing.T) {
+	outer := Struct("Outer", F("n", Int()), F("p", point), F("tags", List(StringT())))
+	z := Zero(outer)
+	if err := z.Check(); err != nil {
+		t.Fatalf("Zero value fails Check: %v", err)
+	}
+	n, _ := z.Field("n")
+	if n.Int != 0 {
+		t.Errorf("zero int = %d", n.Int)
+	}
+	tags, _ := z.Field("tags")
+	if len(tags.List) != 0 {
+		t.Errorf("zero list has %d elements", len(tags.List))
+	}
+	if !z.Equal(Zero(outer)) {
+		t.Error("Zero must be deterministic")
+	}
+}
+
+func TestCheckRejectsMismatches(t *testing.T) {
+	cases := []Value{
+		{},                                      // nil type
+		{Type: point, Fields: []Value{IntV(1)}}, // wrong arity
+		{Type: point, Fields: []Value{IntV(1), IntV(2)}},             // wrong field types
+		{Type: List(Int()), List: []Value{StringV("x")}},             // wrong element type
+		{Type: List(Int()), List: []Value{{}}},                       // untyped element
+		{Type: &Type{Kind: Kind(77)}},                                // unknown kind
+		{Type: point, Fields: []Value{FloatV(1), {Type: floatType}}}, // ok shape
+	}
+	for i, v := range cases[:len(cases)-1] {
+		if err := v.Check(); err == nil {
+			t.Errorf("case %d: Check() = nil, want error (%v)", i, v)
+		}
+	}
+	if err := cases[len(cases)-1].Check(); err != nil {
+		t.Errorf("valid struct rejected: %v", err)
+	}
+}
+
+func TestCheckNested(t *testing.T) {
+	seg := Struct("Seg", F("a", point), F("b", point))
+	bad := StructV(seg, StructV(point, FloatV(0), FloatV(0)), Value{Type: point, Fields: []Value{IntV(0), FloatV(0)}})
+	if err := bad.Check(); err == nil {
+		t.Error("nested field type mismatch must fail Check")
+	}
+	badList := Value{Type: List(point), List: []Value{{Type: point, Fields: []Value{FloatV(0)}}}}
+	if err := badList.Check(); err == nil {
+		t.Error("nested list element arity mismatch must fail Check")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a := StructV(point, FloatV(1), FloatV(2))
+	b := StructV(point, FloatV(1), FloatV(2))
+	if !a.Equal(b) {
+		t.Error("identical values must be Equal")
+	}
+	c := StructV(point, FloatV(1), FloatV(3))
+	if a.Equal(c) {
+		t.Error("different field values must not be Equal")
+	}
+	if IntV(1).Equal(FloatV(1)) {
+		t.Error("different types must not be Equal")
+	}
+	if IntV(1).Equal(Value{}) || (Value{}).Equal(IntV(1)) {
+		t.Error("typed vs untyped must not be Equal")
+	}
+	if !(Value{}).Equal(Value{}) {
+		t.Error("two untyped values are Equal")
+	}
+	nan1 := FloatV(math.NaN())
+	nan2 := FloatV(math.NaN())
+	if !nan1.Equal(nan2) {
+		t.Error("same-bit NaN must compare Equal (bit equality)")
+	}
+	l1 := ListV(Int(), IntV(1))
+	l2 := ListV(Int(), IntV(1), IntV(2))
+	if l1.Equal(l2) {
+		t.Error("lists of different lengths must not be Equal")
+	}
+	s1 := Value{Type: point, Fields: []Value{FloatV(1), FloatV(2)}}
+	s2 := Value{Type: point, Fields: []Value{FloatV(1)}}
+	if s1.Equal(s2) {
+		t.Error("structs with different field counts must not be Equal")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := StructV(Struct("Box", F("vals", List(Int()))), ListV(Int(), IntV(1), IntV(2)))
+	cl := orig.Clone()
+	if !cl.Equal(orig) {
+		t.Fatal("clone must equal original")
+	}
+	cl.Fields[0].List[0] = IntV(99)
+	v, _ := orig.Field("vals")
+	if v.List[0].Int != 1 {
+		t.Error("mutating clone leaked into original")
+	}
+	// nil-list and nil-fields clones share nothing to copy
+	empty := Value{Type: List(Int())}
+	if c := empty.Clone(); c.List != nil {
+		t.Error("clone of nil list should stay nil")
+	}
+	if c := (Value{}).Clone(); c.Type != nil {
+		t.Error("clone of untyped value stays untyped")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := StructV(point, FloatV(1.5), FloatV(-2))
+	s := v.String()
+	for _, want := range []string{"Point{", "x: 1.5", "y: -2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := (Value{}).String(); got != "<untyped>" {
+		t.Errorf("untyped String() = %q", got)
+	}
+	lv := ListV(Char(), CharV('a'), CharV('b'))
+	if got := lv.String(); !strings.Contains(got, "'a'") || !strings.Contains(got, ", ") {
+		t.Errorf("list String() = %q", got)
+	}
+	sv := StringV("x")
+	if got := sv.String(); got != `"x"` {
+		t.Errorf("string String() = %q", got)
+	}
+}
+
+// Property: Zero(t) always passes Check for randomly shaped types.
+func TestQuickZeroChecks(t *testing.T) {
+	f := func(shape []uint8) bool {
+		typ := typeFromShape(shape)
+		z := Zero(typ)
+		return z.Check() == nil && z.Equal(z.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// typeFromShape derives a well-formed type from arbitrary bytes, giving the
+// property tests structured random types without reflection.
+func typeFromShape(shape []uint8) *Type {
+	var build func(depth int) *Type
+	i := 0
+	next := func() uint8 {
+		if i >= len(shape) {
+			return 0
+		}
+		b := shape[i]
+		i++
+		return b
+	}
+	var counter int
+	build = func(depth int) *Type {
+		b := next()
+		if depth > 3 {
+			b %= 4
+		}
+		switch b % 6 {
+		case 0:
+			return Int()
+		case 1:
+			return Float()
+		case 2:
+			return Char()
+		case 3:
+			return StringT()
+		case 4:
+			return List(build(depth + 1))
+		default:
+			n := int(next()%3) + 1
+			fields := make([]Field, n)
+			for j := 0; j < n; j++ {
+				counter++
+				fields[j] = F(fieldName(j), build(depth+1))
+			}
+			counter++
+			return Struct(structName(counter), fields...)
+		}
+	}
+	return build(0)
+}
+
+func fieldName(j int) string  { return string(rune('a' + j)) }
+func structName(c int) string { return "S" + string(rune('A'+(c%26))) }

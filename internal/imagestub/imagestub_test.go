@@ -1,0 +1,97 @@
+package imagestub
+
+import (
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/imaging"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+)
+
+// impl adapts the imaging store to the generated server interface,
+// demonstrating the typed stubs end to end.
+type impl struct {
+	store *imaging.Store
+}
+
+func (s *impl) GetImage(name string, transform string) (Image640, error) {
+	im, err := s.store.Get(name)
+	if err != nil {
+		return Image640{}, err
+	}
+	out, err := imaging.Apply(im, transform)
+	if err != nil {
+		return Image640{}, err
+	}
+	return Image640{Width: int64(out.W), Height: int64(out.H), Pixels: out.Pix}, nil
+}
+
+func (s *impl) ListImages() ([]string, error) {
+	return s.store.Names(), nil
+}
+
+func TestGeneratedStubsEndToEnd(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(NewImageServiceSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := RegisterImageService(srv, &impl{store: imaging.NewStore(64, 48)}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewImageServiceClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	img, err := client.GetImage("m31", "edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 64 || img.Height != 48 || len(img.Pixels) != 64*48*3 {
+		t.Errorf("image = %dx%d, %d pixel bytes", img.Width, img.Height, len(img.Pixels))
+	}
+
+	names, err := client.ListImages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "m31" {
+		t.Errorf("names = %v", names)
+	}
+
+	// Bad transform surfaces as an error through the typed stub.
+	if _, err := client.GetImage("m31", "nope"); err == nil {
+		t.Error("bad transform must fail")
+	}
+}
+
+func TestGeneratedQualityPolicy(t *testing.T) {
+	policy, err := NewImageServiceQualityPolicy(imaging.Handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.DefaultType() != "Image640" {
+		t.Errorf("default = %q", policy.DefaultType())
+	}
+	if _, ok := policy.Type("Image320"); !ok {
+		t.Error("quality table missing Image320")
+	}
+	if _, ok := policy.Handlers["Image320"]; !ok {
+		t.Error("resizeHalf handler not bound")
+	}
+}
+
+func TestGeneratedTypesRoundTrip(t *testing.T) {
+	img := Image640{Width: 2, Height: 1, Pixels: []byte{1, 2, 3, 4, 5, 6}}
+	v := img.ToValue()
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Image640FromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 2 || string(back.Pixels) != string(img.Pixels) {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := Image640FromValue(v.Fields[0]); err == nil {
+		t.Error("scalar must not decode as Image640")
+	}
+	_ = quality.DefaultAlpha // keep the quality import meaningful if the test shrinks
+}

@@ -1,0 +1,128 @@
+package imaging
+
+import (
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/netem"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+)
+
+func TestCropFocusHandlerUsesAttributes(t *testing.T) {
+	im, _ := GenerateStarField(100, 80, 9, 10)
+	h := Handlers()["cropFocus"]
+
+	// Default: center quarter.
+	out, err := h(im.ToValue(FullImageType), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cropped, err := FromValue(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != CropImageType {
+		t.Errorf("type = %s", out.Type)
+	}
+	if cropped.W != 50 || cropped.H != 40 {
+		t.Errorf("default crop = %dx%d", cropped.W, cropped.H)
+	}
+
+	// Attribute-driven region of interest, with clamping of wild values.
+	attrs := map[string]float64{
+		AttrCropX: 0.1, AttrCropY: 0.5,
+		AttrCropW: 0.2, AttrCropH: 9.0, // h clamps to 1.0, then to the frame
+	}
+	out, err = h(im.ToValue(FullImageType), attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cropped, _ = FromValue(out)
+	if cropped.W != 20 {
+		t.Errorf("roi width = %d, want 20", cropped.W)
+	}
+	if cropped.H != 40 { // y=0.5 leaves half the frame
+		t.Errorf("roi height = %d, want 40", cropped.H)
+	}
+	// Content check: ROI origin matches the source pixel.
+	sr, sg, sb := im.At(10, 40)
+	cr, cg, cb := cropped.At(0, 0)
+	if sr != cr || sg != cg || sb != cb {
+		t.Error("roi content mismatch")
+	}
+
+	if _, err := h(idl.IntV(1), nil); err == nil {
+		t.Error("non-image input must fail")
+	}
+}
+
+// TestCropPolicyEndToEnd runs a quality file that degrades to the crop
+// type, with the client steering the region of interest at run time via
+// update_attribute — the server's middleware consumes the shared
+// Attributes set.
+func TestCropPolicyEndToEnd(t *testing.T) {
+	policyText := `
+attribute rtt
+default Image640
+0 100ms Image640
+100ms inf ImageCrop
+handler ImageCrop cropFocus
+`
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	store := NewStore(96, 64)
+	policy, err := quality.ParsePolicyString(policyText, Types(), Handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := quality.NewAttributes()
+	srv.MustHandle("getImage", quality.Middleware(policy, attrs, NewHandler(store)))
+	srv.MustHandle("listImages", NewListHandler(store))
+
+	// Sized so the full 18 KB frame takes ≈300 ms — decisively above the
+	// 100 ms threshold even after server prep-time subtraction.
+	link := netem.LinkProfile{Name: "t", UpBps: 0.5e6, DownBps: 0.5e6, Latency: time.Millisecond}
+	sim := netem.NewSim(link, &core.Loopback{Server: srv})
+	qc := quality.NewClient(core.NewClient(Spec(), sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+	qc.PadResults = false
+
+	// Operator focuses on the lower-right region.
+	attrs.Update(AttrCropX, 0.5)
+	attrs.Update(AttrCropY, 0.5)
+	attrs.Update(AttrCropW, 0.5)
+	attrs.Update(AttrCropH, 0.5)
+
+	get := func() *core.Response {
+		t.Helper()
+		resp, err := qc.Call("getImage", nil,
+			soap.Param{Name: "name", Value: idl.StringV("m1")},
+			soap.Param{Name: "transform", Value: idl.StringV(TransformNone)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	var resp *core.Response
+	for i := 0; i < 20; i++ {
+		resp = get()
+		if resp.Header[core.MsgTypeHeader] == "ImageCrop" {
+			break
+		}
+	}
+	if resp.Header[core.MsgTypeHeader] != "ImageCrop" {
+		t.Fatal("never degraded to crop type")
+	}
+	im, err := FromValue(resp.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 48 || im.H != 32 {
+		t.Errorf("cropped frame = %dx%d, want 48x32", im.W, im.H)
+	}
+}

@@ -1,0 +1,173 @@
+// Package imaging implements the paper's image application: a Skyserver-
+// style service where remote clients request telescope images plus a
+// transformation (edge detection, scaling, …) and the server adapts the
+// response resolution to network conditions through a SOAP-binQ quality
+// file (Figure 8).
+//
+// Images are 24-bit RGB PPM (P6) — the paper uses raw PPM precisely
+// because lossy compression like JPEG is unsuitable for the sensor data.
+// A deterministic star-field generator substitutes for the proprietary
+// Skyserver archive (see DESIGN.md).
+package imaging
+
+import (
+	"fmt"
+
+	"soapbinq/internal/idl"
+)
+
+// Image is a 24-bit RGB raster. Pix holds W*H*3 bytes in row-major order.
+type Image struct {
+	W, H int
+	Pix  []byte
+}
+
+// New allocates a black image.
+func New(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("imaging: bad dimensions %dx%d", w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]byte, w*h*3)}, nil
+}
+
+// At returns the RGB triple at (x, y); out-of-range is black.
+func (im *Image) At(x, y int) (r, g, b byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0, 0, 0
+	}
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set writes the RGB triple at (x, y); out-of-range is ignored.
+func (im *Image) Set(x, y int, r, g, b byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Bytes returns the size of the raw pixel payload.
+func (im *Image) Bytes() int { return len(im.Pix) }
+
+// Clone deep-copies the image.
+func (im *Image) Clone() *Image {
+	pix := make([]byte, len(im.Pix))
+	copy(pix, im.Pix)
+	return &Image{W: im.W, H: im.H, Pix: pix}
+}
+
+// GenerateStarField renders a deterministic synthetic telescope frame:
+// faint sky noise plus nStars gaussian-profile stars. The same (w, h,
+// seed, nStars) always produces the same image.
+func GenerateStarField(w, h int, seed uint64, nStars int) (*Image, error) {
+	im, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	rng := seed
+	if rng == 0 {
+		rng = 0x5DEECE66D
+	}
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	// Sky background noise.
+	for i := range im.Pix {
+		im.Pix[i] = byte(next() % 14)
+	}
+	// Stars: small radial-falloff blobs with slight color temperature.
+	for s := 0; s < nStars; s++ {
+		cx := int(next() % uint64(w))
+		cy := int(next() % uint64(h))
+		brightness := 120 + int(next()%136)
+		radius := 1 + int(next()%3)
+		warm := int(next() % 40)
+		for dy := -radius * 2; dy <= radius*2; dy++ {
+			for dx := -radius * 2; dx <= radius*2; dx++ {
+				d2 := dx*dx + dy*dy
+				if d2 > radius*radius*4 {
+					continue
+				}
+				// Quadratic falloff from the core.
+				level := brightness * (radius*radius*4 - d2) / (radius * radius * 4)
+				r := clampByte(level + warm)
+				g := clampByte(level)
+				b := clampByte(level + 20 - warm)
+				or, og, ob := im.At(cx+dx, cy+dy)
+				im.Set(cx+dx, cy+dy, maxByte(or, r), maxByte(og, g), maxByte(ob, b))
+			}
+		}
+	}
+	return im, nil
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+func maxByte(a, b byte) byte {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- idl bridging ----
+
+// TypeNamed returns the message type for an image record under the given
+// type name. Distinct names (e.g. "Image640", "Image320") let quality
+// files name resolution variants while sharing the same field layout, so
+// the receiver-side field copy works across them.
+func TypeNamed(name string) *idl.Type {
+	return idl.Struct(name,
+		idl.F("width", idl.Int()),
+		idl.F("height", idl.Int()),
+		idl.F("pixels", idl.List(idl.Char())),
+	)
+}
+
+// ToValue converts an image to a value of the given message type (built
+// with TypeNamed).
+func (im *Image) ToValue(t *idl.Type) idl.Value {
+	pix := make([]idl.Value, len(im.Pix))
+	for i, b := range im.Pix {
+		pix[i] = idl.CharV(b)
+	}
+	return idl.StructV(t,
+		idl.IntV(int64(im.W)),
+		idl.IntV(int64(im.H)),
+		idl.Value{Type: idl.List(idl.Char()), List: pix},
+	)
+}
+
+// FromValue reconstructs an image from any image-shaped record.
+func FromValue(v idl.Value) (*Image, error) {
+	w, okW := v.Field("width")
+	h, okH := v.Field("height")
+	pix, okP := v.Field("pixels")
+	if !okW || !okH || !okP {
+		return nil, fmt.Errorf("imaging: value %s is not an image record", v.Type)
+	}
+	im, err := New(int(w.Int), int(h.Int))
+	if err != nil {
+		return nil, err
+	}
+	if len(pix.List) != len(im.Pix) {
+		return nil, fmt.Errorf("imaging: %dx%d image with %d pixel bytes", w.Int, h.Int, len(pix.List))
+	}
+	for i, e := range pix.List {
+		im.Pix[i] = e.Char
+	}
+	return im, nil
+}

@@ -1,0 +1,253 @@
+package imaging
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := New(10, -1); err == nil {
+		t.Error("negative height must fail")
+	}
+	if _, err := New(1<<16, 10); err == nil {
+		t.Error("huge width must fail")
+	}
+	im, err := New(4, 3)
+	if err != nil || len(im.Pix) != 36 {
+		t.Fatalf("New: %v %v", im, err)
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	im, _ := New(2, 2)
+	im.Set(1, 1, 10, 20, 30)
+	r, g, b := im.At(1, 1)
+	if r != 10 || g != 20 || b != 30 {
+		t.Error("Set/At mismatch")
+	}
+	im.Set(-1, 0, 1, 1, 1) // ignored
+	im.Set(2, 0, 1, 1, 1)  // ignored
+	if r, g, b := im.At(-5, 7); r != 0 || g != 0 || b != 0 {
+		t.Error("out-of-range At must be black")
+	}
+}
+
+func TestGenerateStarFieldDeterministic(t *testing.T) {
+	a, err := GenerateStarField(64, 48, 42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateStarField(64, 48, 42, 20)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("star field must be deterministic")
+	}
+	c, _ := GenerateStarField(64, 48, 43, 20)
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Error("different seeds must differ")
+	}
+	// Stars exist: some pixel well above the noise floor.
+	bright := false
+	for _, p := range a.Pix {
+		if p > 100 {
+			bright = true
+			break
+		}
+	}
+	if !bright {
+		t.Error("no stars rendered")
+	}
+	if _, err := GenerateStarField(0, 0, 1, 1); err == nil {
+		t.Error("bad dims must fail")
+	}
+	z, _ := GenerateStarField(8, 8, 0, 1) // zero seed gets a default
+	if z == nil {
+		t.Error("zero seed must still generate")
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	im, _ := GenerateStarField(32, 24, 7, 10)
+	data := MarshalPPM(im)
+	if !bytes.HasPrefix(data, []byte("P6\n32 24\n255\n")) {
+		t.Errorf("header = %q", data[:16])
+	}
+	got, err := UnmarshalPPM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 32 || got.H != 24 || !bytes.Equal(got.Pix, im.Pix) {
+		t.Error("ppm round trip mismatch")
+	}
+}
+
+func TestPPMHeaderTolerance(t *testing.T) {
+	doc := "P6 # comment\n# another comment\n 2\t1 \n255\n" + string([]byte{1, 2, 3, 4, 5, 6})
+	im, err := UnmarshalPPM([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 1 || im.Pix[5] != 6 {
+		t.Errorf("parsed %+v", im)
+	}
+}
+
+func TestPPMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":    "P5\n1 1\n255\n_",
+		"bad width":    "P6\nx 1\n255\n",
+		"bad maxval":   "P6\n1 1\n65535\n",
+		"empty":        "",
+		"short pixels": "P6\n2 2\n255\nxx",
+	}
+	for name, doc := range cases {
+		if _, err := UnmarshalPPM([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	im, _ := GenerateStarField(16, 12, 3, 5)
+	v := im.ToValue(FullImageType)
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Error("value round trip mismatch")
+	}
+	// Errors.
+	if _, err := FromValue(v.Fields[0]); err == nil {
+		t.Error("non-record must fail")
+	}
+	bad := im.ToValue(FullImageType)
+	bad.SetField("width", idl.IntV(1000))
+	if _, err := FromValue(bad); err == nil {
+		t.Error("pixel-count mismatch must fail")
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	im, _ := GenerateStarField(40, 30, 11, 15)
+
+	gray := Grayscale(im)
+	for i := 0; i+2 < len(gray.Pix); i += 3 {
+		if gray.Pix[i] != gray.Pix[i+1] || gray.Pix[i+1] != gray.Pix[i+2] {
+			t.Fatal("grayscale channels must match")
+		}
+	}
+
+	inv := Invert(im)
+	r0, _, _ := im.At(0, 0)
+	r1, _, _ := inv.At(0, 0)
+	if r0+r1 != 255 {
+		t.Error("invert mismatch")
+	}
+
+	edge := EdgeDetect(im)
+	if edge.W != im.W || edge.H != im.H {
+		t.Error("edge dims changed")
+	}
+	// Flat image ⇒ all-zero edges; star field ⇒ some edges.
+	some := false
+	for _, p := range edge.Pix {
+		if p > 30 {
+			some = true
+			break
+		}
+	}
+	if !some {
+		t.Error("no edges found in star field")
+	}
+	flat, _ := New(8, 8)
+	fe := EdgeDetect(flat)
+	for _, p := range fe.Pix {
+		if p != 0 {
+			t.Fatal("flat image must have zero edges")
+		}
+	}
+
+	half, err := Scale(im, im.W/2, im.H/2)
+	if err != nil || half.W != 20 || half.H != 15 {
+		t.Fatalf("scale: %v %v", half, err)
+	}
+	up, err := Scale(half, 40, 30)
+	if err != nil || up.W != 40 {
+		t.Fatalf("upscale: %v", err)
+	}
+	if _, err := Scale(im, 0, 10); err == nil {
+		t.Error("zero target must fail")
+	}
+
+	crop, err := Crop(im, 10, 10, 10, 10)
+	if err != nil || crop.W != 10 || crop.H != 10 {
+		t.Fatalf("crop: %v", err)
+	}
+	cr, cg, cb := crop.At(0, 0)
+	or, og, ob := im.At(10, 10)
+	if cr != or || cg != og || cb != ob {
+		t.Error("crop content mismatch")
+	}
+	clamped, err := Crop(im, 35, 25, 100, 100)
+	if err != nil || clamped.W != 5 || clamped.H != 5 {
+		t.Errorf("clamped crop: %v %v", clamped, err)
+	}
+	if _, err := Crop(im, 1000, 1000, 10, 10); err == nil {
+		t.Error("fully outside crop must fail")
+	}
+}
+
+func TestApplyDispatch(t *testing.T) {
+	im, _ := GenerateStarField(16, 16, 5, 4)
+	for _, name := range []string{TransformNone, "", TransformEdge, TransformGray, TransformScale2, TransformInvert} {
+		if _, err := Apply(im, name); err != nil {
+			t.Errorf("Apply(%q): %v", name, err)
+		}
+	}
+	if _, err := Apply(im, "sharpen"); err == nil {
+		t.Error("unknown transform must fail")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 1, 4: 2, 15: 3, 16: 4, 1000000: 1000, -3: 0} {
+		if got := isqrt(n); got != want {
+			t.Errorf("isqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore(32, 24)
+	a, err := s.Get("m31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Get("m31")
+	if a != b {
+		t.Error("store must cache")
+	}
+	c, _ := s.Get("m42")
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Error("different names must generate different frames")
+	}
+	names := s.Names()
+	if len(names) != 2 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestDefaultPolicyParses(t *testing.T) {
+	if !strings.Contains(DefaultPolicyText, "Image320") {
+		t.Fatal("policy text changed unexpectedly")
+	}
+}

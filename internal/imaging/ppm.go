@@ -1,0 +1,113 @@
+package imaging
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EncodePPM writes the image as binary PPM (P6, maxval 255).
+func EncodePPM(w io.Writer, im *Image) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("imaging: ppm header: %w", err)
+	}
+	if _, err := w.Write(im.Pix); err != nil {
+		return fmt.Errorf("imaging: ppm pixels: %w", err)
+	}
+	return nil
+}
+
+// MarshalPPM renders the image as PPM bytes.
+func MarshalPPM(im *Image) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(im.Pix) + 32)
+	EncodePPM(&buf, im) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+// DecodePPM reads a binary PPM (P6) image, tolerating comments and
+// arbitrary whitespace in the header as the format allows.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := nextToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("imaging: not a P6 ppm (magic %q)", magic)
+	}
+	w, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: ppm width: %w", err)
+	}
+	h, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: ppm height: %w", err)
+	}
+	maxval, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: ppm maxval: %w", err)
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("imaging: unsupported maxval %d", maxval)
+	}
+	im, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imaging: ppm pixels: %w", err)
+	}
+	return im, nil
+}
+
+// UnmarshalPPM parses PPM bytes.
+func UnmarshalPPM(data []byte) (*Image, error) {
+	return DecodePPM(bytes.NewReader(data))
+}
+
+// nextToken returns the next whitespace-delimited token, skipping
+// #-comments. After the token it consumes exactly one trailing whitespace
+// byte (per the PPM spec, a single whitespace separates the header from
+// pixel data).
+func nextToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("imaging: ppm header: %w", err)
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func nextInt(br *bufio.Reader) (int, error) {
+	tok, err := nextToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer %q", tok)
+	}
+	return n, nil
+}

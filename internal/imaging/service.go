@@ -1,0 +1,240 @@
+package imaging
+
+import (
+	"fmt"
+	"sync"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+)
+
+// Message types of the image service. The quality file maps good network
+// conditions to the full 640×480 type and bad conditions to the 320×240
+// type — two sizes, exactly as the paper's experiment configures.
+var (
+	FullImageType = TypeNamed("Image640")
+	HalfImageType = TypeNamed("Image320")
+	// CropImageType is the message type of region-of-interest responses
+	// produced by the cropFocus handler.
+	CropImageType = TypeNamed("ImageCrop")
+)
+
+// Types is the message-type table for quality policies.
+func Types() map[string]*idl.Type {
+	return map[string]*idl.Type{
+		"Image640":  FullImageType,
+		"Image320":  HalfImageType,
+		"ImageCrop": CropImageType,
+	}
+}
+
+// Attribute names consumed by the cropFocus handler: the region of
+// current interest, updated at run time via update_attribute() (the
+// paper's military-application crop filter). Fractions of the frame in
+// [0, 1].
+const (
+	AttrCropX = "crop_x"
+	AttrCropY = "crop_y"
+	AttrCropW = "crop_w"
+	AttrCropH = "crop_h"
+)
+
+// DefaultPolicyText is the quality file of the Figure 8 experiment: full
+// resolution while the smoothed RTT stays under the threshold, half
+// resolution beyond it.
+const DefaultPolicyText = `
+# Image service quality file (Fig. 8): resize to 320x240 when RTT is high.
+attribute rtt
+default Image640
+0 250ms Image640
+250ms inf Image320
+handler Image320 resizeHalf
+`
+
+// Spec returns the image service interface: getImage(name, transform) →
+// Image640, plus listImages() for discovery.
+func Spec() *core.ServiceSpec {
+	return core.MustServiceSpec("ImageService",
+		&core.OpDef{
+			Name: "getImage",
+			Params: []soap.ParamSpec{
+				{Name: "name", Type: idl.StringT()},
+				{Name: "transform", Type: idl.StringT()},
+			},
+			Result: FullImageType,
+		},
+		&core.OpDef{
+			Name:   "listImages",
+			Result: idl.List(idl.StringT()),
+		},
+	)
+}
+
+// Store is the server-side image archive: named 640×480 frames, generated
+// deterministically on first access (the Skyserver substitute).
+type Store struct {
+	w, h int
+
+	mu     sync.Mutex
+	images map[string]*Image
+	nextID uint64
+}
+
+// NewStore creates a store generating w×h frames. The paper's frames are
+// 640×480 ("the ideal response is close to 1MB in size").
+func NewStore(w, h int) *Store {
+	return &Store{w: w, h: h, images: make(map[string]*Image)}
+}
+
+// Get returns the named frame, synthesizing it on first request. Names
+// act as generator seeds, so the archive is stable across runs.
+func (s *Store) Get(name string) (*Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if im, ok := s.images[name]; ok {
+		return im, nil
+	}
+	seed := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		seed = (seed ^ uint64(name[i])) * 1099511628211
+	}
+	im, err := GenerateStarField(s.w, s.h, seed, 220)
+	if err != nil {
+		return nil, err
+	}
+	s.images[name] = im
+	return im, nil
+}
+
+// Names lists generated frames (those requested so far).
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.images))
+	for n := range s.images {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Handlers returns the quality handlers the image service registers:
+//
+//   - resizeHalf produces the Image320 message type by real image
+//     downsampling (not just a field copy) — the Fig. 8 handler.
+//   - cropFocus produces the ImageCrop type by cropping to the region of
+//     current interest given by the crop_* quality attributes — the
+//     paper's example of "an image filter that crops images provided by
+//     clients to focus on areas of current interest", parameterized per
+//     invocation through update_attribute(). Without attributes it keeps
+//     the center quarter of the frame.
+func Handlers() map[string]quality.Handler {
+	return map[string]quality.Handler{
+		"resizeHalf": func(v idl.Value, _ map[string]float64) (idl.Value, error) {
+			im, err := FromValue(v)
+			if err != nil {
+				return idl.Value{}, err
+			}
+			half, err := Scale(im, im.W/2, im.H/2)
+			if err != nil {
+				return idl.Value{}, err
+			}
+			return half.ToValue(HalfImageType), nil
+		},
+		"cropFocus": func(v idl.Value, attrs map[string]float64) (idl.Value, error) {
+			im, err := FromValue(v)
+			if err != nil {
+				return idl.Value{}, err
+			}
+			fx, fy, fw, fh := 0.25, 0.25, 0.5, 0.5
+			if x, ok := attrs[AttrCropX]; ok {
+				fx = clampFrac(x)
+			}
+			if y, ok := attrs[AttrCropY]; ok {
+				fy = clampFrac(y)
+			}
+			if w, ok := attrs[AttrCropW]; ok {
+				fw = clampFrac(w)
+			}
+			if h, ok := attrs[AttrCropH]; ok {
+				fh = clampFrac(h)
+			}
+			cropped, err := Crop(im,
+				int(fx*float64(im.W)), int(fy*float64(im.H)),
+				max(1, int(fw*float64(im.W))), max(1, int(fh*float64(im.H))))
+			if err != nil {
+				return idl.Value{}, err
+			}
+			return cropped.ToValue(CropImageType), nil
+		},
+	}
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewHandler builds the getImage core handler over a store: fetch the
+// named frame, apply the requested transform, return the full-resolution
+// record (quality middleware may downsample it afterwards).
+func NewHandler(store *Store) core.HandlerFunc {
+	return func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		name := params[0].Value.Str
+		transform := params[1].Value.Str
+		im, err := store.Get(name)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		out, err := Apply(im, transform)
+		if err != nil {
+			return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+		}
+		return out.ToValue(FullImageType), nil
+	}
+}
+
+// NewListHandler serves listImages over a store.
+func NewListHandler(store *Store) core.HandlerFunc {
+	return func(_ *core.CallCtx, _ []soap.Param) (idl.Value, error) {
+		names := store.Names()
+		elems := make([]idl.Value, len(names))
+		for i, n := range names {
+			elems[i] = idl.StringV(n)
+		}
+		return idl.Value{Type: idl.List(idl.StringT()), List: elems}, nil
+	}
+}
+
+// InstallService wires a complete quality-managed image service onto a
+// core server: handlers registered, quality middleware around getImage
+// with the given policy text (DefaultPolicyText when empty).
+func InstallService(srv *core.Server, store *Store, policyText string) (*quality.Policy, error) {
+	if policyText == "" {
+		policyText = DefaultPolicyText
+	}
+	policy, err := quality.ParsePolicyString(policyText, Types(), Handlers())
+	if err != nil {
+		return nil, fmt.Errorf("imaging: %w", err)
+	}
+	if err := srv.Handle("getImage", quality.Middleware(policy, nil, NewHandler(store))); err != nil {
+		return nil, err
+	}
+	if err := srv.Handle("listImages", NewListHandler(store)); err != nil {
+		return nil, err
+	}
+	return policy, nil
+}

@@ -1,0 +1,110 @@
+package imaging
+
+import (
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/netem"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+)
+
+func TestInstallServiceAdaptsResolution(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	store := NewStore(160, 120) // small for test speed; same code path
+	policy, err := InstallService(srv, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	link := netem.LinkProfile{Name: "t", UpBps: 2e6, DownBps: 2e6, Latency: time.Millisecond}
+	sim := netem.NewSim(link, &core.Loopback{Server: srv})
+	inner := core.NewClient(Spec(), sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	qc := quality.NewClient(inner, policy)
+
+	call := func() *core.Response {
+		t.Helper()
+		resp, err := qc.Call("getImage", nil,
+			soap.Param{Name: "name", Value: soapString("m31")},
+			soap.Param{Name: "transform", Value: soapString(TransformEdge)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Clean link: full resolution.
+	resp := call()
+	im, err := FromValue(resp.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 160 || im.H != 120 {
+		t.Fatalf("clean-link image %dx%d", im.W, im.H)
+	}
+
+	// Saturate the link: the service must eventually ship 80x60 frames
+	// via the resizeHalf handler (not a zero-padded field copy).
+	sim.AddCrossTraffic(netem.CrossTraffic{Start: sim.Now(), End: sim.Now() + time.Hour, Bps: 1.95e6})
+	var gotHalf bool
+	for i := 0; i < 25; i++ {
+		resp = call()
+		if resp.Header[core.MsgTypeHeader] == "Image320" {
+			gotHalf = true
+			break
+		}
+	}
+	if !gotHalf {
+		t.Fatal("service never downgraded resolution")
+	}
+	// PadResults reshapes to the declared full record type, but the actual
+	// pixel payload is the 80x60 frame.
+	qc.PadResults = false
+	resp = call()
+	if resp.Header[core.MsgTypeHeader] != "Image320" {
+		t.Fatal("expected downgraded response")
+	}
+	half, err := FromValue(resp.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.W != 80 || half.H != 60 {
+		t.Errorf("downgraded image %dx%d, want 80x60", half.W, half.H)
+	}
+
+	// listImages sees the generated frame.
+	names, err := qc.Call("listImages", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Value.List) != 1 || names.Value.List[0].Str != "m31" {
+		t.Errorf("listImages = %s", names.Value)
+	}
+}
+
+func TestInstallServiceBadPolicy(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if _, err := InstallService(srv, NewStore(8, 8), "garbage policy"); err == nil {
+		t.Error("bad policy text must fail")
+	}
+}
+
+func TestHandlerFaultsOnUnknownTransform(t *testing.T) {
+	store := NewStore(8, 8)
+	h := NewHandler(store)
+	_, err := h(&core.CallCtx{}, []soap.Param{
+		{Name: "name", Value: soapString("x")},
+		{Name: "transform", Value: soapString("nope")},
+	})
+	if err == nil {
+		t.Error("unknown transform must fault")
+	}
+}
+
+func soapString(s string) idl.Value { return idl.StringV(s) }

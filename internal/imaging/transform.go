@@ -1,0 +1,173 @@
+package imaging
+
+import "fmt"
+
+// Transform names understood by the image service, matching the routines
+// the paper lists ("scaling, edge detection, etc.").
+const (
+	TransformNone   = "none"
+	TransformEdge   = "edge"
+	TransformGray   = "gray"
+	TransformScale2 = "scale2" // halve both dimensions
+	TransformInvert = "invert"
+)
+
+// Apply runs a named transform.
+func Apply(im *Image, transform string) (*Image, error) {
+	switch transform {
+	case TransformNone, "":
+		return im, nil
+	case TransformEdge:
+		return EdgeDetect(im), nil
+	case TransformGray:
+		return Grayscale(im), nil
+	case TransformScale2:
+		return Scale(im, im.W/2, im.H/2)
+	case TransformInvert:
+		return Invert(im), nil
+	default:
+		return nil, fmt.Errorf("imaging: unknown transform %q", transform)
+	}
+}
+
+// Grayscale converts to luma (BT.601 weights), keeping three channels.
+func Grayscale(im *Image) *Image {
+	out := im.Clone()
+	for i := 0; i+2 < len(out.Pix); i += 3 {
+		y := luma(out.Pix[i], out.Pix[i+1], out.Pix[i+2])
+		out.Pix[i], out.Pix[i+1], out.Pix[i+2] = y, y, y
+	}
+	return out
+}
+
+func luma(r, g, b byte) byte {
+	return byte((299*int(r) + 587*int(g) + 114*int(b)) / 1000)
+}
+
+// Invert produces the photographic negative.
+func Invert(im *Image) *Image {
+	out := im.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = 255 - out.Pix[i]
+	}
+	return out
+}
+
+// EdgeDetect applies the Sobel operator on the luma plane — the transform
+// used in the paper's Figure 8 experiment.
+func EdgeDetect(im *Image) *Image {
+	// Luma plane first.
+	lum := make([]int, im.W*im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			lum[y*im.W+x] = int(luma(r, g, b))
+		}
+	}
+	out, _ := New(im.W, im.H)
+	at := func(x, y int) int {
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		if x >= im.W {
+			x = im.W - 1
+		}
+		if y >= im.H {
+			y = im.H - 1
+		}
+		return lum[y*im.W+x]
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			gx := -at(x-1, y-1) - 2*at(x-1, y) - at(x-1, y+1) +
+				at(x+1, y-1) + 2*at(x+1, y) + at(x+1, y+1)
+			gy := -at(x-1, y-1) - 2*at(x, y-1) - at(x+1, y-1) +
+				at(x-1, y+1) + 2*at(x, y+1) + at(x+1, y+1)
+			mag := gx*gx + gy*gy
+			v := clampByte(isqrt(mag))
+			out.Set(x, y, v, v, v)
+		}
+	}
+	return out
+}
+
+// isqrt is an integer square root (Newton's method).
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// Scale resizes with box averaging (downscale) or nearest neighbour
+// (upscale) — the resizing handler the Figure 8 quality file installs.
+func Scale(im *Image, w2, h2 int) (*Image, error) {
+	out, err := New(w2, h2)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < h2; y++ {
+		sy0 := y * im.H / h2
+		sy1 := (y + 1) * im.H / h2
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w2; x++ {
+			sx0 := x * im.W / w2
+			sx1 := (x + 1) * im.W / w2
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			var r, g, b, n int
+			for sy := sy0; sy < sy1 && sy < im.H; sy++ {
+				for sx := sx0; sx < sx1 && sx < im.W; sx++ {
+					pr, pg, pb := im.At(sx, sy)
+					r += int(pr)
+					g += int(pg)
+					b += int(pb)
+					n++
+				}
+			}
+			if n == 0 {
+				n = 1
+			}
+			out.Set(x, y, byte(r/n), byte(g/n), byte(b/n))
+		}
+	}
+	return out, nil
+}
+
+// Crop extracts the rectangle (x, y, w, h), clamped to the image.
+func Crop(im *Image, x, y, w, h int) (*Image, error) {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x+w > im.W {
+		w = im.W - x
+	}
+	if y+h > im.H {
+		h = im.H - y
+	}
+	out, err := New(w, h)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: crop outside image: %w", err)
+	}
+	for dy := 0; dy < h; dy++ {
+		srcOff := ((y+dy)*im.W + x) * 3
+		dstOff := dy * w * 3
+		copy(out.Pix[dstOff:dstOff+w*3], im.Pix[srcOff:srcOff+w*3])
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package moldyn
+
+import (
+	"fmt"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+)
+
+// Batch message types: BatchK carries up to K timesteps per response.
+// The Figure 9 policy sends Batch4 under good conditions and degrades to
+// Batch1 as RTT climbs.
+var (
+	Batch4Type = BatchTypeNamed("Batch4")
+	Batch3Type = BatchTypeNamed("Batch3")
+	Batch2Type = BatchTypeNamed("Batch2")
+	Batch1Type = BatchTypeNamed("Batch1")
+)
+
+// Types is the message-type table for quality policies.
+func Types() map[string]*idl.Type {
+	return map[string]*idl.Type{
+		"Batch4": Batch4Type,
+		"Batch3": Batch3Type,
+		"Batch2": Batch2Type,
+		"Batch1": Batch1Type,
+	}
+}
+
+// DefaultPolicyText is the Figure 9 quality file: 1–4 timesteps per
+// response depending on the smoothed RTT. The bounds mirror the paper's
+// target band (responses mostly between ~200 µs and ~900 µs).
+const DefaultPolicyText = `
+# Bond server quality file (Fig. 9): batch 1-4 timesteps by RTT.
+attribute rtt
+default Batch4
+0 300us Batch4
+300us 500us Batch3
+500us 700us Batch2
+700us inf Batch1
+handler Batch4 batch4
+handler Batch3 batch3
+handler Batch2 batch2
+handler Batch1 batch1
+`
+
+// Spec returns the bond-server interface: getBonds(from) → Batch4 (the
+// largest batch type is the declared result; quality substitutes smaller
+// ones).
+func Spec() *core.ServiceSpec {
+	return core.MustServiceSpec("BondServer",
+		&core.OpDef{
+			Name:   "getBonds",
+			Params: []soap.ParamSpec{{Name: "from", Type: idl.Int()}},
+			Result: Batch4Type,
+		},
+	)
+}
+
+// BatchValue assembles a batch message of the given type containing
+// frames [from, from+k).
+func BatchValue(sim *Simulator, batchType *idl.Type, from int64, k int) idl.Value {
+	frames := make([]idl.Value, k)
+	for i := 0; i < k; i++ {
+		frames[i] = sim.FrameAt(from + int64(i)).ToValue()
+	}
+	return idl.StructV(batchType,
+		idl.IntV(from),
+		idl.Value{Type: idl.List(FrameType()), List: frames},
+	)
+}
+
+// Handlers returns the batching quality handlers: batchK rebuilds the
+// response with only K timesteps. (A field copy cannot shrink a list, so
+// these are genuine quality handlers in the paper's sense.)
+func Handlers() map[string]quality.Handler {
+	rebatch := func(target *idl.Type, k int) quality.Handler {
+		return func(v idl.Value, _ map[string]float64) (idl.Value, error) {
+			frames, ok := v.Field("frames")
+			if !ok {
+				return idl.Value{}, fmt.Errorf("moldyn: value %s is not a batch", v.Type)
+			}
+			from, _ := v.Field("from")
+			n := k
+			if n > len(frames.List) {
+				n = len(frames.List)
+			}
+			return idl.StructV(target,
+				from,
+				idl.Value{Type: idl.List(FrameType()), List: frames.List[:n]},
+			), nil
+		}
+	}
+	return map[string]quality.Handler{
+		"batch4": rebatch(Batch4Type, 4),
+		"batch3": rebatch(Batch3Type, 3),
+		"batch2": rebatch(Batch2Type, 2),
+		"batch1": rebatch(Batch1Type, 1),
+	}
+}
+
+// NewHandler serves getBonds over a simulator, always producing the full
+// 4-step batch; quality middleware may rebatch it.
+func NewHandler(sim *Simulator) core.HandlerFunc {
+	return func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		from := params[0].Value.Int
+		if from < 0 {
+			return idl.Value{}, &soap.Fault{Code: "Client", String: "negative timestep"}
+		}
+		return BatchValue(sim, Batch4Type, from, 4), nil
+	}
+}
+
+// InstallService wires the quality-managed bond server onto a core
+// server. Empty policyText uses DefaultPolicyText.
+func InstallService(srv *core.Server, sim *Simulator, policyText string) (*quality.Policy, error) {
+	if policyText == "" {
+		policyText = DefaultPolicyText
+	}
+	policy, err := quality.ParsePolicyString(policyText, Types(), Handlers())
+	if err != nil {
+		return nil, fmt.Errorf("moldyn: %w", err)
+	}
+	if err := srv.Handle("getBonds", quality.Middleware(policy, nil, NewHandler(sim))); err != nil {
+		return nil, err
+	}
+	return policy, nil
+}

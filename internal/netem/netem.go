@@ -1,0 +1,253 @@
+// Package netem models the network environments of the paper's testbed: a
+// 100 Mbps laboratory Ethernet and a ~1 Mbps residential ADSL line, with
+// iperf-style UDP cross-traffic injected to emulate congestion.
+//
+// Two modes are provided:
+//
+//   - Sim: a virtual-clock transport wrapper. Link delay is computed
+//     analytically (transmission time under the bandwidth available in
+//     each cross-traffic window, plus propagation), the virtual clock
+//     advances, and the computed round-trip feeds the quality layer via
+//     core.TimedTransport. Figures regenerate in seconds, deterministically.
+//   - Throttle: real net.Conn pacing for integration tests that drive
+//     actual HTTP connections through a rate limit.
+package netem
+
+import (
+	"sync"
+	"time"
+
+	"soapbinq/internal/core"
+)
+
+// LinkProfile describes a (possibly asymmetric) link.
+type LinkProfile struct {
+	Name string
+	// UpBps/DownBps are client→server and server→client capacities in
+	// bits per second.
+	UpBps, DownBps float64
+	// Latency is one-way propagation delay.
+	Latency time.Duration
+	// OverheadBytes approximates per-message framing overhead (HTTP
+	// headers, TCP/IP) added to each direction.
+	OverheadBytes int
+}
+
+// The two links of the paper's evaluation.
+var (
+	// LAN100 is the 100 Mbps single-hop laboratory Ethernet.
+	LAN100 = LinkProfile{
+		Name:          "100Mbps",
+		UpBps:         100e6,
+		DownBps:       100e6,
+		Latency:       100 * time.Microsecond,
+		OverheadBytes: 220,
+	}
+	// ADSL is the residential link: ~1 Mbps down, 256 kbps up, with
+	// typical interleaving latency.
+	ADSL = LinkProfile{
+		Name:          "ADSL",
+		UpBps:         256e3,
+		DownBps:       1e6,
+		Latency:       15 * time.Millisecond,
+		OverheadBytes: 220,
+	}
+)
+
+// CrossTraffic is one UDP cross-traffic window in virtual time: between
+// Start and End, Bps bits per second of the link are consumed by the
+// competing flow (both directions).
+type CrossTraffic struct {
+	Start, End time.Duration
+	Bps        float64
+}
+
+// minCapacityFraction floors available bandwidth: even under saturating
+// cross-traffic a TCP flow retains a small share.
+const minCapacityFraction = 0.05
+
+// Sim wraps an inner transport (usually core.Loopback) with the link
+// model. It implements core.TimedTransport, so clients report the
+// simulated round trip in CallStats and the quality layer adapts to it.
+//
+// Sim is safe for concurrent use, but the virtual clock is global to the
+// Sim: interleaved callers share the timeline.
+type Sim struct {
+	inner core.Transport
+	link  LinkProfile
+
+	mu    sync.Mutex
+	cross []CrossTraffic
+	rates []ratePoint
+	now   time.Duration
+	last  time.Duration
+	calls int
+}
+
+// ratePoint is a step in the piecewise-constant background cross-traffic
+// rate set via SetCrossRate.
+type ratePoint struct {
+	at  time.Duration
+	bps float64
+}
+
+// NewSim builds a simulated link in front of inner.
+func NewSim(link LinkProfile, inner core.Transport) *Sim {
+	return &Sim{inner: inner, link: link}
+}
+
+// AddCrossTraffic schedules a cross-traffic window.
+func (s *Sim) AddCrossTraffic(ct CrossTraffic) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cross = append(s.cross, ct)
+}
+
+// SetCrossRate sets the background cross-traffic rate (bits per second)
+// from the current virtual time onward, until the next SetCrossRate. It
+// composes with AddCrossTraffic windows and is the convenient way to
+// drive phase-style congestion schedules ("iperf on, iperf off") from an
+// experiment loop.
+func (s *Sim) SetCrossRate(bps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bps < 0 {
+		bps = 0
+	}
+	s.rates = append(s.rates, ratePoint{at: s.now, bps: bps})
+}
+
+// rateAtLocked returns the background rate active at virtual time t.
+func (s *Sim) rateAtLocked(t time.Duration) float64 {
+	rate := 0.0
+	for _, p := range s.rates {
+		if p.at <= t {
+			rate = p.bps
+		}
+	}
+	return rate
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the virtual clock forward (request think time).
+func (s *Sim) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now += d
+}
+
+// LastRoundTrip implements core.TimedTransport.
+func (s *Sim) LastRoundTrip() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Calls returns how many round trips the sim has carried.
+func (s *Sim) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// RoundTrip implements core.Transport: it charges the request's
+// transmission up the link, invokes the inner transport, charges the
+// response down the link, and advances the virtual clock by the total.
+func (s *Sim) RoundTrip(req *core.WireRequest) (*core.WireResponse, error) {
+	s.mu.Lock()
+	upStart := s.now
+	up := s.transmitLocked(upStart, len(req.Body)+s.link.OverheadBytes, s.link.UpBps)
+	s.mu.Unlock()
+
+	resp, err := s.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	down := s.transmitLocked(upStart+up, len(resp.Body)+s.link.OverheadBytes, s.link.DownBps)
+	total := up + down + 2*s.link.Latency
+	s.now = upStart + total
+	s.last = total
+	s.calls++
+	return resp, nil
+}
+
+// transmitLocked integrates transmission time for n bytes starting at
+// virtual time start, walking cross-traffic windows piecewise.
+func (s *Sim) transmitLocked(start time.Duration, n int, linkBps float64) time.Duration {
+	if n <= 0 || linkBps <= 0 {
+		return 0
+	}
+	bitsLeft := float64(n) * 8
+	t := start
+	var elapsed time.Duration
+	for bitsLeft > 0 {
+		avail := s.availableLocked(t, linkBps)
+		window := s.windowEndLocked(t) - t
+		if window <= 0 {
+			window = time.Duration(1<<62 - 1) // no further boundary
+		}
+		// Time to finish at the current rate.
+		need := time.Duration(bitsLeft / avail * float64(time.Second))
+		if need <= window {
+			elapsed += need
+			return elapsed
+		}
+		// Consume this window and continue at the next rate.
+		bitsLeft -= avail * window.Seconds()
+		elapsed += window
+		t += window
+	}
+	return elapsed
+}
+
+// availableLocked returns the bandwidth available to our flow at virtual
+// time t.
+func (s *Sim) availableLocked(t time.Duration, linkBps float64) float64 {
+	used := s.rateAtLocked(t)
+	for _, ct := range s.cross {
+		if t >= ct.Start && t < ct.End {
+			used += ct.Bps
+		}
+	}
+	avail := linkBps - used
+	if floor := linkBps * minCapacityFraction; avail < floor {
+		avail = floor
+	}
+	return avail
+}
+
+// windowEndLocked returns the next cross-traffic boundary after t, or t
+// if none (meaning rate is constant from here on).
+func (s *Sim) windowEndLocked(t time.Duration) time.Duration {
+	next := time.Duration(0)
+	consider := func(edge time.Duration) {
+		if edge > t && (next == 0 || edge < next) {
+			next = edge
+		}
+	}
+	for _, ct := range s.cross {
+		consider(ct.Start)
+		consider(ct.End)
+	}
+	for _, p := range s.rates {
+		consider(p.at)
+	}
+	if next == 0 {
+		return t
+	}
+	return next
+}
+
+var _ core.TimedTransport = (*Sim)(nil)

@@ -1,0 +1,188 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+func echoRig(t *testing.T) (*core.ServiceSpec, *core.Server, *pbio.MemServer) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	spec := core.MustServiceSpec("S",
+		&core.OpDef{
+			Name:   "echo",
+			Params: []soap.ParamSpec{{Name: "v", Type: idl.List(idl.Int())}},
+			Result: idl.List(idl.Int()),
+		},
+	)
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	})
+	return spec, srv, fs
+}
+
+func TestSimChargesTransmissionAndLatency(t *testing.T) {
+	spec, srv, fs := echoRig(t)
+	sim := NewSim(LinkProfile{Name: "test", UpBps: 8000, DownBps: 8000, Latency: 10 * time.Millisecond}, &core.Loopback{Server: srv})
+	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 ints ≈ 800+ bytes each way at 1000 bytes/s ≈ ≥1.6s, plus 20ms.
+	rtt := resp.Stats.RoundTripTime
+	if rtt < time.Second || rtt > 10*time.Second {
+		t.Errorf("rtt = %v, expected seconds-scale", rtt)
+	}
+	if sim.Now() != rtt {
+		t.Errorf("virtual clock %v != rtt %v", sim.Now(), rtt)
+	}
+	if sim.LastRoundTrip() != rtt {
+		t.Error("LastRoundTrip mismatch")
+	}
+	if sim.Calls() != 1 {
+		t.Errorf("calls = %d", sim.Calls())
+	}
+}
+
+func TestSimFasterLinkIsFaster(t *testing.T) {
+	run := func(link LinkProfile) time.Duration {
+		spec, srv, fs := echoRig(t)
+		sim := NewSim(link, &core.Loopback{Server: srv})
+		client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+		resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(10000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Stats.RoundTripTime
+	}
+	lan := run(LAN100)
+	adsl := run(ADSL)
+	if lan >= adsl {
+		t.Errorf("LAN (%v) should beat ADSL (%v)", lan, adsl)
+	}
+	// 80 KB payload over ~1 Mbps should take ~1s scale; over 100 Mbps sub-10ms
+	// plus latency.
+	if adsl < 500*time.Millisecond {
+		t.Errorf("ADSL rtt = %v, implausibly fast", adsl)
+	}
+	if lan > 100*time.Millisecond {
+		t.Errorf("LAN rtt = %v, implausibly slow", lan)
+	}
+}
+
+func TestSimCrossTrafficSlowsWindow(t *testing.T) {
+	link := LinkProfile{Name: "t", UpBps: 1e6, DownBps: 1e6, Latency: time.Millisecond}
+	spec, srv, fs := echoRig(t)
+	sim := NewSim(link, &core.Loopback{Server: srv})
+	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	call := func() time.Duration {
+		resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(1000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Stats.RoundTripTime
+	}
+
+	clean := call()
+	// Saturating cross traffic for the next virtual minute.
+	sim.AddCrossTraffic(CrossTraffic{Start: sim.Now(), End: sim.Now() + time.Minute, Bps: 0.99e6})
+	congested := call()
+	if congested < 5*clean {
+		t.Errorf("cross traffic had little effect: clean %v vs congested %v", clean, congested)
+	}
+	// After the window, throughput recovers.
+	sim.Advance(2 * time.Minute)
+	recovered := call()
+	if recovered > 2*clean {
+		t.Errorf("did not recover: %v vs clean %v", recovered, clean)
+	}
+}
+
+func TestSimCrossesWindowBoundary(t *testing.T) {
+	// A transfer that starts congested and finishes clean must take less
+	// time than fully congested, more than fully clean.
+	link := LinkProfile{Name: "t", UpBps: 8e3, DownBps: 1e9, Latency: 0, OverheadBytes: 0}
+	spec, srv, fs := echoRig(t)
+	sim := NewSim(link, &core.Loopback{Server: srv})
+	// Congestion covering the first 0.5s of virtual time only.
+	sim.AddCrossTraffic(CrossTraffic{Start: 0, End: 500 * time.Millisecond, Bps: 7.2e3})
+	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	// Request ≈ 850 bytes ≈ 6.8 kbit. Clean: ~0.85s. Congested rate is
+	// 800 bps for 0.5s (0.4 kbit) then full 8 kbps.
+	resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := resp.Stats.RoundTripTime // down link is effectively instant
+	if up <= 900*time.Millisecond || up >= 3*time.Second {
+		t.Errorf("boundary-crossing transfer rtt = %v", up)
+	}
+}
+
+func TestSimAdvanceIgnoresNegative(t *testing.T) {
+	sim := NewSim(LAN100, nil)
+	sim.Advance(-time.Second)
+	if sim.Now() != 0 {
+		t.Error("negative advance must be ignored")
+	}
+	sim.Advance(time.Second)
+	if sim.Now() != time.Second {
+		t.Error("advance lost")
+	}
+}
+
+func TestSimQualityAdaptsToCongestion(t *testing.T) {
+	// End-to-end: quality middleware + sim link. Congestion must push the
+	// server to the small message type; recovery must bring it back.
+	fs := pbio.NewMemServer()
+	big := idl.Struct("Big", idl.F("data", idl.List(idl.Char())), idl.F("seq", idl.Int()))
+	small := idl.Struct("Lite", idl.F("seq", idl.Int()))
+	types := map[string]*idl.Type{"Big": big, "Lite": small}
+
+	spec := core.MustServiceSpec("Feed", &core.OpDef{Name: "get", Result: big})
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+
+	payload := make([]idl.Value, 20000)
+	for i := range payload {
+		payload[i] = idl.CharV(byte(i))
+	}
+	bigVal := idl.StructV(big, idl.Value{Type: idl.List(idl.Char()), List: payload}, idl.IntV(1))
+
+	policyText := "attribute rtt\n0 400ms Big\n400ms inf Lite\n"
+	qpolicy := quality.MustParsePolicy(policyText, types, nil)
+	srv.MustHandle("get", quality.Middleware(qpolicy, nil, func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return bigVal.Clone(), nil
+	}))
+
+	sim := NewSim(LinkProfile{Name: "t", UpBps: 1e6, DownBps: 1e6, Latency: time.Millisecond}, &core.Loopback{Server: srv})
+	inner := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	qc := quality.NewClient(inner, qpolicy)
+
+	sawLite := false
+	sim.AddCrossTraffic(CrossTraffic{Start: 0, End: 10 * time.Minute, Bps: 0.98e6})
+	for i := 0; i < 10; i++ {
+		resp, err := qc.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header[core.MsgTypeHeader] == "Lite" {
+			sawLite = true
+			break
+		}
+	}
+	if !sawLite {
+		t.Error("quality never downgraded under congestion")
+	}
+}

@@ -1,0 +1,85 @@
+package netem
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// ThrottledConn paces writes to a byte rate and charges a one-way
+// propagation delay on the first write of each burst, approximating a
+// slow link with real TCP connections. Reads are not delayed (the peer's
+// writes already were).
+type ThrottledConn struct {
+	net.Conn
+	bps     float64
+	latency time.Duration
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// Throttle wraps conn with a rate limit (bits per second) and propagation
+// latency.
+func Throttle(conn net.Conn, bps float64, latency time.Duration) *ThrottledConn {
+	return &ThrottledConn{Conn: conn, bps: bps, latency: latency}
+}
+
+// Write implements net.Conn with pacing: each write reserves transmission
+// time on the virtual link; if the link is still busy from earlier
+// writes, the writer sleeps until its reservation.
+func (c *ThrottledConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	now := time.Now()
+	start := now
+	if c.nextFree.After(now) {
+		start = c.nextFree
+	} else {
+		// Idle link: charge propagation latency for the new burst.
+		start = now.Add(c.latency)
+	}
+	var txTime time.Duration
+	if c.bps > 0 {
+		txTime = time.Duration(float64(len(p)) * 8 / c.bps * float64(time.Second))
+	}
+	c.nextFree = start.Add(txTime)
+	wakeAt := c.nextFree
+	c.mu.Unlock()
+
+	if d := time.Until(wakeAt); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// ThrottledListener wraps an accepting listener so every accepted
+// connection is paced.
+type ThrottledListener struct {
+	net.Listener
+	Bps     float64
+	Latency time.Duration
+}
+
+// Accept implements net.Listener.
+func (l *ThrottledListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Throttle(conn, l.Bps, l.Latency), nil
+}
+
+// Dialer returns a DialContext function (pluggable into http.Transport)
+// whose connections are paced according to the link profile's upstream
+// rate. Server-side pacing (downstream) uses ThrottledListener.
+func Dialer(link LinkProfile) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		d := net.Dialer{}
+		conn, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return Throttle(conn, link.UpBps, link.Latency), nil
+	}
+}

@@ -1,0 +1,101 @@
+package netem
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestThrottledConnPacesWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// 8 kbit/s = 1000 bytes/s; 500 bytes should take ≈500ms + 5ms latency.
+	tc := Throttle(a, 8000, 5*time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 500)
+		total := 0
+		for total < 500 {
+			n, err := b.Read(buf[total:])
+			if err != nil {
+				return
+			}
+			total += n
+		}
+	}()
+
+	start := time.Now()
+	if _, err := tc.Write(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	<-done
+	if elapsed < 400*time.Millisecond {
+		t.Errorf("write returned in %v, expected ≥400ms of pacing", elapsed)
+	}
+}
+
+func TestThrottledConnZeroRate(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	tc := Throttle(a, 0, 0)
+	go func() {
+		buf := make([]byte, 8)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := tc.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("zero rate must not pace")
+	}
+}
+
+func TestThrottledListenerAndDialer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := &ThrottledListener{Listener: ln, Bps: 1e9, Latency: 0}
+	defer tl.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := tl.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	dial := Dialer(LinkProfile{UpBps: 1e9})
+	conn, err := dial(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	srvConn := <-accepted
+	defer srvConn.Close()
+
+	msg := []byte("hello")
+	go conn.Write(msg)
+	buf := make([]byte, len(msg))
+	srvConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := srvConn.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Errorf("read %q, err %v", buf[:n], err)
+	}
+}
+
+func TestDialerFailure(t *testing.T) {
+	dial := Dialer(ADSL)
+	if _, err := dial(context.Background(), "tcp", "127.0.0.1:1"); err == nil {
+		t.Error("dial to dead port must fail")
+	}
+}

@@ -1,0 +1,66 @@
+package ois
+
+import (
+	"fmt"
+
+	"soapbinq/internal/echo"
+)
+
+// Feed is the continuous side of the operational information system: new
+// information (bookings, gate changes) is entered into the memory-resident
+// data set, business rules run, and the resulting catering excerpts are
+// shared with interested parties over an ECho channel — the paper's
+// "information is continuously produced, entered in a large,
+// memory-resident data set, business rules are applied to it, and
+// resultant data is shared with end users".
+type Feed struct {
+	dataset *Dataset
+	channel *echo.Channel
+}
+
+// NewFeed creates the catering event channel in an ECho domain and binds
+// it to a data set.
+func NewFeed(d *Dataset, domain *echo.Domain, channelName string) (*Feed, error) {
+	ch, err := domain.CreateChannel(channelName, CateringType())
+	if err != nil {
+		return nil, err
+	}
+	return &Feed{dataset: d, channel: ch}, nil
+}
+
+// Channel exposes the event channel for subscribers (caterers).
+func (f *Feed) Channel() *echo.Channel { return f.channel }
+
+// PublishFlight applies the business rules for a flight and publishes the
+// resulting catering detail.
+func (f *Feed) PublishFlight(flightNo string) error {
+	detail, err := f.dataset.Catering(flightNo)
+	if err != nil {
+		return err
+	}
+	return f.channel.Publish(detail.ToValue())
+}
+
+// ApplyBooking enters a new passenger booking and publishes the updated
+// catering detail for the affected flight.
+func (f *Feed) ApplyBooking(p *Passenger) error {
+	if p == nil || p.Flight == "" {
+		return fmt.Errorf("ois: booking without a flight")
+	}
+	f.dataset.AddPassenger(p)
+	return f.PublishFlight(p.Flight)
+}
+
+// ApplyGateChange updates a flight's gate and publishes the update.
+func (f *Feed) ApplyGateChange(flightNo, gate string) error {
+	f.dataset.mu.Lock()
+	fl, ok := f.dataset.flights[flightNo]
+	if ok {
+		fl.Gate = gate
+	}
+	f.dataset.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ois: unknown flight %q", flightNo)
+	}
+	return f.PublishFlight(flightNo)
+}

@@ -1,0 +1,110 @@
+package ois
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"soapbinq/internal/echo"
+	"soapbinq/internal/idl"
+)
+
+func TestFeedPublishesBusinessRuleOutput(t *testing.T) {
+	d := NewDataset()
+	d.AddFlight(&Flight{Number: "DL9", Gate: "A1", DepartMin: 10})
+	d.AddPassenger(&Passenger{ID: 1, Flight: "DL9", Seat: "1A", Meal: "V"})
+
+	domain := echo.NewDomain()
+	defer domain.Close()
+	feed, err := NewFeed(d, domain, "catering")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []*CateringDetail
+	arrived := make(chan struct{}, 16)
+	cancel, err := feed.Channel().Subscribe(nil, func(ev idl.Value) {
+		c, err := FromValue(ev)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got = append(got, c)
+		mu.Unlock()
+		arrived <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if err := feed.PublishFlight("DL9"); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, arrived)
+
+	// Continuous updates: a new vegetarian booking raises the count.
+	if err := feed.ApplyBooking(&Passenger{ID: 2, Flight: "DL9", Seat: "1B", Meal: "V"}); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, arrived)
+	// And a gate change propagates.
+	if err := feed.ApplyGateChange("DL9", "B7"); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, arrived)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("events = %d", len(got))
+	}
+	if vegCount(got[0]) != 1 || vegCount(got[1]) != 2 {
+		t.Errorf("veg counts: %d then %d", vegCount(got[0]), vegCount(got[1]))
+	}
+	if got[2].Gate != "B7" {
+		t.Errorf("gate = %q", got[2].Gate)
+	}
+}
+
+func vegCount(c *CateringDetail) int64 {
+	for _, m := range c.Meals {
+		if m.Code == MealVeg {
+			return m.Count
+		}
+	}
+	return 0
+}
+
+func waitEvent(t *testing.T, ch chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("event delivery timeout")
+	}
+}
+
+func TestFeedErrors(t *testing.T) {
+	d := NewDataset()
+	domain := echo.NewDomain()
+	defer domain.Close()
+	feed, err := NewFeed(d, domain, "catering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.PublishFlight("nope"); err == nil {
+		t.Error("unknown flight must fail")
+	}
+	if err := feed.ApplyBooking(&Passenger{}); err == nil {
+		t.Error("booking without flight must fail")
+	}
+	if err := feed.ApplyGateChange("nope", "A1"); err == nil {
+		t.Error("gate change for unknown flight must fail")
+	}
+	if _, err := NewFeed(d, domain, "catering"); err == nil {
+		t.Error("duplicate channel must fail")
+	}
+}

@@ -1,0 +1,328 @@
+// Package ois implements the paper's commercial application: an
+// operational information system in the style of the airline systems the
+// authors built with Delta Technologies. Flight and passenger information
+// is continuously produced into a memory-resident data set, business
+// rules aggregate it, and excerpts — catering details — are shared with
+// relevant parties (Table I measures the event rates for shipping those
+// excerpts over SOAP, SOAP-bin, native PBIO and compressed SOAP).
+package ois
+
+import (
+	"fmt"
+	"sync"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+)
+
+// Flight is one scheduled flight.
+type Flight struct {
+	Number    string
+	Origin    string
+	Dest      string
+	DepartMin int64 // minutes since epoch, schedule granularity
+	Gate      string
+	Aircraft  string
+}
+
+// Passenger is one booked passenger.
+type Passenger struct {
+	ID     int64
+	Name   string
+	Flight string
+	Seat   string
+	Meal   string // meal preference code
+}
+
+// MealCount aggregates one meal type for a flight: how many are booked,
+// how many the caterer has loaded, and how many carts they occupy.
+type MealCount struct {
+	Code   int64 // meal code (see MealName)
+	Count  int64
+	Loaded int64
+	Carts  int64
+}
+
+// Request is one special meal request, located by seat.
+type Request struct {
+	Row  int64
+	Col  byte // seat letter
+	Code int64
+}
+
+// CateringDetail is the business-rule output shared with caterers: per
+// flight, the meal manifest plus located special requests. The record is
+// numeric-heavy on purpose — operational feeds are — which is what gives
+// XML its several-fold size penalty in Table I.
+type CateringDetail struct {
+	Flight    string
+	Gate      string
+	DepartMin int64
+	Meals     []MealCount
+	Requests  []Request
+}
+
+// Message type of catering events.
+var cateringType = idl.Struct("CateringDetail",
+	idl.F("flight", idl.StringT()),
+	idl.F("gate", idl.StringT()),
+	idl.F("depart_min", idl.Int()),
+	idl.F("meals", idl.List(idl.Struct("MealCount",
+		idl.F("code", idl.Int()),
+		idl.F("count", idl.Int()),
+		idl.F("loaded", idl.Int()),
+		idl.F("carts", idl.Int()),
+	))),
+	idl.F("requests", idl.List(idl.Struct("Request",
+		idl.F("row", idl.Int()),
+		idl.F("col", idl.Char()),
+		idl.F("code", idl.Int()),
+	))),
+)
+
+// CateringType returns the catering event message type.
+func CateringType() *idl.Type { return cateringType }
+
+// ToValue converts a catering detail to its message value.
+func (c *CateringDetail) ToValue() idl.Value {
+	mealT := cateringType.Fields[3].Type.Elem
+	reqT := cateringType.Fields[4].Type.Elem
+	meals := make([]idl.Value, len(c.Meals))
+	for i, m := range c.Meals {
+		meals[i] = idl.StructV(mealT, idl.IntV(m.Code), idl.IntV(m.Count), idl.IntV(m.Loaded), idl.IntV(m.Carts))
+	}
+	reqs := make([]idl.Value, len(c.Requests))
+	for i, r := range c.Requests {
+		reqs[i] = idl.StructV(reqT, idl.IntV(r.Row), idl.CharV(r.Col), idl.IntV(r.Code))
+	}
+	return idl.StructV(cateringType,
+		idl.StringV(c.Flight),
+		idl.StringV(c.Gate),
+		idl.IntV(c.DepartMin),
+		idl.Value{Type: idl.List(mealT), List: meals},
+		idl.Value{Type: idl.List(reqT), List: reqs},
+	)
+}
+
+// FromValue reconstructs a catering detail.
+func FromValue(v idl.Value) (*CateringDetail, error) {
+	if v.Type == nil || !v.Type.Equal(cateringType) {
+		return nil, fmt.Errorf("ois: value %s is not a CateringDetail", v.Type)
+	}
+	c := &CateringDetail{
+		Flight:    v.Fields[0].Str,
+		Gate:      v.Fields[1].Str,
+		DepartMin: v.Fields[2].Int,
+	}
+	for _, mv := range v.Fields[3].List {
+		c.Meals = append(c.Meals, MealCount{
+			Code:   mv.Fields[0].Int,
+			Count:  mv.Fields[1].Int,
+			Loaded: mv.Fields[2].Int,
+			Carts:  mv.Fields[3].Int,
+		})
+	}
+	for _, rv := range v.Fields[4].List {
+		c.Requests = append(c.Requests, Request{Row: rv.Fields[0].Int, Col: rv.Fields[1].Char, Code: rv.Fields[2].Int})
+	}
+	return c, nil
+}
+
+// Dataset is the memory-resident operational data set.
+type Dataset struct {
+	mu         sync.RWMutex
+	flights    map[string]*Flight
+	passengers map[string][]*Passenger // keyed by flight number
+}
+
+// NewDataset creates an empty data set.
+func NewDataset() *Dataset {
+	return &Dataset{
+		flights:    make(map[string]*Flight),
+		passengers: make(map[string][]*Passenger),
+	}
+}
+
+// AddFlight records or replaces a flight.
+func (d *Dataset) AddFlight(f *Flight) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flights[f.Number] = f
+}
+
+// AddPassenger books a passenger onto their flight.
+func (d *Dataset) AddPassenger(p *Passenger) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passengers[p.Flight] = append(d.passengers[p.Flight], p)
+}
+
+// Flights returns the number of flights loaded.
+func (d *Dataset) Flights() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.flights)
+}
+
+// Meal codes used in catering manifests.
+const (
+	MealStandard = 1
+	MealVeg      = 2
+	MealKosher   = 3
+	MealHalal    = 4
+	MealGluten   = 5
+)
+
+// mealCodes maps booking preference letters to catering meal codes — the
+// "business rule" joining bookings to catering orders.
+var mealCodes = map[string]int64{
+	"V": MealVeg,
+	"K": MealKosher,
+	"H": MealHalal,
+	"G": MealGluten,
+	"S": MealStandard,
+	"":  MealStandard,
+}
+
+// MealName renders a meal code for display.
+func MealName(code int64) string {
+	switch code {
+	case MealStandard:
+		return "standard"
+	case MealVeg:
+		return "vegetarian"
+	case MealKosher:
+		return "kosher"
+	case MealHalal:
+		return "halal"
+	case MealGluten:
+		return "gluten-free"
+	default:
+		return fmt.Sprintf("meal(%d)", code)
+	}
+}
+
+// Catering applies the business rules for one flight: aggregate passenger
+// meal preferences into counts and collect special requests.
+func (d *Dataset) Catering(flightNo string) (*CateringDetail, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.flights[flightNo]
+	if !ok {
+		return nil, fmt.Errorf("ois: unknown flight %q", flightNo)
+	}
+	counts := map[int64]int64{}
+	var requests []Request
+	for _, p := range d.passengers[flightNo] {
+		code, ok := mealCodes[p.Meal]
+		if !ok {
+			code = MealStandard
+		}
+		counts[code]++
+		if code != MealStandard {
+			row, col := parseSeat(p.Seat)
+			requests = append(requests, Request{Row: row, Col: col, Code: code})
+		}
+	}
+	c := &CateringDetail{Flight: f.Number, Gate: f.Gate, DepartMin: f.DepartMin}
+	// Deterministic meal order; mealsPerCart meals fit one cart.
+	const mealsPerCart = 32
+	for code := int64(MealStandard); code <= MealGluten; code++ {
+		if n := counts[code]; n > 0 {
+			c.Meals = append(c.Meals, MealCount{
+				Code:   code,
+				Count:  n,
+				Loaded: n,
+				Carts:  (n + mealsPerCart - 1) / mealsPerCart,
+			})
+		}
+	}
+	c.Requests = requests
+	return c, nil
+}
+
+// parseSeat splits "12C" into row 12 and column 'C'.
+func parseSeat(seat string) (int64, byte) {
+	var row int64
+	var col byte
+	for i := 0; i < len(seat); i++ {
+		ch := seat[i]
+		if ch >= '0' && ch <= '9' {
+			row = row*10 + int64(ch-'0')
+		} else {
+			col = ch
+		}
+	}
+	return row, col
+}
+
+// Generate populates the data set with nFlights deterministic flights and
+// their passenger manifests (passengersPerFlight each).
+func Generate(d *Dataset, nFlights, passengersPerFlight int, seed uint64) {
+	rng := seed
+	if rng == 0 {
+		rng = 0x2545F4914F6CDD1D
+	}
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	airports := []string{"ATL", "JFK", "LAX", "ORD", "DFW", "SEA", "BOS", "MIA"}
+	meals := []string{"S", "S", "S", "S", "V", "K", "H", "G", ""}
+	firstNames := []string{"Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "Radia", "Leslie"}
+	lastNames := []string{"Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Perlman", "Lamport"}
+	pid := int64(1)
+	for i := 0; i < nFlights; i++ {
+		no := fmt.Sprintf("DL%04d", 100+i)
+		o := airports[next()%uint64(len(airports))]
+		dst := airports[next()%uint64(len(airports))]
+		if dst == o {
+			dst = airports[(next()+1)%uint64(len(airports))]
+		}
+		d.AddFlight(&Flight{
+			Number:    no,
+			Origin:    o,
+			Dest:      dst,
+			DepartMin: int64(28200000 + i*35),
+			Gate:      fmt.Sprintf("%c%d", 'A'+byte(next()%6), 1+next()%40),
+			Aircraft:  "B757",
+		})
+		for p := 0; p < passengersPerFlight; p++ {
+			row := 1 + p/6
+			d.AddPassenger(&Passenger{
+				ID:     pid,
+				Name:   firstNames[next()%8] + " " + lastNames[next()%8],
+				Flight: no,
+				Seat:   fmt.Sprintf("%d%c", row, 'A'+byte(p%6)),
+				Meal:   meals[next()%uint64(len(meals))],
+			})
+			pid++
+		}
+	}
+}
+
+// Spec returns the OIS service interface: getCatering(flight) →
+// CateringDetail.
+func Spec() *core.ServiceSpec {
+	return core.MustServiceSpec("AirlineOIS",
+		&core.OpDef{
+			Name:   "getCatering",
+			Params: []soap.ParamSpec{{Name: "flight", Type: idl.StringT()}},
+			Result: cateringType,
+		},
+	)
+}
+
+// NewHandler serves getCatering over a data set.
+func NewHandler(d *Dataset) core.HandlerFunc {
+	return func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		c, err := d.Catering(params[0].Value.Str)
+		if err != nil {
+			return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+		}
+		return c.ToValue(), nil
+	}
+}

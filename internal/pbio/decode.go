@@ -1,0 +1,190 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"soapbinq/internal/idl"
+)
+
+// Decoding errors that callers may want to match.
+var (
+	ErrBadMagic   = errors.New("pbio: bad magic")
+	ErrBadVersion = errors.New("pbio: unsupported version")
+	ErrTruncated  = errors.New("pbio: truncated message")
+)
+
+// Header is the parsed fixed-size prefix of a PBIO message.
+type Header struct {
+	FormatID   uint64
+	PayloadLen int
+	BigEndian  bool // sender's payload byte order
+}
+
+// ParseHeader validates and parses the message header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < headerLen {
+		return Header{}, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return Header{}, ErrBadMagic
+	}
+	if b[4] != wireVersion {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
+	}
+	return Header{
+		FormatID:   binary.BigEndian.Uint64(b[6:14]),
+		PayloadLen: int(binary.BigEndian.Uint32(b[14:18])),
+		BigEndian:  b[5]&flagBigEndian != 0,
+	}, nil
+}
+
+// Unmarshal decodes a framed PBIO message, resolving its format via the
+// registry (and, transitively, the format server on a cold cache).
+func (c *Codec) Unmarshal(b []byte) (idl.Value, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	body := b[headerLen:]
+	if len(body) < h.PayloadLen {
+		return idl.Value{}, fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(body), h.PayloadLen)
+	}
+	if len(body) > h.PayloadLen {
+		return idl.Value{}, fmt.Errorf("pbio: %d trailing bytes after payload", len(body)-h.PayloadLen)
+	}
+	f, err := c.reg.Resolve(h.FormatID)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	return decodeBody(body, f.Type, h.BigEndian)
+}
+
+// DecodeBody decodes a header-less payload known to be of type t, encoded
+// in the given sender byte order.
+func (c *Codec) DecodeBody(b []byte, t *idl.Type, bigEndian bool) (idl.Value, error) {
+	return decodeBody(b, t, bigEndian)
+}
+
+func decodeBody(b []byte, t *idl.Type, big bool) (idl.Value, error) {
+	var order binary.ByteOrder = binary.LittleEndian
+	if big {
+		order = binary.BigEndian
+	}
+	d := decoder{buf: b, order: order}
+	v, err := d.value(t)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	if d.pos != len(d.buf) {
+		return idl.Value{}, fmt.Errorf("pbio: %d trailing payload bytes", len(d.buf)-d.pos)
+	}
+	return v, nil
+}
+
+// decoder walks the payload applying receiver-makes-right conversion: all
+// multi-byte reads go through the sender's byte order, producing host
+// values directly.
+type decoder struct {
+	buf   []byte
+	pos   int
+	order binary.ByteOrder
+}
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if len(d.buf)-d.pos < n {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrTruncated, n, d.pos, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) value(t *idl.Type) (idl.Value, error) {
+	switch t.Kind {
+	case idl.KindInt:
+		b, err := d.need(8)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.IntV(int64(d.order.Uint64(b))), nil
+	case idl.KindFloat:
+		b, err := d.need(8)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.FloatV(math.Float64frombits(d.order.Uint64(b))), nil
+	case idl.KindChar:
+		b, err := d.need(1)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.CharV(b[0]), nil
+	case idl.KindString:
+		b, err := d.need(4)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		n := int(d.order.Uint32(b))
+		s, err := d.need(n)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.StringV(string(s)), nil
+	case idl.KindList:
+		b, err := d.need(4)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		n := int(d.order.Uint32(b))
+		// Guard against hostile counts before allocating: n elements need
+		// at least n×minSize(elem) further bytes.
+		if min := minEncodedSize(t.Elem); min > 0 && n > (len(d.buf)-d.pos)/min {
+			return idl.Value{}, fmt.Errorf("%w: list count %d exceeds remaining %d bytes", ErrTruncated, n, len(d.buf)-d.pos)
+		}
+		elems := make([]idl.Value, n)
+		for i := 0; i < n; i++ {
+			e, err := d.value(t.Elem)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("list element %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		return idl.Value{Type: t, List: elems}, nil
+	case idl.KindStruct:
+		fields := make([]idl.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fv, err := d.value(f.Type)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("struct %s field %q: %w", t.Name, f.Name, err)
+			}
+			fields[i] = fv
+		}
+		return idl.Value{Type: t, Fields: fields}, nil
+	default:
+		return idl.Value{}, fmt.Errorf("pbio: cannot decode kind %s", t.Kind)
+	}
+}
+
+// minEncodedSize returns the minimum number of payload bytes any value of
+// type t occupies, used to bound list allocations against hostile counts.
+func minEncodedSize(t *idl.Type) int {
+	switch t.Kind {
+	case idl.KindInt, idl.KindFloat:
+		return 8
+	case idl.KindChar:
+		return 1
+	case idl.KindString, idl.KindList:
+		return 4 // length/count prefix
+	case idl.KindStruct:
+		n := 0
+		for _, f := range t.Fields {
+			n += minEncodedSize(f.Type)
+		}
+		return n
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,187 @@
+// Package pbio implements Portable Binary I/O, the structured binary wire
+// format SOAP-bin uses to transport parameter data (Eisenhauer et al.,
+// "Native Data Representation", IEEE TPDS 2002; adopted by the SOAP-binQ
+// paper as its parameter encoding).
+//
+// PBIO data is defined through formats: named descriptions of how data is
+// structured, playing the role XML schemas play for documents. Every PBIO
+// exchange begins by registering the format with a format server, which
+// collects and caches formats; a receiver that encounters an unknown format
+// ID consults the server once and caches the result, so only the first
+// message of a given type pays the handshake.
+//
+// Senders emit data in their native byte order and the message header
+// records which order that was; the receiver converts only if its own order
+// differs ("receiver makes right"), avoiding the symmetric up/down
+// translation of XDR-style wire formats.
+package pbio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"soapbinq/internal/idl"
+)
+
+// Format is a registered type description. The ID is derived from the
+// type's canonical signature (FNV-1a 64), so independently operating
+// endpoints assign the same ID to the same type — the format server
+// resolves IDs to descriptors for receivers that have never seen them.
+type Format struct {
+	ID   uint64
+	Name string
+	Type *idl.Type
+}
+
+// FormatID computes the wire ID for a type from its canonical signature.
+func FormatID(t *idl.Type) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Signature()))
+	return h.Sum64()
+}
+
+// NewFormat builds the Format record for a type. The name is the struct
+// name when the type is a struct, otherwise the signature itself.
+func NewFormat(t *idl.Type) (*Format, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("pbio: invalid type: %w", err)
+	}
+	name := t.Name
+	if name == "" {
+		name = t.Signature()
+	}
+	return &Format{ID: FormatID(t), Name: name, Type: t}, nil
+}
+
+// Descriptor codec: formats travel between endpoints and the format server
+// as compact arch-neutral bytes (all integers big-endian).
+
+const (
+	descInt    = 1
+	descFloat  = 2
+	descChar   = 3
+	descString = 4
+	descList   = 5
+	descStruct = 6
+)
+
+// maxDescriptorDepth bounds recursion when decoding descriptors received
+// from the network.
+const maxDescriptorDepth = 64
+
+// AppendDescriptor serializes a type descriptor, appending to dst.
+func AppendDescriptor(dst []byte, t *idl.Type) []byte {
+	switch t.Kind {
+	case idl.KindInt:
+		return append(dst, descInt)
+	case idl.KindFloat:
+		return append(dst, descFloat)
+	case idl.KindChar:
+		return append(dst, descChar)
+	case idl.KindString:
+		return append(dst, descString)
+	case idl.KindList:
+		dst = append(dst, descList)
+		return AppendDescriptor(dst, t.Elem)
+	case idl.KindStruct:
+		dst = append(dst, descStruct)
+		dst = appendName(dst, t.Name)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.Fields)))
+		for _, f := range t.Fields {
+			dst = appendName(dst, f.Name)
+			dst = AppendDescriptor(dst, f.Type)
+		}
+		return dst
+	default:
+		// Types are validated before serialization; reaching here is a bug.
+		panic("pbio: cannot serialize kind " + t.Kind.String())
+	}
+}
+
+func appendName(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// ParseDescriptor decodes a type descriptor produced by AppendDescriptor.
+func ParseDescriptor(b []byte) (*idl.Type, error) {
+	t, rest, err := parseDescriptor(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("pbio: %d trailing descriptor bytes", len(rest))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("pbio: decoded descriptor invalid: %w", err)
+	}
+	return t, nil
+}
+
+func parseDescriptor(b []byte, depth int) (*idl.Type, []byte, error) {
+	if depth > maxDescriptorDepth {
+		return nil, nil, fmt.Errorf("pbio: descriptor nesting exceeds %d", maxDescriptorDepth)
+	}
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("pbio: truncated descriptor")
+	}
+	kind := b[0]
+	b = b[1:]
+	switch kind {
+	case descInt:
+		return idl.Int(), b, nil
+	case descFloat:
+		return idl.Float(), b, nil
+	case descChar:
+		return idl.Char(), b, nil
+	case descString:
+		return idl.StringT(), b, nil
+	case descList:
+		elem, rest, err := parseDescriptor(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return idl.List(elem), rest, nil
+	case descStruct:
+		name, b, err := parseName(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(b) < 2 {
+			return nil, nil, fmt.Errorf("pbio: truncated field count in %q", name)
+		}
+		n := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		fields := make([]idl.Field, n)
+		for i := 0; i < n; i++ {
+			fname, rest, err := parseName(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			ft, rest, err := parseDescriptor(rest, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			fields[i] = idl.Field{Name: fname, Type: ft}
+			b = rest
+		}
+		// Construct by hand (idl.Struct panics on invalid input; we return
+		// errors for network data). Validity is checked by the caller.
+		return &idl.Type{Kind: idl.KindStruct, Name: name, Fields: fields}, b, nil
+	default:
+		return nil, nil, fmt.Errorf("pbio: unknown descriptor kind %d", kind)
+	}
+}
+
+func parseName(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("pbio: truncated name length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("pbio: truncated name (want %d bytes, have %d)", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,118 @@
+package pbio
+
+import (
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/workload"
+)
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	types := []*idl.Type{
+		idl.Int(),
+		idl.Float(),
+		idl.Char(),
+		idl.StringT(),
+		idl.List(idl.Int()),
+		idl.List(idl.List(idl.StringT())),
+		idl.Struct("Point", idl.F("x", idl.Float()), idl.F("y", idl.Float())),
+		workload.NestedStructType(6),
+		workload.IntArrayType(),
+	}
+	for _, typ := range types {
+		b := AppendDescriptor(nil, typ)
+		got, err := ParseDescriptor(b)
+		if err != nil {
+			t.Fatalf("%s: ParseDescriptor: %v", typ, err)
+		}
+		if !got.Equal(typ) {
+			t.Errorf("%s: round trip mismatch: got %s", typ, got.Signature())
+		}
+	}
+}
+
+func TestDescriptorAppendsToPrefix(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b := AppendDescriptor(prefix, idl.Int())
+	if len(b) != 4 || b[0] != 1 || b[3] != descInt {
+		t.Errorf("AppendDescriptor did not append: %v", b)
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	valid := AppendDescriptor(nil, idl.Struct("S", idl.F("x", idl.Int())))
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown kind":     {99},
+		"truncated list":   {descList},
+		"truncated struct": {descStruct, 0},
+		"truncated name":   {descStruct, 0, 5, 'a'},
+		"truncated fields": valid[:len(valid)-1],
+		"trailing bytes":   append(append([]byte{}, valid...), 0xFF),
+	}
+	for name, b := range cases {
+		if _, err := ParseDescriptor(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseDescriptorDepthLimit(t *testing.T) {
+	b := make([]byte, maxDescriptorDepth+2)
+	for i := range b {
+		b[i] = descList
+	}
+	b[len(b)-1] = descInt
+	if _, err := ParseDescriptor(b); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("expected nesting error, got %v", err)
+	}
+}
+
+func TestParseDescriptorRejectsInvalidDecoded(t *testing.T) {
+	// A struct descriptor with an empty name parses structurally but must
+	// fail validation.
+	b := []byte{descStruct, 0, 0, 0, 0}
+	if _, err := ParseDescriptor(b); err == nil {
+		t.Error("unnamed struct descriptor must be rejected")
+	}
+	// Duplicate field names likewise.
+	dup := []byte{descStruct, 0, 1, 'S', 0, 2}
+	dup = append(dup, 0, 1, 'x', descInt)
+	dup = append(dup, 0, 1, 'x', descInt)
+	if _, err := ParseDescriptor(dup); err == nil {
+		t.Error("duplicate-field descriptor must be rejected")
+	}
+}
+
+func TestFormatIDStability(t *testing.T) {
+	a := idl.Struct("Pair", idl.F("l", idl.Int()), idl.F("r", idl.Float()))
+	b := idl.Struct("Pair", idl.F("l", idl.Int()), idl.F("r", idl.Float()))
+	if FormatID(a) != FormatID(b) {
+		t.Error("equal types must share a format ID")
+	}
+	c := idl.Struct("Pair", idl.F("l", idl.Int()), idl.F("r", idl.Int()))
+	if FormatID(a) == FormatID(c) {
+		t.Error("different types should not share a format ID")
+	}
+}
+
+func TestNewFormat(t *testing.T) {
+	f, err := NewFormat(idl.Struct("S", idl.F("x", idl.Int())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "S" {
+		t.Errorf("struct format name = %q", f.Name)
+	}
+	lf, err := NewFormat(idl.List(idl.Int()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Name != "list<int>" {
+		t.Errorf("list format name = %q", lf.Name)
+	}
+	if _, err := NewFormat(&idl.Type{Kind: idl.KindList}); err == nil {
+		t.Error("invalid type must not produce a format")
+	}
+}

@@ -1,0 +1,78 @@
+package pbio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/workload"
+)
+
+// Property: single-byte corruption of a valid message never panics the
+// decoder — it either errors or yields a well-typed value (bit flips
+// inside scalar payload bytes are legitimate data).
+func TestQuickCorruptionNeverPanics(t *testing.T) {
+	server := NewMemServer()
+	sender := NewCodec(NewRegistry(server))
+	receiver := NewCodec(NewRegistry(server))
+	msg, err := sender.Marshal(workload.NestedStruct(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(pos uint16, bit uint8) bool {
+		corrupted := append([]byte{}, msg...)
+		corrupted[int(pos)%len(corrupted)] ^= 1 << (bit % 8)
+		v, err := receiver.Unmarshal(corrupted)
+		if err != nil {
+			return true
+		}
+		return v.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random byte soup never panics the decoder or the descriptor
+// parser.
+func TestQuickGarbageNeverPanics(t *testing.T) {
+	receiver := NewCodec(NewRegistry(NewMemServer()))
+	f := func(data []byte) bool {
+		if v, err := receiver.Unmarshal(data); err == nil {
+			if v.Check() != nil {
+				return false
+			}
+		}
+		if typ, err := ParseDescriptor(data); err == nil {
+			if typ.Validate() != nil {
+				return false
+			}
+		}
+		if _, err := ParseHeader(data); err == nil && len(data) < headerLen {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating a valid message at any point errors cleanly.
+func TestQuickTruncationAlwaysErrors(t *testing.T) {
+	server := NewMemServer()
+	sender := NewCodec(NewRegistry(server))
+	receiver := NewCodec(NewRegistry(server))
+	msg, err := sender.Marshal(workload.IntArray(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cut uint16) bool {
+		n := int(cut) % len(msg)
+		_, err := receiver.Unmarshal(msg[:n])
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package pbio
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"soapbinq/internal/workload"
+)
+
+func startHTTPFormatServer(t *testing.T) (*MemServer, *HTTPFormatClient) {
+	t.Helper()
+	store := NewMemServer()
+	ts := httptest.NewServer(NewHTTPHandler(store))
+	t.Cleanup(ts.Close)
+	return store, &HTTPFormatClient{URL: ts.URL, Client: ts.Client()}
+}
+
+func TestHTTPFormatRegisterLookup(t *testing.T) {
+	_, client := startHTTPFormatServer(t)
+	f, err := NewFormat(workload.NestedStructType(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.ID {
+		t.Errorf("ID = %#x, want %#x", got.ID, f.ID)
+	}
+	looked, err := client.Lookup(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !looked.Type.Equal(f.Type) {
+		t.Error("lookup type mismatch")
+	}
+	if _, err := client.Lookup(0xBEEF); err == nil {
+		t.Error("unknown id must fail")
+	}
+	if _, err := client.Register(nil); err == nil {
+		t.Error("nil register must fail")
+	}
+}
+
+func TestHTTPFormatEndToEndCodecs(t *testing.T) {
+	_, client := startHTTPFormatServer(t)
+	sender := NewCodec(NewRegistry(client))
+	receiver := NewCodec(NewRegistry(&HTTPFormatClient{URL: client.URL, Client: client.Client}))
+
+	v := workload.NestedStruct(3, 2)
+	msg, err := sender.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Unmarshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Error("round trip over HTTP format server failed")
+	}
+}
+
+func TestHTTPFormatHandlerRejects(t *testing.T) {
+	store := NewMemServer()
+	ts := httptest.NewServer(NewHTTPHandler(store))
+	defer ts.Close()
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+
+	// Empty body.
+	resp, err = http.Post(ts.URL, FormatContentType, bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty frame status = %d", resp.StatusCode)
+	}
+
+	// Unknown op yields an error frame with status 200.
+	resp, err = http.Post(ts.URL, FormatContentType, bytes.NewReader([]byte{'Z'}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || buf.Bytes()[0] != opError {
+		t.Errorf("unknown op: status=%d frame=%q", resp.StatusCode, buf.Bytes())
+	}
+
+	// Malformed lookup/register payloads.
+	for _, frame := range [][]byte{{opLookup, 1}, {opRegister, 99}} {
+		resp, err = http.Post(ts.URL, FormatContentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if buf.Bytes()[0] != opError {
+			t.Errorf("frame %v: reply %q", frame, buf.Bytes())
+		}
+	}
+}
+
+func TestHTTPFormatClientDeadServer(t *testing.T) {
+	client := NewHTTPFormatClient("http://127.0.0.1:1/formats")
+	f, _ := NewFormat(workload.IntArrayType())
+	if _, err := client.Register(f); err == nil {
+		t.Error("dead server must fail")
+	}
+	if _, err := client.Lookup(1); err == nil {
+		t.Error("dead server lookup must fail")
+	}
+}
+
+func TestIDHelpers(t *testing.T) {
+	for _, id := range []uint64{0, 1, 0xDEADBEEFCAFEF00D, 1 << 63} {
+		var buf [8]byte
+		putID(buf[:], id)
+		if readID(buf[:]) != id {
+			t.Errorf("id %#x did not round trip", id)
+		}
+		if got := appendID(nil, id); readID(got) != id {
+			t.Errorf("appendID %#x mismatch", id)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/workload"
+)
+
+// Property: descriptors of arbitrary random types round-trip.
+func TestQuickDescriptorRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		typ := workload.RandomType(seed)
+		got, err := ParseDescriptor(AppendDescriptor(nil, typ))
+		if err != nil {
+			return false
+		}
+		return got.Equal(typ) && FormatID(got) == FormatID(typ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random values of random types round-trip through the codec
+// in both byte orders.
+func TestQuickRandomTypesRoundTrip(t *testing.T) {
+	f := func(seed uint64, big bool) bool {
+		typ := workload.RandomType(seed)
+		v := workload.Random(typ, seed^0x5A5A)
+		server := NewMemServer()
+		order := binary.ByteOrder(binary.LittleEndian)
+		if big {
+			order = binary.BigEndian
+		}
+		sender := NewCodecOrder(NewRegistry(server), order)
+		receiver := NewCodec(NewRegistry(server))
+		msg, err := sender.Marshal(v)
+		if err != nil {
+			return false
+		}
+		got, err := receiver.Unmarshal(msg)
+		if err != nil {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package pbio
+
+import (
+	"fmt"
+	"sync"
+
+	"soapbinq/internal/idl"
+)
+
+// Registry is an endpoint's local view of the format space: a cache in
+// front of a Server. The first encounter with a type (sending) or a format
+// ID (receiving) goes to the server; every subsequent use is served from
+// the cache — this is the paper's "transaction occurs only once, since the
+// format is cached locally thereafter".
+type Registry struct {
+	mu     sync.Mutex
+	server Server
+	bySig  map[string]*Format
+	byID   map[uint64]*Format
+	stats  RegistryStats
+}
+
+// RegistryStats separates cache hits from server round trips so that the
+// cold-start cost of the first message of each type is observable.
+type RegistryStats struct {
+	CacheHits     int // resolved locally
+	Registrations int // new types pushed to the server
+	ServerLookups int // unknown IDs fetched from the server
+}
+
+// NewRegistry returns a registry backed by the given format server.
+func NewRegistry(server Server) *Registry {
+	return &Registry{
+		server: server,
+		bySig:  make(map[string]*Format),
+		byID:   make(map[uint64]*Format),
+	}
+}
+
+// RegisterType ensures a format exists for t, registering it with the
+// format server on first use.
+func (r *Registry) RegisterType(t *idl.Type) (*Format, error) {
+	if t == nil {
+		return nil, fmt.Errorf("pbio: register nil type")
+	}
+	sig := t.Signature()
+	r.mu.Lock()
+	if f, ok := r.bySig[sig]; ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		return f, nil
+	}
+	r.mu.Unlock()
+
+	f, err := NewFormat(t)
+	if err != nil {
+		return nil, err
+	}
+	// Push to the server outside the lock: server round trips may block.
+	registered, err := r.server.Register(f)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: register %q: %w", f.Name, err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.bySig[sig]; ok { // raced with another goroutine
+		r.stats.CacheHits++
+		return cached, nil
+	}
+	r.bySig[sig] = registered
+	r.byID[registered.ID] = registered
+	r.stats.Registrations++
+	return registered, nil
+}
+
+// Resolve maps a received format ID to its descriptor, consulting the
+// format server for IDs not yet cached.
+func (r *Registry) Resolve(id uint64) (*Format, error) {
+	r.mu.Lock()
+	if f, ok := r.byID[id]; ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		return f, nil
+	}
+	r.mu.Unlock()
+
+	f, err := r.server.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.byID[id]; ok {
+		r.stats.CacheHits++
+		return cached, nil
+	}
+	r.byID[id] = f
+	r.bySig[f.Type.Signature()] = f
+	r.stats.ServerLookups++
+	return f, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

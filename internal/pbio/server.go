@@ -1,0 +1,87 @@
+package pbio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnknownFormat is returned by Lookup when no format has been registered
+// under the requested ID.
+var ErrUnknownFormat = errors.New("pbio: unknown format")
+
+// Server is the format server: it collects format registrations and
+// answers lookups from receivers that encounter an unknown format ID.
+// Implementations must be safe for concurrent use.
+type Server interface {
+	// Register records the format for a type and returns it. Registration
+	// is idempotent: the same type always yields the same Format.
+	Register(f *Format) (*Format, error)
+	// Lookup resolves a format ID to its registered descriptor.
+	Lookup(id uint64) (*Format, error)
+}
+
+// MemServer is the in-process format server used when client and server
+// share an address space, and the backing store for the TCP format server.
+// The zero value is not usable; call NewMemServer.
+type MemServer struct {
+	mu    sync.RWMutex
+	byID  map[uint64]*Format
+	stats ServerStats
+}
+
+// ServerStats counts format-server traffic, exposing the one-time
+// registration handshake cost the paper discusses for deeply nested
+// formats.
+type ServerStats struct {
+	Registrations int // Register calls that stored a new format
+	ReRegistered  int // Register calls that hit an existing format
+	Lookups       int // successful Lookup calls
+	Misses        int // Lookup calls for unknown IDs
+}
+
+// NewMemServer returns an empty in-memory format server.
+func NewMemServer() *MemServer {
+	return &MemServer{byID: make(map[uint64]*Format)}
+}
+
+// Register implements Server.
+func (s *MemServer) Register(f *Format) (*Format, error) {
+	if f == nil || f.Type == nil {
+		return nil, fmt.Errorf("pbio: register nil format")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.byID[f.ID]; ok {
+		if !existing.Type.Equal(f.Type) {
+			return nil, fmt.Errorf("pbio: format ID collision: %q vs %q", existing.Name, f.Name)
+		}
+		s.stats.ReRegistered++
+		return existing, nil
+	}
+	s.byID[f.ID] = f
+	s.stats.Registrations++
+	return f, nil
+}
+
+// Lookup implements Server.
+func (s *MemServer) Lookup(id uint64) (*Format, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.byID[id]
+	if !ok {
+		s.stats.Misses++
+		return nil, fmt.Errorf("%w: id %#x", ErrUnknownFormat, id)
+	}
+	s.stats.Lookups++
+	return f, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *MemServer) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+var _ Server = (*MemServer)(nil)

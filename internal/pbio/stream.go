@@ -1,0 +1,225 @@
+package pbio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"soapbinq/internal/idl"
+)
+
+// Streaming encode/decode. The paper targets large-data applications —
+// megabyte image frames, bulk scientific data — where building the whole
+// wire message in memory doubles the footprint. MarshalTo computes the
+// payload length up front (EncodedSize is a cheap tree walk), writes the
+// header, and streams the payload through a small buffer; UnmarshalFrom
+// reads the header and decodes the payload incrementally.
+
+// MarshalTo writes a complete framed PBIO message for v to w, returning
+// the number of bytes written. Equivalent to w.Write(Marshal(v)) without
+// materializing the message.
+func (c *Codec) MarshalTo(w io.Writer, v idl.Value) (int64, error) {
+	if v.Type == nil {
+		return 0, fmt.Errorf("pbio: marshal untyped value")
+	}
+	if err := v.Check(); err != nil {
+		return 0, fmt.Errorf("pbio: %w", err)
+	}
+	f, err := c.reg.RegisterType(v.Type)
+	if err != nil {
+		return 0, err
+	}
+	payload := EncodedSize(v)
+	if payload > math.MaxUint32 {
+		return 0, fmt.Errorf("pbio: payload too large (%d bytes)", payload)
+	}
+
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = wireVersion
+	if c.big {
+		hdr[5] = flagBigEndian
+	}
+	binary.BigEndian.PutUint64(hdr[6:14], f.ID)
+	binary.BigEndian.PutUint32(hdr[14:18], uint32(payload))
+
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if err := c.streamValue(bw, v); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(headerLen + payload), nil
+}
+
+func (c *Codec) streamValue(w *bufio.Writer, v idl.Value) error {
+	var tmp [8]byte
+	switch v.Type.Kind {
+	case idl.KindInt:
+		c.order.PutUint64(tmp[:], uint64(v.Int))
+		_, err := w.Write(tmp[:])
+		return err
+	case idl.KindFloat:
+		c.order.PutUint64(tmp[:], math.Float64bits(v.Float))
+		_, err := w.Write(tmp[:])
+		return err
+	case idl.KindChar:
+		return w.WriteByte(v.Char)
+	case idl.KindString:
+		c.order.PutUint32(tmp[:4], uint32(len(v.Str)))
+		if _, err := w.Write(tmp[:4]); err != nil {
+			return err
+		}
+		_, err := w.WriteString(v.Str)
+		return err
+	case idl.KindList:
+		c.order.PutUint32(tmp[:4], uint32(len(v.List)))
+		if _, err := w.Write(tmp[:4]); err != nil {
+			return err
+		}
+		for i := range v.List {
+			if err := c.streamValue(w, v.List[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case idl.KindStruct:
+		for i := range v.Fields {
+			if err := c.streamValue(w, v.Fields[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("pbio: cannot encode kind %s", v.Type.Kind)
+	}
+}
+
+// UnmarshalFrom reads one framed PBIO message from r and decodes it,
+// resolving the format through the registry. The reader is consumed
+// exactly up to the end of the message, so framed messages can be read
+// back to back from one stream.
+func (c *Codec) UnmarshalFrom(r io.Reader) (idl.Value, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return idl.Value{}, fmt.Errorf("pbio: read header: %w", err)
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return idl.Value{}, err
+	}
+	f, err := c.reg.Resolve(h.FormatID)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	if h.BigEndian {
+		order = binary.BigEndian
+	}
+	sd := &streamDecoder{
+		r:         bufio.NewReaderSize(io.LimitReader(r, int64(h.PayloadLen)), 32<<10),
+		order:     order,
+		remaining: h.PayloadLen,
+	}
+	v, err := sd.value(f.Type)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	if sd.remaining != 0 {
+		return idl.Value{}, fmt.Errorf("pbio: %d trailing payload bytes", sd.remaining)
+	}
+	return v, nil
+}
+
+type streamDecoder struct {
+	r         *bufio.Reader
+	order     binary.ByteOrder
+	remaining int
+	tmp       [8]byte
+}
+
+func (d *streamDecoder) need(n int) ([]byte, error) {
+	if n > d.remaining {
+		return nil, fmt.Errorf("%w: need %d bytes, %d remain", ErrTruncated, n, d.remaining)
+	}
+	buf := d.tmp[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	d.remaining -= n
+	return buf, nil
+}
+
+func (d *streamDecoder) value(t *idl.Type) (idl.Value, error) {
+	switch t.Kind {
+	case idl.KindInt:
+		b, err := d.need(8)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.IntV(int64(d.order.Uint64(b))), nil
+	case idl.KindFloat:
+		b, err := d.need(8)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.FloatV(math.Float64frombits(d.order.Uint64(b))), nil
+	case idl.KindChar:
+		b, err := d.need(1)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return idl.CharV(b[0]), nil
+	case idl.KindString:
+		b, err := d.need(4)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		n := int(d.order.Uint32(b))
+		if n > d.remaining {
+			return idl.Value{}, fmt.Errorf("%w: string of %d bytes, %d remain", ErrTruncated, n, d.remaining)
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(d.r, s); err != nil {
+			return idl.Value{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		d.remaining -= n
+		return idl.StringV(string(s)), nil
+	case idl.KindList:
+		b, err := d.need(4)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		n := int(d.order.Uint32(b))
+		if min := minEncodedSize(t.Elem); min > 0 && n > d.remaining/min {
+			return idl.Value{}, fmt.Errorf("%w: list count %d exceeds remaining %d bytes", ErrTruncated, n, d.remaining)
+		}
+		elems := make([]idl.Value, n)
+		for i := 0; i < n; i++ {
+			e, err := d.value(t.Elem)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("list element %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		return idl.Value{Type: t, List: elems}, nil
+	case idl.KindStruct:
+		fields := make([]idl.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fv, err := d.value(f.Type)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("struct %s field %q: %w", t.Name, f.Name, err)
+			}
+			fields[i] = fv
+		}
+		return idl.Value{Type: t, Fields: fields}, nil
+	default:
+		return idl.Value{}, fmt.Errorf("pbio: cannot decode kind %s", t.Kind)
+	}
+}

@@ -1,0 +1,144 @@
+package pbio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/workload"
+)
+
+func TestMarshalToMatchesMarshal(t *testing.T) {
+	server := NewMemServer()
+	bufCodec := NewCodec(NewRegistry(server))
+	streamCodec := NewCodec(NewRegistry(server))
+
+	values := []idl.Value{
+		idl.IntV(7),
+		idl.StringV("stream me"),
+		workload.IntArray(5000),
+		workload.NestedStruct(5, 3),
+	}
+	for _, v := range values {
+		want, err := bufCodec.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := streamCodec.MarshalTo(&buf, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(want)) {
+			t.Errorf("%s: wrote %d bytes, want %d", v.Type, n, len(want))
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: streamed bytes differ from buffered bytes", v.Type)
+		}
+	}
+}
+
+func TestUnmarshalFromStream(t *testing.T) {
+	server := NewMemServer()
+	sender := NewCodecOrder(NewRegistry(server), binary.BigEndian)
+	receiver := NewCodec(NewRegistry(server))
+
+	// Back-to-back messages on one stream.
+	var stream bytes.Buffer
+	v1 := workload.NestedStruct(3, 2)
+	v2 := workload.IntArray(100)
+	if _, err := sender.MarshalTo(&stream, v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.MarshalTo(&stream, v2); err != nil {
+		t.Fatal(err)
+	}
+
+	got1, err := receiver.UnmarshalFrom(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := receiver.UnmarshalFrom(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1.Equal(v1) || !got2.Equal(v2) {
+		t.Error("streamed round trip mismatch")
+	}
+	if _, err := receiver.UnmarshalFrom(&stream); err == nil {
+		t.Error("empty stream must error")
+	}
+}
+
+func TestMarshalToErrors(t *testing.T) {
+	codec := NewCodec(NewRegistry(NewMemServer()))
+	var buf bytes.Buffer
+	if _, err := codec.MarshalTo(&buf, idl.Value{}); err == nil {
+		t.Error("untyped value must fail")
+	}
+	bad := idl.Value{Type: idl.List(idl.Int()), List: []idl.Value{idl.StringV("x")}}
+	if _, err := codec.MarshalTo(&buf, bad); err == nil {
+		t.Error("ill-typed value must fail")
+	}
+	// Failing writer.
+	v := workload.IntArray(10)
+	if _, err := codec.MarshalTo(failWriter{}, v); err == nil {
+		t.Error("writer failure must propagate")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestUnmarshalFromTruncation(t *testing.T) {
+	server := NewMemServer()
+	sender := NewCodec(NewRegistry(server))
+	receiver := NewCodec(NewRegistry(server))
+	var buf bytes.Buffer
+	if _, err := sender.MarshalTo(&buf, workload.IntArray(64)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 5, headerLen, headerLen + 3, len(full) - 1} {
+		if _, err := receiver.UnmarshalFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Hostile list count in a stream.
+	hostile := append([]byte{}, full...)
+	binary.LittleEndian.PutUint32(hostile[headerLen:], 1<<30)
+	if _, err := receiver.UnmarshalFrom(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile count accepted")
+	}
+}
+
+// Property: stream and buffer paths agree on arbitrary values.
+func TestQuickStreamAgreesWithBuffer(t *testing.T) {
+	server := NewMemServer()
+	streamEnc := NewCodec(NewRegistry(server))
+	receiver := NewCodec(NewRegistry(server))
+	f := func(seed uint64, big bool) bool {
+		typ := workload.RandomType(seed)
+		v := workload.Random(typ, seed^0xBEEF)
+		enc := streamEnc
+		if big {
+			enc = NewCodecOrder(NewRegistry(server), binary.BigEndian)
+		}
+		var buf bytes.Buffer
+		if _, err := enc.MarshalTo(&buf, v); err != nil {
+			return false
+		}
+		got, err := receiver.UnmarshalFrom(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP format-server protocol. Frames in both directions are
+//
+//	u32 big-endian length | 1-byte op | payload
+//
+// Requests: opRegister carries a type descriptor; opLookup carries an
+// 8-byte format ID. Replies: opFormatID carries an 8-byte ID, opDescriptor
+// a type descriptor, opError a UTF-8 message.
+const (
+	opRegister   = 'R'
+	opLookup     = 'L'
+	opFormatID   = 'F'
+	opDescriptor = 'D'
+	opError      = 'E'
+
+	maxFrame = 1 << 20 // descriptors are small; anything bigger is hostile
+)
+
+// TCPServer serves format registrations and lookups over TCP, backed by a
+// MemServer. Start it with ListenAndServe or Serve; Close stops it.
+type TCPServer struct {
+	store *MemServer
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer returns a TCP format server around the given store. A nil
+// store gets a fresh MemServer.
+func NewTCPServer(store *MemServer) *TCPServer {
+	if store == nil {
+		store = NewMemServer()
+	}
+	return &TCPServer{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Store exposes the backing MemServer (e.g. for stats assertions).
+func (s *TCPServer) Store() *MemServer { return s.store }
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns once the listener is bound; serving continues in background
+// goroutines. Addr() reports the bound address.
+func (s *TCPServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pbio: format server listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("pbio: format server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address, or "" before ListenAndServe.
+func (s *TCPServer) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the listener, closes live connections, and waits for the
+// serving goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		var reply []byte
+		switch op {
+		case opRegister:
+			reply = handleRegisterFrame(s.store, payload)
+		case opLookup:
+			reply = handleLookupFrame(s.store, payload)
+		default:
+			reply = errorFrame(fmt.Sprintf("unknown op %q", op))
+		}
+		if err := writeFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func errorFrame(msg string) []byte {
+	return append([]byte{opError}, msg...)
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("pbio: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// TCPClient is a Server implementation that forwards registrations and
+// lookups to a remote TCPServer over a single persistent connection.
+// It is safe for concurrent use; requests are serialized on the wire.
+type TCPClient struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPClient returns a client of the format server at addr. The
+// connection is established lazily on first use and re-established once
+// per request after a transport error.
+func NewTCPClient(addr string) *TCPClient {
+	return &TCPClient{addr: addr}
+}
+
+// Register implements Server.
+func (c *TCPClient) Register(f *Format) (*Format, error) {
+	if f == nil || f.Type == nil {
+		return nil, fmt.Errorf("pbio: register nil format")
+	}
+	req := AppendDescriptor([]byte{opRegister}, f.Type)
+	op, payload, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case opFormatID:
+		if len(payload) != 8 {
+			return nil, fmt.Errorf("pbio: malformed register reply")
+		}
+		id := binary.BigEndian.Uint64(payload)
+		if id != f.ID {
+			return nil, fmt.Errorf("pbio: server assigned ID %#x, expected %#x", id, f.ID)
+		}
+		return f, nil
+	case opError:
+		return nil, fmt.Errorf("pbio: format server: %s", payload)
+	default:
+		return nil, fmt.Errorf("pbio: unexpected reply op %q", op)
+	}
+}
+
+// Lookup implements Server.
+func (c *TCPClient) Lookup(id uint64) (*Format, error) {
+	req := make([]byte, 0, 9)
+	req = append(req, opLookup)
+	req = binary.BigEndian.AppendUint64(req, id)
+	op, payload, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case opDescriptor:
+		t, err := ParseDescriptor(payload)
+		if err != nil {
+			return nil, err
+		}
+		return NewFormat(t)
+	case opError:
+		return nil, fmt.Errorf("%w: %s", ErrUnknownFormat, payload)
+	default:
+		return nil, fmt.Errorf("pbio: unexpected reply op %q", op)
+	}
+}
+
+// Close drops the persistent connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *TCPClient) roundTrip(frame []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op, payload, err := c.tryOnce(frame)
+	if err == nil {
+		return op, payload, nil
+	}
+	// One reconnect attempt: the previous connection may have gone stale.
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return c.tryOnce(frame)
+}
+
+func (c *TCPClient) tryOnce(frame []byte) (byte, []byte, error) {
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return 0, nil, fmt.Errorf("pbio: dial format server: %w", err)
+		}
+		c.conn = conn
+	}
+	if err := writeFrame(c.conn, frame); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.conn)
+}
+
+var _ Server = (*TCPClient)(nil)

@@ -1,0 +1,181 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+
+	"soapbinq/internal/workload"
+)
+
+func startServer(t *testing.T) (*TCPServer, string) {
+	t.Helper()
+	srv := NewTCPServer(nil)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func TestTCPRegisterAndLookup(t *testing.T) {
+	_, addr := startServer(t)
+	client := NewTCPClient(addr)
+	defer client.Close()
+
+	f, err := NewFormat(workload.NestedStructType(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.ID {
+		t.Errorf("registered ID %#x, want %#x", got.ID, f.ID)
+	}
+
+	looked, err := client.Lookup(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !looked.Type.Equal(f.Type) {
+		t.Error("looked-up type differs from registered type")
+	}
+	if _, err := client.Lookup(0xdeadbeef); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("lookup unknown: %v", err)
+	}
+	if _, err := client.Register(nil); err == nil {
+		t.Error("nil register must fail")
+	}
+}
+
+func TestTCPEndToEndCodecs(t *testing.T) {
+	// Sender and receiver in (conceptually) different processes sharing
+	// only the TCP format server.
+	_, addr := startServer(t)
+	senderClient := NewTCPClient(addr)
+	defer senderClient.Close()
+	receiverClient := NewTCPClient(addr)
+	defer receiverClient.Close()
+
+	sender := NewCodecOrder(NewRegistry(senderClient), binary.BigEndian)
+	receiver := NewCodec(NewRegistry(receiverClient))
+
+	v := workload.NestedStruct(4, 2)
+	msg, err := sender.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Unmarshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Error("end-to-end round trip over TCP format server failed")
+	}
+	// Second message: no further server traffic from the receiver.
+	before := receiver.Registry().Stats().ServerLookups
+	msg2, _ := sender.Marshal(v)
+	if _, err := receiver.Unmarshal(msg2); err != nil {
+		t.Fatal(err)
+	}
+	if after := receiver.Registry().Stats().ServerLookups; after != before {
+		t.Errorf("warm message triggered %d extra lookups", after-before)
+	}
+}
+
+func TestTCPClientReconnects(t *testing.T) {
+	srv, addr := startServer(t)
+	client := NewTCPClient(addr)
+	defer client.Close()
+
+	f, _ := NewFormat(workload.IntArrayType())
+	if _, err := client.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's connection server-side; next call must reconnect.
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	if _, err := client.Lookup(f.ID); err != nil {
+		t.Fatalf("lookup after dropped connection: %v", err)
+	}
+}
+
+func TestTCPServerRejectsMalformedFrames(t *testing.T) {
+	_, addr := startServer(t)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Unknown op yields an error frame, not a dropped connection.
+	if err := writeFrame(conn, []byte{'Z'}); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opError {
+		t.Errorf("op = %q, want error frame (%s)", op, payload)
+	}
+
+	// Bad lookup payload length.
+	if err := writeFrame(conn, []byte{opLookup, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	op, _, err = readFrame(conn)
+	if err != nil || op != opError {
+		t.Errorf("short lookup: op=%q err=%v", op, err)
+	}
+
+	// Bad register descriptor.
+	if err := writeFrame(conn, []byte{opRegister, 99}); err != nil {
+		t.Fatal(err)
+	}
+	op, _, err = readFrame(conn)
+	if err != nil || op != opError {
+		t.Errorf("bad descriptor: op=%q err=%v", op, err)
+	}
+
+	// Zero-length frame drops the connection.
+	var lenBuf [4]byte
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(conn); err == nil {
+		t.Error("expected connection drop after zero-length frame")
+	}
+}
+
+func TestTCPServerCloseIsIdempotent(t *testing.T) {
+	srv := NewTCPServer(nil)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close must be nil:", err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Error("ListenAndServe after Close must fail")
+	}
+}
+
+func TestTCPClientDialFailure(t *testing.T) {
+	client := NewTCPClient("127.0.0.1:1") // nothing listens here
+	defer client.Close()
+	f, _ := NewFormat(workload.IntArrayType())
+	if _, err := client.Register(f); err == nil {
+		t.Error("register against dead server must fail")
+	}
+}

@@ -1,0 +1,59 @@
+// Package quality implements SOAP-binQ's continuous quality management:
+// quality files mapping monitored-attribute intervals (RTT in the paper's
+// experiments) to message types, quality handlers that transform parameter
+// data (image resizing, timestep batching), exponential-average RTT
+// estimation with history-based anti-oscillation, and the client/server
+// integration that selects a message type just before each send.
+package quality
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Attributes is the mutable set of quality attributes an application can
+// adjust at run time — the paper's update_attribute() API. Attribute
+// values parameterize handlers (e.g. a granularity knob for a stock-quote
+// feed) and can also override the monitored value driving selection.
+type Attributes struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// NewAttributes returns an empty attribute set.
+func NewAttributes() *Attributes {
+	return &Attributes{m: make(map[string]float64)}
+}
+
+// Update sets an attribute value. It is the Go rendering of the paper's
+// update_attribute() call and may be invoked concurrently with calls.
+func (a *Attributes) Update(name string, value float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m[name] = value
+}
+
+// Get returns an attribute value and whether it has been set.
+func (a *Attributes) Get(name string) (float64, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	v, ok := a.m[name]
+	return v, ok
+}
+
+// Snapshot copies the current attribute values, for handlers that want a
+// race-free view for the duration of one invocation.
+func (a *Attributes) Snapshot() map[string]float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]float64, len(a.m))
+	for k, v := range a.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the set for debugging.
+func (a *Attributes) String() string {
+	return fmt.Sprintf("attributes%v", a.Snapshot())
+}

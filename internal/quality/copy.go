@@ -1,0 +1,67 @@
+package quality
+
+import (
+	"fmt"
+
+	"soapbinq/internal/idl"
+)
+
+// Downgrade produces a value of the target message type from a (usually
+// larger) source value: fields that exist in both types with identical
+// types are copied, everything else in the target is zero. This is the
+// paper's trivial sender-side conversion — "copies the relevant fields
+// (those fields that are common to the data structure acquired from the
+// application and those to be sent) and ignores the rest".
+//
+// Non-struct targets must match the source type exactly.
+func Downgrade(v idl.Value, target *idl.Type) (idl.Value, error) {
+	if v.Type == nil {
+		return idl.Value{}, fmt.Errorf("quality: downgrade untyped value")
+	}
+	if v.Type.Equal(target) {
+		return v, nil
+	}
+	if v.Type.Kind != idl.KindStruct || target.Kind != idl.KindStruct {
+		return idl.Value{}, fmt.Errorf("quality: cannot field-copy %s to %s", v.Type, target)
+	}
+	return copyCommon(v, target), nil
+}
+
+// Upgrade pads a (usually smaller) received value back out to the full
+// type the application expects: common fields are copied, missing fields
+// are zero — the paper's receiver-side rule that "the remaining entries
+// are padded with zeroes", which is what lets legacy applications work
+// unmodified under quality management.
+func Upgrade(v idl.Value, full *idl.Type) (idl.Value, error) {
+	if v.Type == nil {
+		return idl.Value{}, fmt.Errorf("quality: upgrade untyped value")
+	}
+	if v.Type.Equal(full) {
+		return v, nil
+	}
+	if v.Type.Kind != idl.KindStruct || full.Kind != idl.KindStruct {
+		return idl.Value{}, fmt.Errorf("quality: cannot field-copy %s to %s", v.Type, full)
+	}
+	return copyCommon(v, full), nil
+}
+
+// copyCommon builds Zero(target) with every name-and-type-matching field
+// copied from src. Matching is shallow by field name; nested structs copy
+// whole when their types match exactly, and recurse when both sides are
+// structs of different shapes.
+func copyCommon(src idl.Value, target *idl.Type) idl.Value {
+	out := idl.Zero(target)
+	for i, tf := range target.Fields {
+		sv, ok := src.Field(tf.Name)
+		if !ok || sv.Type == nil {
+			continue
+		}
+		switch {
+		case sv.Type.Equal(tf.Type):
+			out.Fields[i] = sv
+		case sv.Type.Kind == idl.KindStruct && tf.Type.Kind == idl.KindStruct:
+			out.Fields[i] = copyCommon(sv, tf.Type)
+		}
+	}
+	return out
+}

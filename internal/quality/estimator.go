@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultAlpha is the exponential-averaging weight most RTT estimators
+// use, as the paper notes (R = α·R + (1−α)·M with α = 0.875, following
+// RFC 793 / Jacobson-Karels).
+const DefaultAlpha = 0.875
+
+// Estimator maintains a smoothed round-trip-time estimate from per-request
+// samples. It is safe for concurrent use.
+type Estimator struct {
+	mu      sync.Mutex
+	alpha   float64
+	current time.Duration
+	primed  bool
+	samples int
+}
+
+// NewEstimator returns an estimator with the given weight; alpha outside
+// (0,1) falls back to DefaultAlpha.
+func NewEstimator(alpha float64) *Estimator {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultAlpha
+	}
+	return &Estimator{alpha: alpha}
+}
+
+// Observe folds a new sample into the estimate and returns the updated
+// value. The first sample initializes the estimate directly.
+func (e *Estimator) Observe(sample time.Duration) time.Duration {
+	if sample < 0 {
+		sample = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		e.current = sample
+		e.primed = true
+	} else {
+		e.current = time.Duration(e.alpha*float64(e.current) + (1-e.alpha)*float64(sample))
+	}
+	e.samples++
+	return e.current
+}
+
+// Estimate returns the current smoothed RTT (zero before any sample).
+func (e *Estimator) Estimate() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.current
+}
+
+// Samples returns how many observations have been folded in.
+func (e *Estimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}
+
+// Set replaces the estimate outright. The server side uses this when the
+// client piggybacks its own estimate on a request (the paper: "the server
+// is informed of the new value during the next request").
+func (e *Estimator) Set(rtt time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.current = rtt
+	e.primed = true
+}
+
+// JacobsonEstimator is the "more complex and effective estimator" the
+// paper's §IV-C names as future work: Jacobson/Karels congestion-avoidance
+// estimation (SIGCOMM '88), tracking both a smoothed RTT and its mean
+// deviation. Bound() — SRTT + 4·RTTVAR — gives a variance-aware threshold
+// that reacts to jittery links faster than the plain exponential average.
+type JacobsonEstimator struct {
+	mu      sync.Mutex
+	srtt    time.Duration
+	rttvar  time.Duration
+	primed  bool
+	samples int
+}
+
+// Jacobson/Karels gains: g = 1/8 for the mean, h = 1/4 for the deviation.
+const (
+	jacobsonG = 0.125
+	jacobsonH = 0.25
+)
+
+// NewJacobsonEstimator returns an unprimed estimator.
+func NewJacobsonEstimator() *JacobsonEstimator {
+	return &JacobsonEstimator{}
+}
+
+// Observe folds in a sample and returns the updated smoothed RTT.
+func (e *JacobsonEstimator) Observe(sample time.Duration) time.Duration {
+	if sample < 0 {
+		sample = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		e.primed = true
+	} else {
+		err := sample - e.srtt
+		if err < 0 {
+			e.rttvar += time.Duration(jacobsonH * float64(-err-e.rttvar))
+		} else {
+			e.rttvar += time.Duration(jacobsonH * float64(err-e.rttvar))
+		}
+		e.srtt += time.Duration(jacobsonG * float64(err))
+	}
+	e.samples++
+	return e.srtt
+}
+
+// Estimate returns the smoothed RTT.
+func (e *JacobsonEstimator) Estimate() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srtt
+}
+
+// Var returns the smoothed mean deviation.
+func (e *JacobsonEstimator) Var() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rttvar
+}
+
+// Bound returns SRTT + 4·RTTVAR, the classic retransmission-timeout
+// formula, usable as a variance-aware quality threshold input.
+func (e *JacobsonEstimator) Bound() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srtt + 4*e.rttvar
+}
+
+// Samples reports the number of observations.
+func (e *JacobsonEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}

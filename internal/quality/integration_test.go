@@ -1,0 +1,263 @@
+package quality
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+// delayTransport wraps a loopback with a controllable simulated RTT,
+// standing in for netem in these tests.
+type delayTransport struct {
+	inner core.Transport
+
+	mu    sync.Mutex
+	delay time.Duration
+	last  time.Duration
+}
+
+func (d *delayTransport) RoundTrip(req *core.WireRequest) (*core.WireResponse, error) {
+	resp, err := d.inner.RoundTrip(req)
+	d.mu.Lock()
+	d.last = d.delay
+	d.mu.Unlock()
+	return resp, err
+}
+
+func (d *delayTransport) LastRoundTrip() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
+
+func (d *delayTransport) setDelay(t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.delay = t
+}
+
+var _ core.TimedTransport = (*delayTransport)(nil)
+
+func qualityService() *core.ServiceSpec {
+	return core.MustServiceSpec("QService",
+		&core.OpDef{Name: "get", Result: fullT},
+	)
+}
+
+// newQualityRig assembles server+middleware+client with a controllable
+// simulated link.
+func newQualityRig(t *testing.T, wire core.WireFormat, handlers map[string]Handler, policyText string) (*Client, *delayTransport, *Selector) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	policy := MustParsePolicy(policyText, testTypes, handlers)
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	attrs := NewAttributes()
+	full := idl.StructV(fullT,
+		idl.IntV(1),
+		idl.StringV("payload"),
+		idl.ListV(idl.Float(), idl.FloatV(3.5)),
+		idl.StringV("notes"),
+	)
+	mw := Middleware(policy, attrs, func(_ *core.CallCtx, _ []soap.Param) (idl.Value, error) {
+		return full.Clone(), nil
+	})
+	srv.MustHandle("get", mw)
+
+	link := &delayTransport{inner: &core.Loopback{Server: srv}}
+	inner := core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	qc := NewClient(inner, policy)
+	return qc, link, nil
+}
+
+func TestAdaptiveDowngradeAndPadding(t *testing.T) {
+	for _, wire := range []core.WireFormat{core.WireBinary, core.WireXML} {
+		t.Run(wire.String(), func(t *testing.T) {
+			qc, link, _ := newQualityRig(t, wire, nil, testPolicyText)
+
+			// Fast link: full responses.
+			link.setDelay(5 * time.Millisecond)
+			resp, err := qc.Call("get", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Header[core.MsgTypeHeader] != "" {
+				t.Errorf("fast link should use full type, got %q", resp.Header[core.MsgTypeHeader])
+			}
+			note, _ := resp.Value.Field("note")
+			if note.Str != "notes" {
+				t.Error("full response lost data")
+			}
+
+			// Degrade the link; after the estimate catches up and the
+			// selector dwell passes, responses downgrade.
+			link.setDelay(500 * time.Millisecond)
+			var sawSmall bool
+			for i := 0; i < 20; i++ {
+				resp, err = qc.Call("get", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Header[core.MsgTypeHeader] == "Small" {
+					sawSmall = true
+					break
+				}
+			}
+			if !sawSmall {
+				t.Fatal("server never downgraded under 500ms RTT")
+			}
+			// Padded back to the full type: declared fields present, zeroed.
+			if !resp.Value.Type.Equal(fullT) {
+				t.Fatalf("padded type = %s", resp.Value.Type)
+			}
+			note, _ = resp.Value.Field("note")
+			if note.Str != "" {
+				t.Error("downgraded field must pad to zero")
+			}
+			id, _ := resp.Value.Field("id")
+			if id.Int != 1 {
+				t.Error("common field lost in downgrade")
+			}
+
+			// Recover the link; estimator drains back and we upgrade.
+			link.setDelay(1 * time.Millisecond)
+			var sawFull bool
+			for i := 0; i < 60; i++ {
+				resp, err = qc.Call("get", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Header[core.MsgTypeHeader] == "" {
+					sawFull = true
+					break
+				}
+			}
+			if !sawFull {
+				t.Error("server never upgraded after recovery")
+			}
+		})
+	}
+}
+
+func TestQualityHandlerInvoked(t *testing.T) {
+	var gotAttrs map[string]float64
+	handlers := map[string]Handler{
+		"shrink": func(v idl.Value, attrs map[string]float64) (idl.Value, error) {
+			gotAttrs = attrs
+			// Produce the Small type with a marker value.
+			return idl.StructV(smallT, idl.IntV(99), idl.StringV("handled")), nil
+		},
+	}
+	text := testPolicyText + "\nhandler Small shrink\n"
+	qc, link, _ := newQualityRig(t, core.WireBinary, handlers, text)
+	qc.UpdateAttribute("resolution", 0.5)
+	qc.PadResults = false
+
+	link.setDelay(500 * time.Millisecond)
+	var resp *core.Response
+	var err error
+	for i := 0; i < 20; i++ {
+		resp, err = qc.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header[core.MsgTypeHeader] == "Small" {
+			break
+		}
+	}
+	if resp.Header[core.MsgTypeHeader] != "Small" {
+		t.Fatal("never downgraded")
+	}
+	name, _ := resp.Value.Field("name")
+	if name.Str != "handled" {
+		t.Errorf("handler output not used: %s", resp.Value)
+	}
+	_ = gotAttrs // attrs delivery checked below
+
+	// Note: attributes are snapshotted server-side; here client and server
+	// share the process, but the middleware got its own Attributes in
+	// newQualityRig, so gotAttrs reflects that (empty) set.
+	if len(gotAttrs) != 0 {
+		t.Errorf("unexpected attrs: %v", gotAttrs)
+	}
+}
+
+func TestMiddlewareReportsPrepAndEchoesTimestamp(t *testing.T) {
+	qc, link, _ := newQualityRig(t, core.WireBinary, nil, testPolicyText)
+	link.setDelay(time.Millisecond)
+	resp, err := qc.Call("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Header[TimestampHeader]; !ok {
+		t.Error("timestamp not echoed")
+	}
+	prep, ok := resp.Header[PrepTimeHeader]
+	if !ok {
+		t.Fatal("prep time missing")
+	}
+	if ns, err := strconv.ParseInt(prep, 10, 64); err != nil || ns < 0 {
+		t.Errorf("prep = %q", prep)
+	}
+}
+
+func TestClientPiggybacksRTT(t *testing.T) {
+	// After the first call the client has an estimate; the second request
+	// must carry it.
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+
+	var seenRTT string
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("get", func(ctx *core.CallCtx, _ []soap.Param) (idl.Value, error) {
+		seenRTT = ctx.RequestHeader[RTTHeader]
+		return idl.StructV(fullT, idl.IntV(1), idl.StringV("x"), idl.ListV(idl.Float()), idl.StringV("")), nil
+	})
+	link := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 7 * time.Millisecond}
+	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+
+	if _, err := qc.Call("get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if seenRTT != "" {
+		t.Error("first call must not carry an estimate")
+	}
+	if _, err := qc.Call("get", nil); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := strconv.ParseInt(seenRTT, 10, 64)
+	if err != nil || time.Duration(ns) != 7*time.Millisecond {
+		t.Errorf("piggybacked rtt = %q", seenRTT)
+	}
+	if qc.RTT() != 7*time.Millisecond {
+		t.Errorf("client estimate = %v", qc.RTT())
+	}
+}
+
+func TestMiddlewarePropagatesHandlerError(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("get", Middleware(policy, nil, func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return idl.Value{}, errBoom
+	}))
+	link := &delayTransport{inner: &core.Loopback{Server: srv}}
+	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+	if _, err := qc.Call("get", nil); err == nil {
+		t.Error("handler error must propagate")
+	}
+}
+
+var errBoom = boomError{}
+
+type boomError struct{}
+
+func (boomError) Error() string { return "boom" }

@@ -1,0 +1,71 @@
+package quality
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJacobsonPrimesOnFirstSample(t *testing.T) {
+	e := NewJacobsonEstimator()
+	if e.Estimate() != 0 || e.Var() != 0 || e.Bound() != 0 {
+		t.Error("unprimed estimator must be zero")
+	}
+	got := e.Observe(100 * time.Millisecond)
+	if got != 100*time.Millisecond {
+		t.Errorf("first observe = %v", got)
+	}
+	if e.Var() != 50*time.Millisecond {
+		t.Errorf("initial rttvar = %v, want srtt/2", e.Var())
+	}
+	if e.Bound() != 300*time.Millisecond {
+		t.Errorf("bound = %v, want srtt+4*var", e.Bound())
+	}
+	if e.Samples() != 1 {
+		t.Errorf("samples = %d", e.Samples())
+	}
+}
+
+func TestJacobsonConvergesOnSteadyInput(t *testing.T) {
+	e := NewJacobsonEstimator()
+	for i := 0; i < 200; i++ {
+		e.Observe(80 * time.Millisecond)
+	}
+	if diff := e.Estimate() - 80*time.Millisecond; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("srtt = %v, want ≈80ms", e.Estimate())
+	}
+	if e.Var() > 2*time.Millisecond {
+		t.Errorf("rttvar = %v, want ≈0 on steady input", e.Var())
+	}
+}
+
+func TestJacobsonTracksJitter(t *testing.T) {
+	steady := NewJacobsonEstimator()
+	jittery := NewJacobsonEstimator()
+	for i := 0; i < 200; i++ {
+		steady.Observe(100 * time.Millisecond)
+		if i%2 == 0 {
+			jittery.Observe(50 * time.Millisecond)
+		} else {
+			jittery.Observe(150 * time.Millisecond)
+		}
+	}
+	// Same mean, very different variance — the property the plain
+	// exponential average cannot express.
+	if d := steady.Estimate() - jittery.Estimate(); d < -10*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("means diverged: %v vs %v", steady.Estimate(), jittery.Estimate())
+	}
+	if jittery.Var() < 10*steady.Var() {
+		t.Errorf("jittery var %v should dwarf steady var %v", jittery.Var(), steady.Var())
+	}
+	if jittery.Bound() <= steady.Bound() {
+		t.Errorf("jittery bound %v should exceed steady bound %v", jittery.Bound(), steady.Bound())
+	}
+}
+
+func TestJacobsonClampsNegative(t *testing.T) {
+	e := NewJacobsonEstimator()
+	e.Observe(-5 * time.Second)
+	if e.Estimate() != 0 {
+		t.Errorf("negative sample should clamp: %v", e.Estimate())
+	}
+}

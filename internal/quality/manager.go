@@ -1,0 +1,182 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Repository is a named quality-handler store — the "code repository" of
+// the paper's future-work section, from which handlers are installed at
+// run time instead of statically at stub-compile time.
+type Repository struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewRepository returns an empty handler repository.
+func NewRepository() *Repository {
+	return &Repository{handlers: make(map[string]Handler)}
+}
+
+// Install registers a handler under a name. Re-installing a name replaces
+// the previous handler (that is the point of runtime installation).
+func (r *Repository) Install(name string, h Handler) error {
+	if name == "" {
+		return fmt.Errorf("quality: handler without a name")
+	}
+	if h == nil {
+		return fmt.Errorf("quality: nil handler %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[name] = h
+	return nil
+}
+
+// Lookup resolves a handler by name.
+func (r *Repository) Lookup(name string) (Handler, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.handlers[name]
+	return h, ok
+}
+
+// Names lists installed handlers, sorted.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.handlers))
+	for n := range r.handlers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies the current handler table (for ParsePolicy).
+func (r *Repository) Snapshot() map[string]Handler {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Handler, len(r.handlers))
+	for n, h := range r.handlers {
+		out[n] = h
+	}
+	return out
+}
+
+// Manager owns the quality state of one operation and supports redefining
+// it at run time — the paper's immediate future work ("the ability to
+// dynamically define and re-define quality management"). The middleware
+// it produces reads the current policy on every invocation; SetPolicy
+// swaps policies atomically and resets the selector's hysteresis state.
+type Manager struct {
+	attrs *Attributes
+
+	mu        sync.Mutex
+	policy    *Policy
+	selector  *Selector
+	serverEst *Estimator
+	swaps     int
+
+	// Per-client adaptation state, keyed by the client id the quality
+	// client sends (ClientIDHeader). Two clients behind very different
+	// links must not share hysteresis state; requests without an id use
+	// the manager-wide state above. Bounded by maxClientStates with
+	// round-robin eviction.
+	clients     map[string]*clientState
+	clientOrder []string
+}
+
+// clientState is one remote client's selector and estimator.
+type clientState struct {
+	sel *Selector
+	est *Estimator
+}
+
+// maxClientStates bounds the per-client table.
+const maxClientStates = 1024
+
+// NewManager creates a manager over an initial policy. attrs may be nil;
+// a fresh attribute set is created so UpdateAttribute always works.
+func NewManager(policy *Policy, attrs *Attributes) *Manager {
+	if attrs == nil {
+		attrs = NewAttributes()
+	}
+	return &Manager{
+		attrs:     attrs,
+		policy:    policy,
+		selector:  NewSelector(policy),
+		serverEst: NewEstimator(DefaultAlpha),
+		clients:   make(map[string]*clientState),
+	}
+}
+
+// Policy returns the currently active policy.
+func (m *Manager) Policy() *Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// SetPolicy replaces the active policy after validating it. The selector
+// restarts at the new policy's default type; the RTT estimate carries
+// over (the network did not change, the policy did).
+func (m *Manager) SetPolicy(p *Policy) error {
+	if p == nil {
+		return fmt.Errorf("quality: nil policy")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+	m.selector = NewSelector(p)
+	m.clients = make(map[string]*clientState)
+	m.clientOrder = nil
+	m.swaps++
+	return nil
+}
+
+// Swaps counts SetPolicy calls (observability for tests and operators).
+func (m *Manager) Swaps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.swaps
+}
+
+// Attributes exposes the manager's attribute set (the update_attribute
+// surface shared with the application).
+func (m *Manager) Attributes() *Attributes { return m.attrs }
+
+// snapshot returns the coherent (policy, selector, estimator) triple for
+// one invocation. A non-empty clientID gets that client's own selector
+// and estimator, so concurrent clients on different links adapt
+// independently.
+func (m *Manager) snapshot(clientID string) (*Policy, *Selector, *Estimator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if clientID == "" {
+		return m.policy, m.selector, m.serverEst
+	}
+	cs, ok := m.clients[clientID]
+	if !ok {
+		cs = &clientState{sel: NewSelector(m.policy), est: NewEstimator(DefaultAlpha)}
+		if len(m.clientOrder) >= maxClientStates {
+			oldest := m.clientOrder[0]
+			m.clientOrder = m.clientOrder[1:]
+			delete(m.clients, oldest)
+		}
+		m.clients[clientID] = cs
+		m.clientOrder = append(m.clientOrder, clientID)
+	}
+	return m.policy, cs.sel, cs.est
+}
+
+// ClientStates reports how many distinct clients the manager tracks.
+func (m *Manager) ClientStates() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.clients)
+}

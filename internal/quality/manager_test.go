@@ -1,0 +1,229 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+func TestRepository(t *testing.T) {
+	r := NewRepository()
+	if err := r.Install("", func(v idl.Value, _ map[string]float64) (idl.Value, error) { return v, nil }); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := r.Install("h", nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+	identity := func(v idl.Value, _ map[string]float64) (idl.Value, error) { return v, nil }
+	if err := r.Install("shrink", identity); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Install("crop", identity); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("shrink"); !ok {
+		t.Error("installed handler not found")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("missing handler found")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "crop" {
+		t.Errorf("names = %v", names)
+	}
+	// Runtime replacement.
+	called := false
+	if err := r.Install("shrink", func(v idl.Value, _ map[string]float64) (idl.Value, error) {
+		called = true
+		return v, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := r.Lookup("shrink")
+	h(idl.IntV(1), nil)
+	if !called {
+		t.Error("re-installed handler not active")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Errorf("snapshot = %d handlers", len(snap))
+	}
+	// Snapshot is a copy: mutating it does not affect the repository.
+	delete(snap, "crop")
+	if _, ok := r.Lookup("crop"); !ok {
+		t.Error("snapshot deletion leaked into repository")
+	}
+}
+
+func TestManagerSetPolicy(t *testing.T) {
+	p1 := testPolicy(t)
+	m := NewManager(p1, nil)
+	if m.Policy() != p1 {
+		t.Fatal("initial policy")
+	}
+	if err := m.SetPolicy(nil); err == nil {
+		t.Error("nil policy must fail")
+	}
+	if err := m.SetPolicy(&Policy{}); err == nil {
+		t.Error("invalid policy must fail")
+	}
+	p2 := MustParsePolicy("attribute rtt\ndefault Small\n0 inf Small\n", testTypes, nil)
+	if err := m.SetPolicy(p2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy() != p2 || m.Swaps() != 1 {
+		t.Error("policy swap not recorded")
+	}
+	if m.Attributes() == nil {
+		t.Error("manager must always have attributes")
+	}
+}
+
+// TestRuntimePolicyRedefinition drives a live client/server pair through
+// a policy swap: same connection, new quality behavior, no restart.
+func TestRuntimePolicyRedefinition(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+
+	full := idl.StructV(fullT,
+		idl.IntV(1), idl.StringV("x"),
+		idl.ListV(idl.Float(), idl.FloatV(1)), idl.StringV("note"),
+	)
+	// Initial policy: always full.
+	alwaysFull := MustParsePolicy("attribute rtt\n0 inf Full\n", testTypes, nil)
+	mgr := NewManager(alwaysFull, nil)
+	srv.MustHandle("get", mgr.Middleware(func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return full.Clone(), nil
+	}))
+
+	link := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 300 * time.Millisecond}
+	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), alwaysFull)
+
+	// Under the always-full policy, high RTT changes nothing.
+	for i := 0; i < 3; i++ {
+		resp, err := qc.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header[core.MsgTypeHeader] != "" {
+			t.Fatal("always-full policy downgraded")
+		}
+	}
+
+	// Operator redefines quality management at run time.
+	adaptive := MustParsePolicy(testPolicyText, testTypes, nil)
+	if err := mgr.SetPolicy(adaptive); err != nil {
+		t.Fatal(err)
+	}
+	if err := qc.SetPolicy(adaptive); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawSmall bool
+	for i := 0; i < 10; i++ {
+		resp, err := qc.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header[core.MsgTypeHeader] == "Small" {
+			sawSmall = true
+			break
+		}
+	}
+	if !sawSmall {
+		t.Error("redefined policy never took effect")
+	}
+
+	// Client-side validation mirrors the manager's.
+	if err := qc.SetPolicy(nil); err == nil {
+		t.Error("client nil policy must fail")
+	}
+	if err := qc.SetPolicy(&Policy{}); err == nil {
+		t.Error("client invalid policy must fail")
+	}
+}
+
+func TestXMLHandlerAdapter(t *testing.T) {
+	// An XML-manipulating handler: rewrite the <name> element's text.
+	h := XMLHandler(smallT, func(xmlData []byte, attrs map[string]float64) ([]byte, error) {
+		out := bytes.Replace(xmlData, []byte("<name>alpha</name>"), []byte("<name>beta</name>"), 1)
+		// Shrink Full → Small by dropping the extra elements.
+		out = dropElement(out, "data")
+		out = dropElement(out, "note")
+		return out, nil
+	})
+	full := idl.StructV(fullT,
+		idl.IntV(5), idl.StringV("alpha"),
+		idl.ListV(idl.Float(), idl.FloatV(2)), idl.StringV("n"),
+	)
+	got, err := h(full, map[string]float64{"k": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != smallT {
+		t.Fatalf("type = %s", got.Type)
+	}
+	name, _ := got.Field("name")
+	if name.Str != "beta" {
+		t.Errorf("name = %q", name.Str)
+	}
+
+	// Errors propagate.
+	bad := XMLHandler(smallT, func([]byte, map[string]float64) ([]byte, error) {
+		return []byte("<data>junk"), nil
+	})
+	if _, err := bad(full, nil); err == nil {
+		t.Error("malformed handler output must fail")
+	}
+	if _, err := h(idl.Value{}, nil); err == nil {
+		t.Error("untyped input must fail")
+	}
+}
+
+// dropElement removes <name>…</name> from a fragment (test helper).
+func dropElement(doc []byte, name string) []byte {
+	open := []byte("<" + name + ">")
+	close := []byte("</" + name + ">")
+	i := bytes.Index(doc, open)
+	j := bytes.Index(doc, close)
+	if i < 0 || j < 0 {
+		return doc
+	}
+	out := append([]byte{}, doc[:i]...)
+	return append(out, doc[j+len(close):]...)
+}
+
+func TestManagerMiddlewareSharedAttributes(t *testing.T) {
+	// Attributes updated through the manager reach handlers.
+	var seen map[string]float64
+	handlers := map[string]Handler{
+		"h": func(v idl.Value, attrs map[string]float64) (idl.Value, error) {
+			seen = attrs
+			return idl.StructV(smallT, idl.IntV(1), idl.StringV("s")), nil
+		},
+	}
+	policy := MustParsePolicy("attribute rtt\ndefault Small\n0 inf Small\nhandler Small h\n", testTypes, handlers)
+	mgr := NewManager(policy, nil)
+	mgr.Attributes().Update("granularity", 4)
+
+	full := idl.StructV(fullT, idl.IntV(1), idl.StringV("x"), idl.ListV(idl.Float()), idl.StringV(""))
+	mw := mgr.Middleware(func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return full.Clone(), nil
+	})
+	ctx := &core.CallCtx{RequestHeader: soap.Header{}}
+	if _, err := mw(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seen["granularity"] != 4 {
+		t.Errorf("attrs = %v", seen)
+	}
+	if !strings.Contains(ctx.ResponseHeader[core.MsgTypeHeader], "Small") {
+		t.Errorf("mtype = %q", ctx.ResponseHeader[core.MsgTypeHeader])
+	}
+}

@@ -1,0 +1,90 @@
+package quality
+
+import (
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+// TestPerClientAdaptationIsolation runs two clients against one server
+// through links of very different quality: the slow client must be
+// downgraded while the fast client keeps receiving full responses —
+// impossible with shared selector state.
+func TestPerClientAdaptationIsolation(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	full := idl.StructV(fullT,
+		idl.IntV(1), idl.StringV("x"),
+		idl.ListV(idl.Float(), idl.FloatV(1)), idl.StringV("n"),
+	)
+	mgr := NewManager(policy, nil)
+	srv.MustHandle("get", mgr.Middleware(func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return full.Clone(), nil
+	}))
+
+	fastLink := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 2 * time.Millisecond}
+	slowLink := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 400 * time.Millisecond}
+	fast := NewClient(core.NewClient(spec, fastLink, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+	slow := NewClient(core.NewClient(spec, slowLink, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+
+	if fast.ID() == slow.ID() {
+		t.Fatal("clients must have distinct IDs")
+	}
+
+	// Interleave calls; the slow client's state must not pollute the
+	// fast client's.
+	slowDowngraded := false
+	for i := 0; i < 12; i++ {
+		fresp, err := fast.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresp.Header[core.MsgTypeHeader] != "" {
+			t.Fatalf("iteration %d: fast client downgraded (%q)", i, fresp.Header[core.MsgTypeHeader])
+		}
+		sresp, err := slow.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sresp.Header[core.MsgTypeHeader] == "Small" {
+			slowDowngraded = true
+		}
+	}
+	if !slowDowngraded {
+		t.Error("slow client never downgraded")
+	}
+	if mgr.ClientStates() != 2 {
+		t.Errorf("manager tracks %d clients, want 2", mgr.ClientStates())
+	}
+}
+
+func TestClientStateEviction(t *testing.T) {
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	mgr := NewManager(policy, nil)
+	for i := 0; i < maxClientStates+10; i++ {
+		mgr.snapshot("client-" + string(rune('a'+i%26)) + itoa(i))
+	}
+	if got := mgr.ClientStates(); got > maxClientStates {
+		t.Errorf("client table grew to %d (cap %d)", got, maxClientStates)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

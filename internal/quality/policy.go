@@ -1,0 +1,307 @@
+package quality
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"soapbinq/internal/idl"
+)
+
+// Handler is a quality handler: a code module that transforms a parameter
+// value under the current quality attributes — the paper's example is an
+// image-resizing handler applied when the policy selects a reduced message
+// type. Handlers replace the trivial field-copy conversion when declared
+// in the quality file.
+type Handler func(v idl.Value, attrs map[string]float64) (idl.Value, error)
+
+// Rule maps one half-open monitored-value interval [Lo, Hi) to a message
+// type, one line of the paper's quality-file template
+// ("quality_attribute_1 quality_attribute_2 - message_type_0").
+type Rule struct {
+	Lo, Hi   time.Duration // Hi = MaxInterval means unbounded
+	TypeName string
+}
+
+// MaxInterval is the open upper bound ("inf" in quality files).
+const MaxInterval = time.Duration(1<<63 - 1)
+
+// Policy is a compiled quality file: ordered rules over the monitored
+// attribute, the message types they name, and optional per-type handlers.
+type Policy struct {
+	// Attribute is the monitored attribute name; "rtt" in every
+	// experiment of the paper.
+	Attribute string
+	Rules     []Rule
+	// Types resolves message-type names to their types. The full
+	// (largest) type should be among them.
+	Types map[string]*idl.Type
+	// Handlers holds quality handlers by message-type name; types
+	// without one get the trivial field-copy conversion.
+	Handlers map[string]Handler
+	// Default is used before any monitored value exists.
+	Default string
+}
+
+// Validate checks rule ordering, bounds, and type references.
+func (p *Policy) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("quality: policy without rules")
+	}
+	if p.Attribute == "" {
+		return fmt.Errorf("quality: policy without a monitored attribute")
+	}
+	for i, r := range p.Rules {
+		if r.Lo < 0 || (r.Hi <= r.Lo) {
+			return fmt.Errorf("quality: rule %d has empty interval [%v, %v)", i, r.Lo, r.Hi)
+		}
+		if _, ok := p.Types[r.TypeName]; !ok {
+			return fmt.Errorf("quality: rule %d references unknown type %q", i, r.TypeName)
+		}
+		if i > 0 && r.Lo < p.Rules[i-1].Hi {
+			return fmt.Errorf("quality: rule %d overlaps rule %d", i, i-1)
+		}
+	}
+	if p.Default != "" {
+		if _, ok := p.Types[p.Default]; !ok {
+			return fmt.Errorf("quality: default references unknown type %q", p.Default)
+		}
+	}
+	for name := range p.Handlers {
+		if _, ok := p.Types[name]; !ok {
+			return fmt.Errorf("quality: handler for unknown type %q", name)
+		}
+	}
+	return nil
+}
+
+// Select returns the message type for a monitored value, falling back to
+// the nearest rule when the value lands in a gap and to the last rule when
+// it exceeds all bounds.
+func (p *Policy) Select(v time.Duration) string {
+	if v < 0 {
+		v = 0
+	}
+	for _, r := range p.Rules {
+		if v < r.Lo {
+			// Gap below this rule (or before the first): clamp to it.
+			return r.TypeName
+		}
+		if v < r.Hi {
+			return r.TypeName
+		}
+	}
+	return p.Rules[len(p.Rules)-1].TypeName
+}
+
+// DefaultType returns the type name used before any sample: the declared
+// default, else the first rule's type (the largest message in the paper's
+// configurations, since low RTT ranges come first).
+func (p *Policy) DefaultType() string {
+	if p.Default != "" {
+		return p.Default
+	}
+	return p.Rules[0].TypeName
+}
+
+// Type resolves a message-type name. It implements core.TypeResolver.
+func (p *Policy) Type(name string) (*idl.Type, bool) {
+	t, ok := p.Types[name]
+	return t, ok
+}
+
+// ParsePolicy reads the textual quality-file format:
+//
+//	# comment
+//	attribute rtt
+//	default FullImage
+//	0 50ms FullImage
+//	50ms 200ms HalfImage
+//	200ms inf ThumbImage
+//	handler HalfImage resizeHalf
+//
+// Interval lines are "<lo> <hi> <typeName>" with Go duration syntax (bare
+// "0" and "inf" allowed). Handler lines bind a named handler from the
+// handlers argument to a message type. The types argument resolves type
+// names (usually from the WSDL-derived service spec).
+func ParsePolicy(r io.Reader, types map[string]*idl.Type, handlers map[string]Handler) (*Policy, error) {
+	p := &Policy{
+		Attribute: "rtt",
+		Types:     types,
+		Handlers:  make(map[string]Handler),
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "attribute":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("quality: line %d: attribute needs one name", lineNo)
+			}
+			p.Attribute = fields[1]
+		case "default":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("quality: line %d: default needs one type name", lineNo)
+			}
+			p.Default = fields[1]
+		case "handler":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("quality: line %d: handler needs <type> <handlerName>", lineNo)
+			}
+			h, ok := handlers[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("quality: line %d: unknown handler %q", lineNo, fields[2])
+			}
+			p.Handlers[fields[1]] = h
+		default:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("quality: line %d: want <lo> <hi> <type>", lineNo)
+			}
+			lo, err := parseBound(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("quality: line %d: %w", lineNo, err)
+			}
+			hi, err := parseBound(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("quality: line %d: %w", lineNo, err)
+			}
+			p.Rules = append(p.Rules, Rule{Lo: lo, Hi: hi, TypeName: fields[2]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("quality: read: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParsePolicyString is ParsePolicy over an in-memory quality file.
+func ParsePolicyString(text string, types map[string]*idl.Type, handlers map[string]Handler) (*Policy, error) {
+	return ParsePolicy(strings.NewReader(text), types, handlers)
+}
+
+// MustParsePolicy parses a statically known-good quality file; it panics
+// on error.
+func MustParsePolicy(text string, types map[string]*idl.Type, handlers map[string]Handler) *Policy {
+	p, err := ParsePolicyString(text, types, handlers)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseBound(s string) (time.Duration, error) {
+	switch s {
+	case "0":
+		return 0, nil
+	case "inf":
+		return MaxInterval, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad bound %q: %v", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative bound %q", s)
+	}
+	return d, nil
+}
+
+// Selector applies a policy with history-based hysteresis, preventing the
+// two-size oscillation the paper describes: a large message inflates RTT,
+// which selects the small message, which deflates RTT, which selects the
+// large message again, indefinitely. A selection must survive MinDwell
+// consecutive decisions — and the monitored value must leave a guard band
+// around the rule boundary — before the selector switches.
+type Selector struct {
+	Policy *Policy
+	// MinDwell is how many consecutive contrary decisions are required
+	// before switching types (default 2).
+	MinDwell int
+	// GuardBand widens rule boundaries by this fraction when a switch
+	// would move to a larger message type (default 0.1).
+	GuardBand float64
+
+	current  string
+	pressure int
+	switches int
+}
+
+// NewSelector builds a selector starting at the policy default.
+func NewSelector(p *Policy) *Selector {
+	return &Selector{Policy: p, MinDwell: 2, GuardBand: 0.1, current: p.DefaultType()}
+}
+
+// Current returns the type selected by the last Select call.
+func (s *Selector) Current() string { return s.current }
+
+// Switches counts how many times the selector changed types.
+func (s *Selector) Switches() int { return s.switches }
+
+// Select decides the message type for the next send given the current
+// monitored value.
+func (s *Selector) Select(v time.Duration) string {
+	want := s.Policy.Select(v)
+	if want == s.current {
+		s.pressure = 0
+		return s.current
+	}
+	// Moving back up to an earlier (larger) rule: require the value to
+	// clear the boundary by the guard band, so a marginal improvement
+	// caused by the smaller message itself does not flip us back.
+	if s.isUpgrade(want) {
+		boundary := s.ruleFor(s.current).Lo
+		guard := time.Duration(float64(boundary) * s.GuardBand)
+		if v > boundary-guard {
+			s.pressure = 0
+			return s.current
+		}
+	}
+	s.pressure++
+	minDwell := s.MinDwell
+	if minDwell < 1 {
+		minDwell = 1
+	}
+	if s.pressure >= minDwell {
+		s.current = want
+		s.pressure = 0
+		s.switches++
+	}
+	return s.current
+}
+
+// isUpgrade reports whether want appears before the current type in rule
+// order (i.e. is used for better network conditions).
+func (s *Selector) isUpgrade(want string) bool {
+	for _, r := range s.Policy.Rules {
+		if r.TypeName == want {
+			return true
+		}
+		if r.TypeName == s.current {
+			return false
+		}
+	}
+	return false
+}
+
+func (s *Selector) ruleFor(name string) Rule {
+	for _, r := range s.Policy.Rules {
+		if r.TypeName == name {
+			return r
+		}
+	}
+	return Rule{}
+}

@@ -1,0 +1,346 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/idl"
+)
+
+var (
+	fullT = idl.Struct("Full",
+		idl.F("id", idl.Int()),
+		idl.F("name", idl.StringT()),
+		idl.F("data", idl.List(idl.Float())),
+		idl.F("note", idl.StringT()),
+	)
+	smallT = idl.Struct("Small",
+		idl.F("id", idl.Int()),
+		idl.F("name", idl.StringT()),
+	)
+	testTypes = map[string]*idl.Type{"Full": fullT, "Small": smallT}
+)
+
+const testPolicyText = `
+# image policy
+attribute rtt
+default Full
+0 50ms Full
+50ms inf Small
+`
+
+func testPolicy(t *testing.T) *Policy {
+	t.Helper()
+	p, err := ParsePolicy(strings.NewReader(testPolicyText), testTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAttributes(t *testing.T) {
+	a := NewAttributes()
+	if _, ok := a.Get("x"); ok {
+		t.Error("empty attributes must not resolve")
+	}
+	a.Update("x", 1.5)
+	v, ok := a.Get("x")
+	if !ok || v != 1.5 {
+		t.Errorf("Get = %v %v", v, ok)
+	}
+	snap := a.Snapshot()
+	a.Update("x", 2)
+	if snap["x"] != 1.5 {
+		t.Error("snapshot must not alias live map")
+	}
+	if !strings.Contains(a.String(), "x") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestEstimatorExponentialAverage(t *testing.T) {
+	e := NewEstimator(0.875)
+	if e.Estimate() != 0 {
+		t.Error("unprimed estimate must be 0")
+	}
+	got := e.Observe(100 * time.Millisecond)
+	if got != 100*time.Millisecond {
+		t.Errorf("first sample must prime: %v", got)
+	}
+	// R = 0.875*100ms + 0.125*200ms = 112.5ms
+	got = e.Observe(200 * time.Millisecond)
+	want := 112500 * time.Microsecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("second estimate = %v, want ≈%v", got, want)
+	}
+	if e.Samples() != 2 {
+		t.Errorf("samples = %d", e.Samples())
+	}
+	e.Set(5 * time.Millisecond)
+	if e.Estimate() != 5*time.Millisecond {
+		t.Error("Set must override")
+	}
+	if e.Observe(-time.Second) < 0 {
+		t.Error("negative samples clamp to 0")
+	}
+	if NewEstimator(2).alpha != DefaultAlpha {
+		t.Error("out-of-range alpha must fall back to default")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p := testPolicy(t)
+	if p.Attribute != "rtt" || p.Default != "Full" || len(p.Rules) != 2 {
+		t.Fatalf("policy = %+v", p)
+	}
+	if p.Rules[1].Hi != MaxInterval {
+		t.Error("inf bound must be MaxInterval")
+	}
+	if tt, ok := p.Type("Small"); !ok || tt != smallT {
+		t.Error("Type lookup failed")
+	}
+	if p.DefaultType() != "Full" {
+		t.Errorf("DefaultType = %q", p.DefaultType())
+	}
+}
+
+func TestParsePolicyHandlers(t *testing.T) {
+	called := false
+	handlers := map[string]Handler{
+		"shrink": func(v idl.Value, _ map[string]float64) (idl.Value, error) {
+			called = true
+			return v, nil
+		},
+	}
+	text := testPolicyText + "\nhandler Small shrink\n"
+	p, err := ParsePolicy(strings.NewReader(text), testTypes, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := p.Handlers["Small"]
+	if !ok {
+		t.Fatal("handler not bound")
+	}
+	if _, err := h(idl.IntV(1), nil); err != nil || !called {
+		t.Error("handler not invocable")
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := map[string]string{
+		"no rules":          "attribute rtt\n",
+		"bad bound":         "0 banana Full\n",
+		"neg bound":         "-5ms 10ms Full\n",
+		"empty interval":    "50ms 50ms Full\n",
+		"unknown type":      "0 inf Nope\n",
+		"overlap":           "0 50ms Full\n40ms inf Small\n",
+		"bad attribute":     "attribute\n0 inf Full\n",
+		"bad default":       "default\n0 inf Full\n",
+		"unknown default":   "default Nope\n0 inf Full\n",
+		"bad handler line":  "handler Small\n0 inf Full\n",
+		"unknown handler":   "handler Small nope\n0 inf Full\n",
+		"bad field count":   "0 inf\n",
+		"no attribute name": "attribute rtt extra\n0 inf Full\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePolicy(strings.NewReader(text), testTypes, nil); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Handler for unknown type caught by Validate.
+	p := &Policy{
+		Attribute: "rtt",
+		Rules:     []Rule{{Lo: 0, Hi: MaxInterval, TypeName: "Full"}},
+		Types:     testTypes,
+		Handlers:  map[string]Handler{"Nope": func(v idl.Value, _ map[string]float64) (idl.Value, error) { return v, nil }},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("handler for unknown type must fail validation")
+	}
+}
+
+func TestMustParsePolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParsePolicy("garbage", testTypes, nil)
+}
+
+func TestPolicySelect(t *testing.T) {
+	p := testPolicy(t)
+	cases := map[time.Duration]string{
+		0:                     "Full",
+		49 * time.Millisecond: "Full",
+		50 * time.Millisecond: "Small",
+		10 * time.Second:      "Small",
+		-1 * time.Millisecond: "Full",
+	}
+	for rtt, want := range cases {
+		if got := p.Select(rtt); got != want {
+			t.Errorf("Select(%v) = %q, want %q", rtt, got, want)
+		}
+	}
+	// Gap handling: rules 0-10ms and 20ms-inf; 15ms clamps to the later rule.
+	gap := &Policy{
+		Attribute: "rtt",
+		Rules: []Rule{
+			{Lo: 0, Hi: 10 * time.Millisecond, TypeName: "Full"},
+			{Lo: 20 * time.Millisecond, Hi: MaxInterval, TypeName: "Small"},
+		},
+		Types: testTypes,
+	}
+	if err := gap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gap.Select(15 * time.Millisecond); got != "Small" {
+		t.Errorf("gap Select = %q", got)
+	}
+}
+
+func TestSelectorHysteresis(t *testing.T) {
+	p := testPolicy(t)
+	s := NewSelector(p)
+	if s.Current() != "Full" {
+		t.Fatalf("initial = %q", s.Current())
+	}
+	// One bad sample is not enough (MinDwell 2).
+	if got := s.Select(100 * time.Millisecond); got != "Full" {
+		t.Errorf("after 1 bad sample: %q", got)
+	}
+	if got := s.Select(100 * time.Millisecond); got != "Small" {
+		t.Errorf("after 2 bad samples: %q", got)
+	}
+	// Marginal recovery just below the boundary stays Small (guard band).
+	if got := s.Select(48 * time.Millisecond); got != "Small" {
+		t.Errorf("marginal recovery flipped: %q", got)
+	}
+	// Clear recovery well below the boundary switches back after dwell.
+	s.Select(10 * time.Millisecond)
+	if got := s.Select(10 * time.Millisecond); got != "Full" {
+		t.Errorf("clear recovery: %q", got)
+	}
+	if s.Switches() != 2 {
+		t.Errorf("switches = %d", s.Switches())
+	}
+}
+
+func TestSelectorNoOscillation(t *testing.T) {
+	// Alternating samples around the boundary — the paper's oscillation
+	// scenario — must not flip the selector every call.
+	p := testPolicy(t)
+	s := NewSelector(p)
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			s.Select(55 * time.Millisecond)
+		} else {
+			s.Select(45 * time.Millisecond)
+		}
+	}
+	if s.Switches() > 2 {
+		t.Errorf("selector oscillated: %d switches in 50 alternating samples", s.Switches())
+	}
+}
+
+func TestSelectorMinDwellFloor(t *testing.T) {
+	p := testPolicy(t)
+	s := NewSelector(p)
+	s.MinDwell = 0 // treated as 1
+	if got := s.Select(time.Second); got != "Small" {
+		t.Errorf("MinDwell 0: %q", got)
+	}
+}
+
+func TestDowngradeUpgrade(t *testing.T) {
+	full := idl.StructV(fullT,
+		idl.IntV(7),
+		idl.StringV("alpha"),
+		idl.ListV(idl.Float(), idl.FloatV(1), idl.FloatV(2)),
+		idl.StringV("keep me"),
+	)
+	small, err := Downgrade(full, smallT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Type != smallT {
+		t.Fatalf("downgraded type = %s", small.Type)
+	}
+	id, _ := small.Field("id")
+	name, _ := small.Field("name")
+	if id.Int != 7 || name.Str != "alpha" {
+		t.Errorf("common fields not copied: %s", small)
+	}
+
+	back, err := Upgrade(small, fullT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatalf("padded value invalid: %v", err)
+	}
+	note, _ := back.Field("note")
+	data, _ := back.Field("data")
+	if note.Str != "" || len(data.List) != 0 {
+		t.Error("missing fields must pad to zero")
+	}
+	gotID, _ := back.Field("id")
+	if gotID.Int != 7 {
+		t.Error("common field lost on upgrade")
+	}
+
+	// Identity cases.
+	same, err := Downgrade(full, fullT)
+	if err != nil || !same.Equal(full) {
+		t.Error("same-type downgrade must be identity")
+	}
+	same, err = Upgrade(full, fullT)
+	if err != nil || !same.Equal(full) {
+		t.Error("same-type upgrade must be identity")
+	}
+
+	// Errors.
+	if _, err := Downgrade(idl.Value{}, smallT); err == nil {
+		t.Error("untyped downgrade must fail")
+	}
+	if _, err := Upgrade(idl.Value{}, smallT); err == nil {
+		t.Error("untyped upgrade must fail")
+	}
+	if _, err := Downgrade(idl.IntV(1), smallT); err == nil {
+		t.Error("scalar-to-struct downgrade must fail")
+	}
+	if _, err := Upgrade(idl.IntV(1), smallT); err == nil {
+		t.Error("scalar-to-struct upgrade must fail")
+	}
+}
+
+func TestCopyCommonRecursesIntoStructs(t *testing.T) {
+	innerFull := idl.Struct("InnerF", idl.F("a", idl.Int()), idl.F("b", idl.Int()))
+	innerSmall := idl.Struct("InnerS", idl.F("a", idl.Int()))
+	outerFull := idl.Struct("OuterF", idl.F("in", innerFull))
+	outerSmall := idl.Struct("OuterS", idl.F("in", innerSmall))
+
+	v := idl.StructV(outerFull, idl.StructV(innerFull, idl.IntV(4), idl.IntV(5)))
+	got, err := Downgrade(v, outerSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := got.Field("in")
+	a, _ := in.Field("a")
+	if a.Int != 4 {
+		t.Errorf("nested copy: a = %d", a.Int)
+	}
+	// Field with same name but incompatible scalar type is zeroed.
+	mismatch := idl.Struct("Mis", idl.F("a", idl.StringT()))
+	target := idl.Struct("Tgt", idl.F("a", idl.Int()))
+	mv := idl.StructV(mismatch, idl.StringV("x"))
+	out, err := Downgrade(mv, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := out.Field("a")
+	if av.Int != 0 {
+		t.Error("incompatible field must zero, not copy")
+	}
+}

@@ -1,0 +1,130 @@
+package quality
+
+import (
+	"fmt"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+)
+
+// RequestRule configures client-side request adaptation for one
+// operation: which parameter adapts and under which policy. The paper's
+// quality file "is used both by the server side and client side stubs" —
+// response adaptation happens in the server middleware; this is the
+// client-side counterpart for upload-heavy operations (e.g. a sensor
+// pushing images to an analysis server, the Fig. 3 scenario).
+type RequestRule struct {
+	// Param is the name of the adapted request parameter.
+	Param string
+	// Policy maps the monitored RTT to request message types.
+	Policy *Policy
+
+	selector *Selector
+}
+
+// ConfigureRequest installs request-side adaptation for an operation.
+// Subsequent Calls to op downgrade the named parameter per the policy
+// (via its quality handlers or the trivial field copy) before sending.
+func (q *Client) ConfigureRequest(op string, rule RequestRule) error {
+	opDef, ok := q.Inner.Spec().Op(op)
+	if !ok {
+		return fmt.Errorf("quality: unknown operation %q", op)
+	}
+	found := false
+	for _, p := range opDef.Params {
+		if p.Name == rule.Param {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("quality: operation %q has no parameter %q", op, rule.Param)
+	}
+	if rule.Policy == nil {
+		return fmt.Errorf("quality: request rule without a policy")
+	}
+	if err := rule.Policy.Validate(); err != nil {
+		return err
+	}
+	rule.selector = NewSelector(rule.Policy)
+	if q.requestRules == nil {
+		q.requestRules = make(map[string]*RequestRule)
+	}
+	q.requestRules[op] = &rule
+	return nil
+}
+
+// adaptRequest applies the configured request rule for op, returning the
+// (possibly downgraded) parameter list and the selected type name ("" if
+// the full type was kept).
+func (q *Client) adaptRequest(op string, params []soap.Param) ([]soap.Param, string, error) {
+	rule, ok := q.requestRules[op]
+	if !ok {
+		return params, "", nil
+	}
+	typeName := rule.selector.Select(q.Estimator.Estimate())
+	target, ok := rule.Policy.Types[typeName]
+	if !ok {
+		return params, "", nil
+	}
+
+	out := make([]soap.Param, len(params))
+	copy(out, params)
+	for i := range out {
+		if out[i].Name != rule.Param {
+			continue
+		}
+		v := out[i].Value
+		if v.Type == nil || v.Type.Equal(target) {
+			return out, "", nil // already the selected type
+		}
+		if h, hasHandler := rule.Policy.Handlers[typeName]; hasHandler {
+			adapted, err := h(v, q.Attrs.Snapshot())
+			if err != nil {
+				return nil, "", fmt.Errorf("quality: request handler for %q: %w", typeName, err)
+			}
+			out[i].Value = adapted
+		} else {
+			adapted, err := Downgrade(v, target)
+			if err != nil {
+				return nil, "", err
+			}
+			out[i].Value = adapted
+		}
+		return out, typeName, nil
+	}
+	return out, "", nil
+}
+
+// RequestTypeHeader names the request message type the client selected,
+// so the server's middleware (or logs) can observe request adaptation.
+const RequestTypeHeader = "sbq-req-mtype"
+
+// PadRequests wraps a handler so downgraded request parameters arrive
+// zero-padded back to their declared types — the server-side counterpart
+// of the client's response padding, which lets legacy handler code index
+// the full record unmodified. The server must have AllowTypeVariance set
+// for variant parameters to reach the middleware at all.
+func PadRequests(opDef *core.OpDef, inner core.HandlerFunc) core.HandlerFunc {
+	return func(ctx *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		padded := make([]soap.Param, len(params))
+		copy(padded, params)
+		for i := range padded {
+			if i >= len(opDef.Params) {
+				break
+			}
+			want := opDef.Params[i].Type
+			v := padded[i].Value
+			if v.Type == nil || v.Type.Equal(want) {
+				continue
+			}
+			up, err := Upgrade(v, want)
+			if err != nil {
+				return idl.Value{}, fmt.Errorf("quality: pad request %q: %w", padded[i].Name, err)
+			}
+			padded[i].Value = up
+		}
+		return inner(ctx, padded)
+	}
+}

@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+// uploadService models the paper's Fig. 3 scenario: a sensor uploading
+// image records to an analysis server. The request parameter adapts.
+func uploadService() *core.ServiceSpec {
+	return core.MustServiceSpec("Upload",
+		&core.OpDef{
+			Name:   "analyze",
+			Params: []soap.ParamSpec{{Name: "img", Type: fullT}},
+			Result: idl.Int(),
+		},
+	)
+}
+
+func fullValue() idl.Value {
+	return idl.StructV(fullT,
+		idl.IntV(3), idl.StringV("sensor-7"),
+		idl.ListV(idl.Float(), idl.FloatV(0.5), idl.FloatV(0.25)),
+		idl.StringV("full fidelity"),
+	)
+}
+
+func TestClientRequestAdaptation(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := uploadService()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.AllowTypeVariance = true
+
+	var lastType *idl.Type
+	var lastReqHeader string
+	var lastNote string
+	srv.MustHandle("analyze", PadRequests(spec.Ops["analyze"], func(ctx *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		lastType = params[0].Value.Type
+		lastReqHeader = ctx.RequestHeader[RequestTypeHeader]
+		note, _ := params[0].Value.Field("note")
+		lastNote = note.Str
+		return idl.IntV(1), nil
+	}))
+
+	link := &delayTransport{inner: &core.Loopback{Server: srv}}
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+	if err := qc.ConfigureRequest("analyze", RequestRule{Param: "img", Policy: policy}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast link: the full request type goes out.
+	link.setDelay(time.Millisecond)
+	if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+		t.Fatal(err)
+	}
+	if !lastType.Equal(fullT) || lastNote != "full fidelity" {
+		t.Fatalf("fast link sent %s (%q)", lastType, lastNote)
+	}
+
+	// Slow link: after the estimator catches up, requests downgrade; the
+	// PadRequests wrapper hands the handler a zero-padded full record.
+	link.setDelay(400 * time.Millisecond)
+	sawSmall := false
+	for i := 0; i < 10; i++ {
+		if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+			t.Fatal(err)
+		}
+		if lastReqHeader == "Small" {
+			sawSmall = true
+			break
+		}
+	}
+	if !sawSmall {
+		t.Fatal("request never downgraded on slow link")
+	}
+	if !lastType.Equal(fullT) {
+		t.Errorf("PadRequests delivered %s, want padded %s", lastType, fullT)
+	}
+	if lastNote != "" {
+		t.Errorf("padded note = %q, want zero", lastNote)
+	}
+}
+
+func TestConfigureRequestValidation(t *testing.T) {
+	fs := pbio.NewMemServer()
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	qc := NewClient(core.NewClient(uploadService(), &core.Loopback{}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+
+	if err := qc.ConfigureRequest("nope", RequestRule{Param: "img", Policy: policy}); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if err := qc.ConfigureRequest("analyze", RequestRule{Param: "nope", Policy: policy}); err == nil {
+		t.Error("unknown param must fail")
+	}
+	if err := qc.ConfigureRequest("analyze", RequestRule{Param: "img"}); err == nil {
+		t.Error("missing policy must fail")
+	}
+	if err := qc.ConfigureRequest("analyze", RequestRule{Param: "img", Policy: &Policy{}}); err == nil {
+		t.Error("invalid policy must fail")
+	}
+}
+
+func TestRequestHandlerErrorsPropagate(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := uploadService()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.AllowTypeVariance = true
+	srv.MustHandle("analyze", func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return idl.IntV(0), nil
+	})
+	handlers := map[string]Handler{
+		"bad": func(idl.Value, map[string]float64) (idl.Value, error) {
+			return idl.Value{}, errBoom
+		},
+	}
+	policy := MustParsePolicy(testPolicyText+"\nhandler Small bad\n", testTypes, handlers)
+	link := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 500 * time.Millisecond}
+	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
+	if err := qc.ConfigureRequest("analyze", RequestRule{Param: "img", Policy: policy}); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for i := 0; i < 10; i++ {
+		if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("request handler error never surfaced")
+	}
+}
+
+func TestPadRequestsRejectsUnpaddable(t *testing.T) {
+	spec := uploadService()
+	h := PadRequests(spec.Ops["analyze"], func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return idl.IntV(0), nil
+	})
+	_, err := h(&core.CallCtx{}, []soap.Param{{Name: "img", Value: idl.IntV(1)}})
+	if err == nil {
+		t.Error("scalar cannot pad to struct; must error")
+	}
+}

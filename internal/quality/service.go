@@ -1,0 +1,92 @@
+package quality
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"soapbinq/internal/idl"
+)
+
+// ParseServicePolicies parses a service-wide quality file: sections
+// introduced by "op <name>" directives, each a complete per-operation
+// policy, with any directives before the first section shared by all
+// operations (a prelude — typically the "attribute" line). This is the
+// file the paper foresees a designer providing "along with the WSDL
+// file, through UDDI or a similar WSDL repository".
+//
+//	# service quality file
+//	attribute rtt
+//
+//	op getImage
+//	0 250ms Image640
+//	250ms inf Image320
+//	handler Image320 resizeHalf
+//
+//	op getBonds
+//	0 170ms Batch4
+//	170ms inf Batch1
+//	handler Batch1 batch1
+//
+// The result maps operation names to their compiled policies.
+func ParseServicePolicies(r io.Reader, types map[string]*idl.Type, handlers map[string]Handler) (map[string]*Policy, error) {
+	var prelude []string
+	sections := map[string][]string{}
+	var order []string
+	current := ""
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		stripped := line
+		if i := strings.IndexByte(stripped, '#'); i >= 0 {
+			stripped = stripped[:i]
+		}
+		fields := strings.Fields(stripped)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "op" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("quality: line %d: op needs one operation name", lineNo)
+			}
+			current = fields[1]
+			if _, dup := sections[current]; dup {
+				return nil, fmt.Errorf("quality: line %d: duplicate op %q", lineNo, current)
+			}
+			sections[current] = nil
+			order = append(order, current)
+			continue
+		}
+		if current == "" {
+			prelude = append(prelude, line)
+		} else {
+			sections[current] = append(sections[current], line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("quality: read: %w", err)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("quality: service quality file without op sections")
+	}
+
+	out := make(map[string]*Policy, len(order))
+	for _, op := range order {
+		text := strings.Join(append(append([]string{}, prelude...), sections[op]...), "\n")
+		p, err := ParsePolicyString(text, types, handlers)
+		if err != nil {
+			return nil, fmt.Errorf("quality: op %q: %w", op, err)
+		}
+		out[op] = p
+	}
+	return out, nil
+}
+
+// ParseServicePoliciesString is ParseServicePolicies over a string.
+func ParseServicePoliciesString(text string, types map[string]*idl.Type, handlers map[string]Handler) (map[string]*Policy, error) {
+	return ParseServicePolicies(strings.NewReader(text), types, handlers)
+}

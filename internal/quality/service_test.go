@@ -1,0 +1,84 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/idl"
+)
+
+const serviceQualityText = `
+# shared prelude
+attribute rtt
+
+op getFull
+0 50ms Full
+50ms inf Small
+
+op getSmallOnly
+default Small
+0 inf Small
+`
+
+func TestParseServicePolicies(t *testing.T) {
+	policies, err := ParseServicePoliciesString(serviceQualityText, testTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 2 {
+		t.Fatalf("policies = %d", len(policies))
+	}
+	full := policies["getFull"]
+	if full.Attribute != "rtt" {
+		t.Error("prelude attribute not shared")
+	}
+	if got := full.Select(10 * time.Millisecond); got != "Full" {
+		t.Errorf("getFull fast = %q", got)
+	}
+	small := policies["getSmallOnly"]
+	if small.DefaultType() != "Small" {
+		t.Errorf("getSmallOnly default = %q", small.DefaultType())
+	}
+}
+
+func TestParseServicePoliciesErrors(t *testing.T) {
+	cases := map[string]string{
+		"no sections":   "attribute rtt\n0 inf Full\n",
+		"bad op line":   "op\n0 inf Full\n",
+		"dup op":        "op a\n0 inf Full\nop a\n0 inf Full\n",
+		"bad section":   "op a\n0 banana Full\n",
+		"unknown type":  "op a\n0 inf Nope\n",
+		"empty section": "op a\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseServicePoliciesString(text, testTypes, nil); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseServicePoliciesHandlersAndComments(t *testing.T) {
+	called := false
+	handlers := map[string]Handler{
+		"h": func(v idl.Value, _ map[string]float64) (idl.Value, error) {
+			called = true
+			return v, nil
+		},
+	}
+	text := "attribute rtt\nop a # trailing comment\n0 inf Small\nhandler Small h\n"
+	policies, err := ParseServicePoliciesString(text, testTypes, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, ok := policies["a"].Handlers["Small"]
+	if !ok {
+		t.Fatal("handler not bound")
+	}
+	if _, err := hd(idl.IntV(1), nil); err != nil || !called {
+		t.Error("handler not invoked")
+	}
+	if !strings.Contains(text, "#") {
+		t.Fatal("test text lost its comment")
+	}
+}

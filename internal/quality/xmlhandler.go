@@ -1,0 +1,39 @@
+package quality
+
+import (
+	"fmt"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/xmlenc"
+)
+
+// XMLHandler adapts an XML-manipulating function into a quality Handler —
+// the paper's future-work generalization ("handlers to be able to
+// manipulate XML data, binary data, or both"). The incoming binary value
+// is up-converted to an XML fragment rooted at <sbq-data>; the function's
+// output fragment (also rooted at <sbq-data>) is parsed as the target message
+// type.
+//
+// This lets domain experts express quality transformations with XML
+// tooling (XSLT-style rewrites, DOM surgery) while the transport stays
+// binary end to end.
+func XMLHandler(target *idl.Type, fn func(xmlData []byte, attrs map[string]float64) ([]byte, error)) Handler {
+	return func(v idl.Value, attrs map[string]float64) (idl.Value, error) {
+		frag, err := xmlenc.Marshal(xmlHandlerRoot, v)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("quality: xml handler up-convert: %w", err)
+		}
+		out, err := fn(frag, attrs)
+		if err != nil {
+			return idl.Value{}, err
+		}
+		res, err := xmlenc.Unmarshal(out, xmlHandlerRoot, target)
+		if err != nil {
+			return idl.Value{}, fmt.Errorf("quality: xml handler down-convert: %w", err)
+		}
+		return res, nil
+	}
+}
+
+// xmlHandlerRoot is the element name framing handler fragments.
+const xmlHandlerRoot = "sbq-data"

@@ -1,0 +1,368 @@
+// Package soap implements the SOAP 1.1 message layer: envelope
+// construction and parsing, rpc/encoded bodies carrying idl-typed
+// parameters, header metadata entries (used by SOAP-binQ to piggyback
+// timestamps and quality attributes), and faults.
+//
+// Parsing is schema-driven and namespace-tolerant: operations and
+// parameters are matched by local name against an OpSpec, the way a
+// WSDL-compiled stub knows its message shapes.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/xmlenc"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// Header carries string-valued metadata entries in the SOAP header. The
+// quality layer uses it for the timestamp echo and attribute piggyback.
+type Header map[string]string
+
+// Param is a named, typed parameter in an rpc/encoded body.
+type Param struct {
+	Name  string
+	Value idl.Value
+}
+
+// Message is a SOAP rpc message: an operation element wrapping parameter
+// elements, plus optional header entries.
+type Message struct {
+	Op     string
+	Params []Param
+	Header Header
+}
+
+// ParamSpec declares one expected parameter of an operation.
+type ParamSpec struct {
+	Name string
+	Type *idl.Type
+}
+
+// OpSpec declares the expected shape of an incoming message: the operation
+// element's local name and its parameters in order.
+type OpSpec struct {
+	Op     string
+	Params []ParamSpec
+}
+
+// Fault is a SOAP fault. It implements error so transport layers can
+// return it directly.
+type Fault struct {
+	Code   string // e.g. "Client", "Server"
+	String string // human-readable fault string
+	Detail string // optional detail text
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Detail != "" {
+		return fmt.Sprintf("soap fault %s: %s (%s)", f.Code, f.String, f.Detail)
+	}
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+const (
+	xmlDecl     = `<?xml version="1.0" encoding="UTF-8"?>`
+	envOpen     = `<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + EnvelopeNS + `">`
+	envClose    = `</SOAP-ENV:Envelope>`
+	bodyOpen    = `<SOAP-ENV:Body>`
+	bodyClose   = `</SOAP-ENV:Body>`
+	headerOpen  = `<SOAP-ENV:Header>`
+	headerClose = `</SOAP-ENV:Header>`
+)
+
+// Marshal renders a message as a SOAP 1.1 envelope.
+func Marshal(msg *Message) ([]byte, error) {
+	if msg.Op == "" {
+		return nil, fmt.Errorf("soap: message without operation name")
+	}
+	var buf bytes.Buffer
+	buf.Grow(512)
+	buf.WriteString(xmlDecl)
+	buf.WriteString(envOpen)
+	writeHeader(&buf, msg.Header)
+	buf.WriteString(bodyOpen)
+	buf.WriteByte('<')
+	buf.WriteString(msg.Op)
+	buf.WriteByte('>')
+	for _, p := range msg.Params {
+		if err := xmlenc.Encode(&buf, p.Name, p.Value); err != nil {
+			return nil, fmt.Errorf("soap: parameter %q: %w", p.Name, err)
+		}
+	}
+	buf.WriteString("</")
+	buf.WriteString(msg.Op)
+	buf.WriteByte('>')
+	buf.WriteString(bodyClose)
+	buf.WriteString(envClose)
+	return buf.Bytes(), nil
+}
+
+func writeHeader(buf *bytes.Buffer, h Header) {
+	if len(h) == 0 {
+		return
+	}
+	buf.WriteString(headerOpen)
+	// Deterministic order keeps envelopes byte-stable for tests.
+	for _, k := range sortedKeys(h) {
+		buf.WriteString(`<entry name="`)
+		xml.EscapeText(buf, []byte(k))
+		buf.WriteString(`">`)
+		xml.EscapeText(buf, []byte(h[k]))
+		buf.WriteString(`</entry>`)
+	}
+	buf.WriteString(headerClose)
+}
+
+func sortedKeys(h Header) []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// MarshalFault renders a SOAP fault envelope.
+func MarshalFault(f *Fault) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xmlDecl)
+	buf.WriteString(envOpen)
+	buf.WriteString(bodyOpen)
+	buf.WriteString(`<SOAP-ENV:Fault><faultcode>`)
+	xml.EscapeText(&buf, []byte(f.Code))
+	buf.WriteString(`</faultcode><faultstring>`)
+	xml.EscapeText(&buf, []byte(f.String))
+	buf.WriteString(`</faultstring>`)
+	if f.Detail != "" {
+		buf.WriteString(`<detail>`)
+		xml.EscapeText(&buf, []byte(f.Detail))
+		buf.WriteString(`</detail>`)
+	}
+	buf.WriteString(`</SOAP-ENV:Fault>`)
+	buf.WriteString(bodyClose)
+	buf.WriteString(envClose)
+	return buf.Bytes(), nil
+}
+
+// Parse decodes a SOAP envelope against the expected operation spec. A
+// well-formed fault envelope is returned as (*Fault) in err with a nil
+// message. Parameters must appear in spec order, each exactly once.
+func Parse(data []byte, spec OpSpec) (*Message, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+
+	env, err := nextStart(dec)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	if env.Name.Local != "Envelope" {
+		return nil, fmt.Errorf("soap: root element <%s>, want <Envelope>", env.Name.Local)
+	}
+
+	msg := &Message{Op: spec.Op}
+	sawBody := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: in envelope: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			switch tk.Name.Local {
+			case "Header":
+				hdr, err := parseHeader(dec)
+				if err != nil {
+					return nil, err
+				}
+				msg.Header = hdr
+			case "Body":
+				if sawBody {
+					return nil, fmt.Errorf("soap: multiple Body elements")
+				}
+				sawBody = true
+				if err := parseBody(dec, spec, msg); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("soap: unexpected element <%s> in envelope", tk.Name.Local)
+			}
+		case xml.EndElement: // </Envelope>
+			if !sawBody {
+				return nil, fmt.Errorf("soap: envelope without Body")
+			}
+			return msg, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(tk)) != 0 {
+				return nil, fmt.Errorf("soap: unexpected text in envelope")
+			}
+		}
+	}
+}
+
+// parseHeader consumes through </Header>, collecting <entry name="k">v</entry>.
+func parseHeader(dec *xml.Decoder) (Header, error) {
+	hdr := Header{}
+	depth := 0
+	var key string
+	var val bytes.Buffer
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: in header: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if tk.Name.Local == "entry" && depth == 1 {
+				key = ""
+				val.Reset()
+				for _, a := range tk.Attr {
+					if a.Name.Local == "name" {
+						key = a.Value
+					}
+				}
+			}
+		case xml.CharData:
+			if depth == 1 {
+				val.Write(tk)
+			}
+		case xml.EndElement:
+			if depth == 0 {
+				return hdr, nil // </Header>
+			}
+			if depth == 1 && key != "" {
+				hdr[key] = val.String()
+			}
+			depth--
+		}
+	}
+}
+
+func parseBody(dec *xml.Decoder, spec OpSpec, msg *Message) error {
+	op, err := nextStart(dec)
+	if err != nil {
+		return fmt.Errorf("soap: in body: %w", err)
+	}
+	if op.Name.Local == "Fault" {
+		f, err := parseFault(dec)
+		if err != nil {
+			return err
+		}
+		return f
+	}
+	if op.Name.Local != spec.Op {
+		return fmt.Errorf("soap: operation <%s>, want <%s>", op.Name.Local, spec.Op)
+	}
+	msg.Params = make([]Param, 0, len(spec.Params))
+	for _, ps := range spec.Params {
+		v, err := xmlenc.DecodeElement(dec, ps.Name, ps.Type)
+		if err != nil {
+			return fmt.Errorf("soap: operation %s: %w", spec.Op, err)
+		}
+		msg.Params = append(msg.Params, Param{Name: ps.Name, Value: v})
+	}
+	// Expect </op> then </Body>.
+	if err := expectEnd(dec, op.Name.Local); err != nil {
+		return err
+	}
+	return expectEnd(dec, "Body")
+}
+
+func parseFault(dec *xml.Decoder) (*Fault, error) {
+	f := &Fault{}
+	depth := 0
+	var field string
+	var val bytes.Buffer
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: in fault: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 1 {
+				field = tk.Name.Local
+				val.Reset()
+			}
+		case xml.CharData:
+			if depth == 1 {
+				val.Write(tk)
+			}
+		case xml.EndElement:
+			if depth == 0 {
+				// </Fault>; consume </Body> so callers see a clean stream.
+				if err := expectEnd(dec, "Body"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			if depth == 1 {
+				switch field {
+				case "faultcode":
+					f.Code = val.String()
+				case "faultstring":
+					f.String = val.String()
+				case "detail":
+					f.Detail = val.String()
+				}
+			}
+			depth--
+		}
+	}
+}
+
+func expectEnd(dec *xml.Decoder, name string) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("soap: expecting </%s>: %w", name, err)
+		}
+		switch tk := tok.(type) {
+		case xml.EndElement:
+			if tk.Name.Local != name {
+				return fmt.Errorf("soap: got </%s>, want </%s>", tk.Name.Local, name)
+			}
+			return nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(tk)) != 0 {
+				return fmt.Errorf("soap: unexpected text before </%s>", name)
+			}
+		case xml.StartElement:
+			return fmt.Errorf("soap: unexpected <%s>, want </%s>", tk.Name.Local, name)
+		}
+	}
+}
+
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err == io.EOF {
+				return xml.StartElement{}, fmt.Errorf("unexpected end of document")
+			}
+			return xml.StartElement{}, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return t, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) != 0 {
+				return xml.StartElement{}, fmt.Errorf("unexpected character data")
+			}
+		case xml.EndElement:
+			return xml.StartElement{}, fmt.Errorf("unexpected </%s>", t.Name.Local)
+		}
+	}
+}

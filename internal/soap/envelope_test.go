@@ -1,0 +1,204 @@
+package soap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/workload"
+)
+
+var echoSpec = OpSpec{
+	Op: "echo",
+	Params: []ParamSpec{
+		{Name: "msg", Type: idl.StringT()},
+		{Name: "count", Type: idl.Int()},
+	},
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	msg := &Message{
+		Op: "echo",
+		Params: []Param{
+			{Name: "msg", Value: idl.StringV("hello <world>")},
+			{Name: "count", Value: idl.IntV(3)},
+		},
+		Header: Header{"ts": "12345", "rtt": "0.5"},
+	}
+	data, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), xmlDecl) {
+		t.Error("missing XML declaration")
+	}
+	got, err := Parse(data, echoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != "echo" || len(got.Params) != 2 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got.Params[0].Value.Str != "hello <world>" {
+		t.Errorf("msg = %q", got.Params[0].Value.Str)
+	}
+	if got.Params[1].Value.Int != 3 {
+		t.Errorf("count = %d", got.Params[1].Value.Int)
+	}
+	if got.Header["ts"] != "12345" || got.Header["rtt"] != "0.5" {
+		t.Errorf("header = %v", got.Header)
+	}
+}
+
+func TestMarshalDeterministicHeaderOrder(t *testing.T) {
+	msg := &Message{Op: "op", Header: Header{"b": "2", "a": "1", "c": "3"}}
+	d1, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := Marshal(msg)
+	if string(d1) != string(d2) {
+		t.Error("marshalling must be deterministic")
+	}
+	if !strings.Contains(string(d1), `<entry name="a">1</entry><entry name="b">2</entry>`) {
+		t.Errorf("header order: %s", d1)
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := Marshal(&Message{}); err == nil {
+		t.Error("missing op must fail")
+	}
+	bad := &Message{Op: "op", Params: []Param{{Name: "p", Value: idl.Value{}}}}
+	if _, err := Marshal(bad); err == nil {
+		t.Error("untyped param must fail")
+	}
+}
+
+func TestComplexParams(t *testing.T) {
+	v := workload.NestedStruct(3, 2)
+	spec := OpSpec{Op: "submit", Params: []ParamSpec{{Name: "order", Type: v.Type}}}
+	data, err := Marshal(&Message{Op: "submit", Params: []Param{{Name: "order", Value: v}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Params[0].Value.Equal(v) {
+		t.Error("nested struct param round trip mismatch")
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := &Fault{Code: "Server", String: "boom & bust", Detail: "stack"}
+	data, err := MarshalFault(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Parse(data, echoSpec)
+	var got *Fault
+	if !errors.As(err, &got) {
+		t.Fatalf("Parse returned %v, want *Fault", err)
+	}
+	if got.Code != "Server" || got.String != "boom & bust" || got.Detail != "stack" {
+		t.Errorf("fault = %+v", got)
+	}
+	if !strings.Contains(got.Error(), "boom") || !strings.Contains(got.Error(), "stack") {
+		t.Errorf("Error() = %q", got.Error())
+	}
+	nf := &Fault{Code: "Client", String: "nope"}
+	if strings.Contains(nf.Error(), "(") {
+		t.Errorf("fault without detail renders parens: %q", nf.Error())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	valid, _ := Marshal(&Message{
+		Op: "echo",
+		Params: []Param{
+			{Name: "msg", Value: idl.StringV("x")},
+			{Name: "count", Value: idl.IntV(1)},
+		},
+	})
+	cases := map[string]string{
+		"not xml":        "junk",
+		"wrong root":     `<foo/>`,
+		"no body":        xmlDecl + envOpen + envClose,
+		"wrong op":       strings.Replace(string(valid), "echo>", "other>", 2),
+		"missing param":  xmlDecl + envOpen + bodyOpen + "<echo><msg>x</msg></echo>" + bodyClose + envClose,
+		"extra param":    strings.Replace(string(valid), "</echo>", "<junk>1</junk></echo>", 1),
+		"wrong order":    xmlDecl + envOpen + bodyOpen + "<echo><count>1</count><msg>x</msg></echo>" + bodyClose + envClose,
+		"text in env":    strings.Replace(string(valid), "<SOAP-ENV:Body>", "junk<SOAP-ENV:Body>", 1),
+		"truncated":      string(valid[:len(valid)-12]),
+		"double body":    strings.Replace(string(valid), envClose, bodyOpen+bodyClose+envClose, 1),
+		"stray element":  strings.Replace(string(valid), "<SOAP-ENV:Body>", "<Other/><SOAP-ENV:Body>", 1),
+		"empty document": "",
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc), echoSpec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseToleratesNamespacePrefixes(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+	<s:Envelope xmlns:s="` + EnvelopeNS + `" xmlns:m="urn:test">
+	  <s:Body><m:echo><msg>hi</msg><count>2</count></m:echo></s:Body>
+	</s:Envelope>`
+	got, err := Parse([]byte(doc), echoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params[0].Value.Str != "hi" {
+		t.Errorf("msg = %q", got.Params[0].Value.Str)
+	}
+}
+
+func TestParseHeaderIgnoresUnknownStructure(t *testing.T) {
+	doc := xmlDecl + envOpen + headerOpen +
+		`<entry name="k">v</entry><other><nested>x</nested></other>` +
+		headerClose + bodyOpen + "<noop></noop>" + bodyClose + envClose
+	got, err := Parse([]byte(doc), OpSpec{Op: "noop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header["k"] != "v" {
+		t.Errorf("header = %v", got.Header)
+	}
+	if _, ok := got.Header["nested"]; ok {
+		t.Error("nested foreign header content must not become an entry")
+	}
+}
+
+func TestZeroParamOperation(t *testing.T) {
+	data, err := Marshal(&Message{Op: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data, OpSpec{Op: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != 0 {
+		t.Errorf("params = %v", got.Params)
+	}
+}
+
+func TestHeaderEscaping(t *testing.T) {
+	msg := &Message{Op: "op", Header: Header{`k<&>`: `v<&>"`}}
+	data, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data, OpSpec{Op: "op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header[`k<&>`] != `v<&>"` {
+		t.Errorf("header round trip = %v", got.Header)
+	}
+}

@@ -1,0 +1,260 @@
+// Package stats provides the measurement toolkit behind the benchmark
+// harness: summary statistics, jitter, experiment repetition with
+// cold-start discard (the paper discards the first set of readings), and
+// plain-text table/series rendering for regenerated figures.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes summary statistics. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile interpolates linearly on a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Jitter returns the mean absolute successive difference — the
+// response-time variability the adaptive policies in Figures 8 and 9
+// reduce.
+func Jitter(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(xs); i++ {
+		sum += math.Abs(xs[i] - xs[i-1])
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// Millis converts durations to milliseconds for summarizing.
+func Millis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Micros converts durations to microseconds for summarizing.
+func Micros(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Microsecond)
+	}
+	return out
+}
+
+// Repeat runs an experiment n times after discarding `discard` warm-up
+// runs, mirroring the paper's methodology ("reporting the averages over
+// all readings, after discarding the first set (to eliminate cold start
+// effects)").
+func Repeat(n, discard int, f func() float64) []float64 {
+	for i := 0; i < discard; i++ {
+		f()
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, f())
+	}
+	return out
+}
+
+// Table renders aligned plain-text tables for regenerated paper tables.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, short
+// rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders an (x, y...) series as aligned columns, one line per
+// point — the textual equivalent of a paper figure.
+type Series struct {
+	XLabel  string
+	YLabels []string
+	points  [][]float64
+}
+
+// NewSeries creates a series with one x column and named y columns.
+func NewSeries(xLabel string, yLabels ...string) *Series {
+	return &Series{XLabel: xLabel, YLabels: yLabels}
+}
+
+// Add appends a point; ys must match the y label count.
+func (s *Series) Add(x float64, ys ...float64) {
+	pt := append([]float64{x}, ys...)
+	s.points = append(s.points, pt)
+}
+
+// Render writes the series as a table of numbers.
+func (s *Series) Render(w io.Writer) {
+	t := NewTable(append([]string{s.XLabel}, s.YLabels...)...)
+	for _, pt := range s.points {
+		cells := make([]string, len(pt))
+		for i, v := range pt {
+			cells[i] = formatNum(v)
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}
+
+// Sparkline renders a sample as a one-line unicode bar chart, scaled to
+// the sample's own min/max — enough to see the shape of a response-time
+// series (the congestion plateau of Fig. 8, the staircase of Fig. 9) in
+// terminal output.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	span := max - min
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - min) / span * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-9) {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Error("percentiles must be monotone")
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Error("empty summary must be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.P50 != 7 || one.P95 != 7 {
+		t.Errorf("singleton = %+v", one)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := percentile(sorted, 0.5); p != 5 {
+		t.Errorf("p50 of {0,10} = %v", p)
+	}
+	if p := percentile(sorted, 1.0); p != 10 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	if j := Jitter([]float64{5, 5, 5}); j != 0 {
+		t.Errorf("constant jitter = %v", j)
+	}
+	if j := Jitter([]float64{0, 10, 0, 10}); j != 10 {
+		t.Errorf("alternating jitter = %v", j)
+	}
+	if j := Jitter([]float64{3}); j != 0 {
+		t.Errorf("single jitter = %v", j)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	ms := Millis([]time.Duration{time.Second, 250 * time.Millisecond})
+	if ms[0] != 1000 || ms[1] != 250 {
+		t.Errorf("Millis = %v", ms)
+	}
+	us := Micros([]time.Duration{time.Millisecond})
+	if us[0] != 1000 {
+		t.Errorf("Micros = %v", us)
+	}
+}
+
+func TestRepeatDiscardsWarmup(t *testing.T) {
+	calls := 0
+	out := Repeat(3, 2, func() float64 {
+		calls++
+		return float64(calls)
+	})
+	if calls != 5 {
+		t.Errorf("calls = %d", calls)
+	}
+	if len(out) != 3 || out[0] != 3 {
+		t.Errorf("out = %v (warm-up must be discarded)", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-very-long-name", "22")
+	tb.AddRow("short") // padded
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Column alignment: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("size", "soap", "soap-bin")
+	s.Add(1024, 10.5, 2.25)
+	s.Add(2048, 20, 4)
+	var sb strings.Builder
+	s.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"size", "soap-bin", "1024", "10.5", "2.25", "2048"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	for v, want := range map[float64]string{
+		3:      "3",
+		1234:   "1234",
+		123.45: "123.5",
+		0.125:  "0.125",
+	} {
+		if got := formatNum(v); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints = %c %c", runes[0], runes[7])
+	}
+	// Constant series renders at the floor, not mid-scale noise.
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat rune = %c", r)
+		}
+	}
+}

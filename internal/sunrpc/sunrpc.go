@@ -1,0 +1,453 @@
+// Package sunrpc implements a TCP-based ONC RPC (Sun RPC, RFC 1057)
+// client and server over the XDR data representation — the standard
+// client-server invocation mechanism the paper benchmarks SOAP-bin
+// against in Figure 4.
+//
+// The implementation covers the call/reply message protocol with
+// AUTH_NONE credentials and RFC 1057 §10 record marking over TCP.
+// Procedure arguments and results are single idl values (wrap multiples
+// in a struct, as rpcgen does).
+package sunrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/xdr"
+)
+
+// Protocol constants from RFC 1057.
+const (
+	rpcVersion = 2
+
+	msgCall  = 0
+	msgReply = 1
+
+	replyAccepted = 0
+	replyDenied   = 1
+
+	acceptSuccess     = 0
+	acceptProgUnavail = 1
+	acceptProcUnavail = 3
+	acceptGarbageArgs = 4
+	acceptSystemErr   = 5
+
+	authNone = 0
+
+	maxRecord = 256 << 20
+)
+
+// Errors returned by Client.Call.
+var (
+	ErrProcUnavailable = errors.New("sunrpc: procedure unavailable")
+	ErrProgUnavailable = errors.New("sunrpc: program unavailable")
+	ErrGarbageArgs     = errors.New("sunrpc: garbage arguments")
+	ErrSystemError     = errors.New("sunrpc: server system error")
+	ErrDenied          = errors.New("sunrpc: call denied")
+)
+
+// ProcDef declares one remote procedure: its number, argument type and
+// result type (either may be nil for void).
+type ProcDef struct {
+	Proc   uint32
+	Arg    *idl.Type
+	Result *idl.Type
+}
+
+// Handler implements a procedure.
+type Handler func(arg idl.Value) (idl.Value, error)
+
+// Server is a Sun RPC program bound to one TCP listener.
+type Server struct {
+	prog, vers uint32
+
+	mu       sync.Mutex
+	procs    map[uint32]ProcDef
+	handlers map[uint32]Handler
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server for program number prog, version vers.
+func NewServer(prog, vers uint32) *Server {
+	return &Server{
+		prog:     prog,
+		vers:     vers,
+		procs:    make(map[uint32]ProcDef),
+		handlers: make(map[uint32]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a procedure handler.
+func (s *Server) Register(def ProcDef, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("sunrpc: nil handler for proc %d", def.Proc)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[def.Proc]; dup {
+		return fmt.Errorf("sunrpc: duplicate proc %d", def.Proc)
+	}
+	s.procs[def.Proc] = def
+	s.handlers[def.Proc] = h
+	return nil
+}
+
+// ListenAndServe binds addr and serves until Close. It returns once the
+// listener is bound.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("sunrpc: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("sunrpc: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close shuts the listener and all connections down and waits for the
+// serving goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		record, err := readRecord(conn)
+		if err != nil {
+			return
+		}
+		reply, err := s.handleRecord(record)
+		if err != nil {
+			return // malformed beyond per-call recovery: drop connection
+		}
+		if err := writeRecord(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleRecord processes one call message and builds the reply record.
+func (s *Server) handleRecord(record []byte) ([]byte, error) {
+	if len(record) < 4*6 {
+		return nil, fmt.Errorf("sunrpc: short call header")
+	}
+	xid := binary.BigEndian.Uint32(record[0:])
+	mtype := binary.BigEndian.Uint32(record[4:])
+	if mtype != msgCall {
+		return nil, fmt.Errorf("sunrpc: not a call message")
+	}
+	rpcvers := binary.BigEndian.Uint32(record[8:])
+	prog := binary.BigEndian.Uint32(record[12:])
+	vers := binary.BigEndian.Uint32(record[16:])
+	proc := binary.BigEndian.Uint32(record[20:])
+	rest, err := skipAuth(record[24:]) // credentials
+	if err != nil {
+		return nil, err
+	}
+	rest, err = skipAuth(rest) // verifier
+	if err != nil {
+		return nil, err
+	}
+
+	if rpcvers != rpcVersion {
+		return replyHeader(xid, acceptSystemErr), nil
+	}
+	if prog != s.prog || vers != s.vers {
+		return replyHeader(xid, acceptProgUnavail), nil
+	}
+	s.mu.Lock()
+	def, ok := s.procs[proc]
+	h := s.handlers[proc]
+	s.mu.Unlock()
+	if !ok {
+		return replyHeader(xid, acceptProcUnavail), nil
+	}
+
+	var arg idl.Value
+	if def.Arg != nil {
+		arg, rest, err = xdr.Decode(rest, def.Arg)
+		if err != nil {
+			return replyHeader(xid, acceptGarbageArgs), nil
+		}
+	}
+	if len(rest) != 0 {
+		return replyHeader(xid, acceptGarbageArgs), nil
+	}
+
+	result, err := h(arg)
+	if err != nil {
+		return replyHeader(xid, acceptSystemErr), nil
+	}
+	reply := replyHeader(xid, acceptSuccess)
+	if def.Result != nil {
+		if result.Type == nil || !result.Type.Equal(def.Result) {
+			return replyHeader(xid, acceptSystemErr), nil
+		}
+		if reply, err = xdr.AppendMarshal(reply, result); err != nil {
+			return replyHeader(xid, acceptSystemErr), nil
+		}
+	}
+	return reply, nil
+}
+
+// replyHeader builds an accepted-reply header with the given accept stat.
+func replyHeader(xid uint32, stat uint32) []byte {
+	buf := make([]byte, 0, 4*7)
+	buf = binary.BigEndian.AppendUint32(buf, xid)
+	buf = binary.BigEndian.AppendUint32(buf, msgReply)
+	buf = binary.BigEndian.AppendUint32(buf, replyAccepted)
+	buf = binary.BigEndian.AppendUint32(buf, authNone) // verifier flavor
+	buf = binary.BigEndian.AppendUint32(buf, 0)        // verifier length
+	buf = binary.BigEndian.AppendUint32(buf, stat)
+	return buf
+}
+
+// skipAuth consumes an opaque_auth structure (flavor + counted opaque).
+func skipAuth(b []byte) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("sunrpc: truncated auth")
+	}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	padded := n + (4-n%4)%4
+	if n < 0 || len(b) < 8+padded {
+		return nil, fmt.Errorf("sunrpc: truncated auth body")
+	}
+	return b[8+padded:], nil
+}
+
+// Client calls procedures on a remote Sun RPC program over one persistent
+// TCP connection. Safe for concurrent use; calls serialize on the wire.
+type Client struct {
+	prog, vers uint32
+	addr       string
+
+	mu   sync.Mutex
+	conn net.Conn
+	xid  uint32
+}
+
+// NewClient returns a client of the program at addr. The connection is
+// dialed lazily.
+func NewClient(addr string, prog, vers uint32) *Client {
+	return &Client{addr: addr, prog: prog, vers: vers}
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Call invokes a procedure. arg may be the zero Value for void arguments;
+// resultType may be nil for void results.
+func (c *Client) Call(proc uint32, arg idl.Value, resultType *idl.Type) (idl.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.xid++
+	xid := c.xid
+	call := make([]byte, 0, 256)
+	call = binary.BigEndian.AppendUint32(call, xid)
+	call = binary.BigEndian.AppendUint32(call, msgCall)
+	call = binary.BigEndian.AppendUint32(call, rpcVersion)
+	call = binary.BigEndian.AppendUint32(call, c.prog)
+	call = binary.BigEndian.AppendUint32(call, c.vers)
+	call = binary.BigEndian.AppendUint32(call, proc)
+	call = binary.BigEndian.AppendUint32(call, authNone) // cred flavor
+	call = binary.BigEndian.AppendUint32(call, 0)        // cred length
+	call = binary.BigEndian.AppendUint32(call, authNone) // verf flavor
+	call = binary.BigEndian.AppendUint32(call, 0)        // verf length
+	if arg.Type != nil {
+		var err error
+		if call, err = xdr.AppendMarshal(call, arg); err != nil {
+			return idl.Value{}, err
+		}
+	}
+
+	record, err := c.roundTrip(call)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	return parseReply(record, xid, resultType)
+}
+
+func (c *Client) roundTrip(call []byte) ([]byte, error) {
+	record, err := c.tryOnce(call)
+	if err == nil {
+		return record, nil
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return c.tryOnce(call)
+}
+
+func (c *Client) tryOnce(call []byte) ([]byte, error) {
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("sunrpc: dial: %w", err)
+		}
+		c.conn = conn
+	}
+	if err := writeRecord(c.conn, call); err != nil {
+		return nil, err
+	}
+	return readRecord(c.conn)
+}
+
+func parseReply(record []byte, xid uint32, resultType *idl.Type) (idl.Value, error) {
+	if len(record) < 12 {
+		return idl.Value{}, fmt.Errorf("sunrpc: short reply")
+	}
+	if got := binary.BigEndian.Uint32(record[0:]); got != xid {
+		return idl.Value{}, fmt.Errorf("sunrpc: reply xid %d, want %d", got, xid)
+	}
+	if binary.BigEndian.Uint32(record[4:]) != msgReply {
+		return idl.Value{}, fmt.Errorf("sunrpc: not a reply message")
+	}
+	if binary.BigEndian.Uint32(record[8:]) == replyDenied {
+		return idl.Value{}, ErrDenied
+	}
+	rest, err := skipAuth(record[12:]) // verifier
+	if err != nil {
+		return idl.Value{}, err
+	}
+	if len(rest) < 4 {
+		return idl.Value{}, fmt.Errorf("sunrpc: truncated accept stat")
+	}
+	stat := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	switch stat {
+	case acceptSuccess:
+	case acceptProgUnavail:
+		return idl.Value{}, ErrProgUnavailable
+	case acceptProcUnavail:
+		return idl.Value{}, ErrProcUnavailable
+	case acceptGarbageArgs:
+		return idl.Value{}, ErrGarbageArgs
+	default:
+		return idl.Value{}, ErrSystemError
+	}
+	if resultType == nil {
+		if len(rest) != 0 {
+			return idl.Value{}, fmt.Errorf("sunrpc: unexpected result bytes")
+		}
+		return idl.Value{}, nil
+	}
+	return xdr.Unmarshal(rest, resultType)
+}
+
+// Record marking per RFC 1057 §10: each record is a sequence of fragments,
+// each prefixed by a 4-byte header whose top bit marks the last fragment.
+// We always write a single fragment but accept multi-fragment records.
+
+func writeRecord(w io.Writer, record []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(record))|0x80000000)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(record)
+	return err
+}
+
+func readRecord(r io.Reader) ([]byte, error) {
+	var record []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		h := binary.BigEndian.Uint32(hdr[:])
+		last := h&0x80000000 != 0
+		n := int(h & 0x7FFFFFFF)
+		if n > maxRecord || len(record)+n > maxRecord {
+			return nil, fmt.Errorf("sunrpc: record too large")
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, err
+		}
+		record = append(record, frag...)
+		if last {
+			return record, nil
+		}
+	}
+}

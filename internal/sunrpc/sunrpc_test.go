@@ -1,0 +1,177 @@
+package sunrpc
+
+import (
+	"errors"
+	"testing"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/workload"
+)
+
+const (
+	testProg = 0x20000100
+	testVers = 1
+
+	procEcho = 1
+	procSum  = 2
+	procPing = 3
+	procFail = 4
+)
+
+func startTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(testProg, testVers)
+	structT := workload.NestedStructType(3)
+	if err := srv.Register(ProcDef{Proc: procEcho, Arg: structT, Result: structT}, func(arg idl.Value) (idl.Value, error) {
+		return arg, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(ProcDef{Proc: procSum, Arg: idl.List(idl.Int()), Result: idl.Int()}, func(arg idl.Value) (idl.Value, error) {
+		var total int64
+		for _, e := range arg.List {
+			total += e.Int
+		}
+		return idl.IntV(total), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(ProcDef{Proc: procPing}, func(idl.Value) (idl.Value, error) {
+		return idl.Value{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(ProcDef{Proc: procFail, Result: idl.Int()}, func(idl.Value) (idl.Value, error) {
+		return idl.Value{}, errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := NewClient(srv.Addr(), testProg, testVers)
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestEchoStruct(t *testing.T) {
+	_, client := startTestServer(t)
+	v := workload.NestedStruct(3, 2)
+	got, err := client.Call(procEcho, v, v.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Error("echo mismatch")
+	}
+}
+
+func TestSumArray(t *testing.T) {
+	_, client := startTestServer(t)
+	arr := workload.IntArray(1000)
+	got, err := client.Call(procSum, arr, idl.Int())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, e := range arr.List {
+		want += e.Int
+	}
+	if got.Int != want {
+		t.Errorf("sum = %d, want %d", got.Int, want)
+	}
+}
+
+func TestVoidCall(t *testing.T) {
+	_, client := startTestServer(t)
+	got, err := client.Call(procPing, idl.Value{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != nil {
+		t.Errorf("void result = %v", got)
+	}
+}
+
+func TestErrorStats(t *testing.T) {
+	_, client := startTestServer(t)
+	if _, err := client.Call(procFail, idl.Value{}, idl.Int()); !errors.Is(err, ErrSystemError) {
+		t.Errorf("handler error: %v", err)
+	}
+	if _, err := client.Call(99, idl.Value{}, nil); !errors.Is(err, ErrProcUnavailable) {
+		t.Errorf("unknown proc: %v", err)
+	}
+	// Wrong argument type for a known proc → garbage args.
+	if _, err := client.Call(procSum, idl.StringV("hi"), idl.Int()); !errors.Is(err, ErrGarbageArgs) {
+		t.Errorf("garbage args: %v", err)
+	}
+	// Wrong program number.
+	wrong := NewClient(client.addr, testProg+1, testVers)
+	defer wrong.Close()
+	if _, err := wrong.Call(procPing, idl.Value{}, nil); !errors.Is(err, ErrProgUnavailable) {
+		t.Errorf("wrong prog: %v", err)
+	}
+}
+
+func TestSequentialCallsShareConnection(t *testing.T) {
+	_, client := startTestServer(t)
+	for i := 0; i < 20; i++ {
+		if _, err := client.Call(procPing, idl.Value{}, nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	srv, client := startTestServer(t)
+	if _, err := client.Call(procPing, idl.Value{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	if _, err := client.Call(procPing, idl.Value{}, nil); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer(1, 1)
+	if err := srv.Register(ProcDef{Proc: 1}, nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+	ok := func(idl.Value) (idl.Value, error) { return idl.Value{}, nil }
+	if err := srv.Register(ProcDef{Proc: 1}, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(ProcDef{Proc: 1}, ok); err == nil {
+		t.Error("duplicate proc must fail")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(1, 1)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Error("serve after close must fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	client := NewClient("127.0.0.1:1", 1, 1)
+	defer client.Close()
+	if _, err := client.Call(1, idl.Value{}, nil); err == nil {
+		t.Error("dead server must error")
+	}
+}

@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"soapbinq/internal/moldyn"
+)
+
+// FilterSpec is the parsed form of the filter code a display client sends
+// with each request. The client can change it dynamically per request —
+// the paper's step (3), "construct the appropriate request, with filter
+// code and the desired output format".
+//
+// The textual syntax is semicolon-separated directives:
+//
+//	stride=K              keep every Kth atom (and bonds between kept atoms)
+//	elements=C,H          keep only the listed elements
+//	box=x0,y0,x1,y1       keep atoms whose (x, y) lies in the rectangle
+//	nobonds               drop bond edges entirely
+//
+// e.g. "stride=2;elements=C,O;nobonds".
+type FilterSpec struct {
+	Stride         int
+	Elements       map[byte]bool // nil means all
+	HasBox         bool
+	X0, Y0, X1, Y1 float64
+	NoBonds        bool
+}
+
+// ParseFilter parses filter code. An empty string is the identity filter.
+func ParseFilter(code string) (*FilterSpec, error) {
+	f := &FilterSpec{Stride: 1}
+	if strings.TrimSpace(code) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(code, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "stride":
+			if !hasVal {
+				return nil, fmt.Errorf("viz: stride needs a value")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("viz: bad stride %q", val)
+			}
+			f.Stride = n
+		case "elements":
+			if !hasVal || val == "" {
+				return nil, fmt.Errorf("viz: elements needs a list")
+			}
+			f.Elements = make(map[byte]bool)
+			for _, e := range strings.Split(val, ",") {
+				e = strings.TrimSpace(e)
+				if len(e) != 1 {
+					return nil, fmt.Errorf("viz: bad element %q", e)
+				}
+				f.Elements[e[0]] = true
+			}
+		case "box":
+			if !hasVal {
+				return nil, fmt.Errorf("viz: box needs coordinates")
+			}
+			coords := strings.Split(val, ",")
+			if len(coords) != 4 {
+				return nil, fmt.Errorf("viz: box needs x0,y0,x1,y1")
+			}
+			vals := make([]float64, 4)
+			for i, c := range coords {
+				v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+				if err != nil {
+					return nil, fmt.Errorf("viz: bad box coordinate %q", c)
+				}
+				vals[i] = v
+			}
+			f.HasBox = true
+			f.X0, f.Y0, f.X1, f.Y1 = vals[0], vals[1], vals[2], vals[3]
+			if f.X1 < f.X0 {
+				f.X0, f.X1 = f.X1, f.X0
+			}
+			if f.Y1 < f.Y0 {
+				f.Y0, f.Y1 = f.Y1, f.Y0
+			}
+		case "nobonds":
+			if hasVal {
+				return nil, fmt.Errorf("viz: nobonds takes no value")
+			}
+			f.NoBonds = true
+		default:
+			return nil, fmt.Errorf("viz: unknown filter directive %q", key)
+		}
+	}
+	return f, nil
+}
+
+// Apply filters a frame: atoms failing any predicate are dropped, bonds
+// survive only if both endpoints survive.
+func (f *FilterSpec) Apply(in *moldyn.Frame) *moldyn.Frame {
+	out := &moldyn.Frame{Step: in.Step}
+	kept := make(map[int64]bool, len(in.Atoms))
+	for i, a := range in.Atoms {
+		if f.Stride > 1 && i%f.Stride != 0 {
+			continue
+		}
+		if f.Elements != nil && !f.Elements[a.Element] {
+			continue
+		}
+		if f.HasBox && (a.X < f.X0 || a.X > f.X1 || a.Y < f.Y0 || a.Y > f.Y1) {
+			continue
+		}
+		out.Atoms = append(out.Atoms, a)
+		kept[a.ID] = true
+	}
+	if !f.NoBonds {
+		for _, b := range in.Bonds {
+			if kept[b.A] && kept[b.B] {
+				out.Bonds = append(out.Bonds, b)
+			}
+		}
+	}
+	return out
+}

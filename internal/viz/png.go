@@ -1,0 +1,147 @@
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+
+	"soapbinq/internal/moldyn"
+)
+
+// PNG rendering: a rasterized alternative to SVG for display clients that
+// want a bitmap (the paper's clients consume SVG, "just an XML document";
+// PNG is this implementation's extra output format, exercising the same
+// filter-then-render pipeline).
+
+// elementRGBA mirrors elementColors for the rasterizer.
+var elementRGBA = map[byte]color.RGBA{
+	'C': {0x44, 0x44, 0x44, 0xFF},
+	'H': {0xDD, 0xDD, 0xDD, 0xFF},
+	'O': {0xCC, 0x22, 0x22, 0xFF},
+	'N': {0x22, 0x44, 0xCC, 0xFF},
+	'S': {0xCC, 0xCC, 0x22, 0xFF},
+}
+
+var (
+	pngBackground = color.RGBA{0x0A, 0x0A, 0x12, 0xFF}
+	pngBondColor  = color.RGBA{0x88, 0x99, 0xAA, 0xFF}
+	pngFallback   = color.RGBA{0x88, 0x88, 0x88, 0xFF}
+)
+
+// RenderPNG rasterizes a frame with the same projection as RenderSVG and
+// returns an encoded PNG document.
+func RenderPNG(f *moldyn.Frame, opts RenderOptions) ([]byte, error) {
+	o := opts.withDefaults()
+	img := image.NewRGBA(image.Rect(0, 0, o.Width, o.Height))
+	for y := 0; y < o.Height; y++ {
+		for x := 0; x < o.Width; x++ {
+			img.SetRGBA(x, y, pngBackground)
+		}
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, a := range f.Atoms {
+		minX, maxX = math.Min(minX, a.X), math.Max(maxX, a.X)
+		minY, maxY = math.Min(minY, a.Y), math.Max(maxY, a.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	margin := o.AtomRadius * 3
+	px := func(a moldyn.Atom) (int, int) {
+		x := margin + (a.X-minX)/spanX*(float64(o.Width)-2*margin)
+		y := margin + (a.Y-minY)/spanY*(float64(o.Height)-2*margin)
+		return int(x), int(y)
+	}
+
+	index := make(map[int64]moldyn.Atom, len(f.Atoms))
+	for _, a := range f.Atoms {
+		index[a.ID] = a
+	}
+	for _, b := range f.Bonds {
+		a1, ok1 := index[b.A]
+		a2, ok2 := index[b.B]
+		if !ok1 || !ok2 {
+			continue
+		}
+		x1, y1 := px(a1)
+		x2, y2 := px(a2)
+		drawLine(img, x1, y1, x2, y2, pngBondColor)
+	}
+	r := int(o.AtomRadius)
+	for _, a := range f.Atoms {
+		x, y := px(a)
+		c, ok := elementRGBA[a.Element]
+		if !ok {
+			c = pngFallback
+		}
+		fillCircle(img, x, y, r, c)
+	}
+
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("viz: png encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// drawLine is Bresenham's algorithm.
+func drawLine(img *image.RGBA, x1, y1, x2, y2 int, c color.RGBA) {
+	dx := abs(x2 - x1)
+	dy := -abs(y2 - y1)
+	sx, sy := 1, 1
+	if x1 > x2 {
+		sx = -1
+	}
+	if y1 > y2 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x1, y1
+	for {
+		setIfInside(img, x, y, c)
+		if x == x2 && y == y2 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func fillCircle(img *image.RGBA, cx, cy, r int, c color.RGBA) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				setIfInside(img, cx+dx, cy+dy, c)
+			}
+		}
+	}
+}
+
+func setIfInside(img *image.RGBA, x, y int, c color.RGBA) {
+	if image.Pt(x, y).In(img.Rect) {
+		img.SetRGBA(x, y, c)
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package viz
+
+import (
+	"fmt"
+	"sync"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/echo"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/wsdl"
+)
+
+// Output formats a display client may request.
+const (
+	FormatSVG = "svg"
+	FormatPNG = "png"
+	FormatRaw = "raw"
+)
+
+// ResponseType is the portal's result record: the format actually used,
+// the rendered document bytes when format is svg or png, and the
+// (filtered) raw frame when format=raw. Unused members are zero — the
+// same legacy-friendly padding convention the quality layer uses.
+var ResponseType = idl.Struct("VizResponse",
+	idl.F("format", idl.StringT()),
+	idl.F("doc", idl.List(idl.Char())),
+	idl.F("frame", moldyn.FrameType()),
+)
+
+// Spec returns the portal's service interface.
+func Spec() *core.ServiceSpec {
+	return core.MustServiceSpec("VizPortal",
+		&core.OpDef{
+			Name: "getFrame",
+			Params: []soap.ParamSpec{
+				{Name: "filter", Type: idl.StringT()},
+				{Name: "format", Type: idl.StringT()},
+			},
+			Result: ResponseType,
+		},
+		&core.OpDef{
+			Name:   "describe",
+			Result: idl.StringT(),
+		},
+	)
+}
+
+// Portal is the service portal of Figure 10: a sink on the bond-data ECho
+// channel, serving display clients over SOAP-bin and advertising its
+// interface as WSDL.
+type Portal struct {
+	endpoint string
+	cancel   func()
+
+	mu     sync.RWMutex
+	latest *moldyn.Frame
+	frames int
+}
+
+// NewRemotePortal attaches a portal to a channel served by a remote ECho
+// bridge (echo.BridgeServer) — the fully distributed form of Figure 10,
+// where the bond server runs in another process and the portal is one of
+// its event sinks.
+func NewRemotePortal(bridgeAddr, channel, endpoint string) (*Portal, error) {
+	p := &Portal{endpoint: endpoint}
+	cancel, err := echo.SubscribeRemote(bridgeAddr, channel, p.consume)
+	if err != nil {
+		return nil, fmt.Errorf("viz: remote channel %q: %w", channel, err)
+	}
+	p.cancel = cancel
+	return p, nil
+}
+
+// consume ingests one bond-data event.
+func (p *Portal) consume(ev idl.Value) {
+	f, err := moldyn.FrameFromValue(ev)
+	if err != nil {
+		return // ill-typed events cannot occur on a typed channel
+	}
+	p.mu.Lock()
+	p.latest = f
+	p.frames++
+	p.mu.Unlock()
+}
+
+// NewPortal attaches a portal to the named channel in an ECho domain.
+// The endpoint is advertised in the generated WSDL.
+func NewPortal(domain *echo.Domain, channel, endpoint string) (*Portal, error) {
+	ch, ok := domain.Open(channel)
+	if !ok {
+		return nil, fmt.Errorf("viz: no such channel %q", channel)
+	}
+	if !ch.Type().Equal(moldyn.FrameType()) {
+		return nil, fmt.Errorf("viz: channel %q carries %s, want Frame", channel, ch.Type())
+	}
+	p := &Portal{endpoint: endpoint}
+	cancel, err := ch.Subscribe(nil, p.consume)
+	if err != nil {
+		return nil, err
+	}
+	p.cancel = cancel
+	return p, nil
+}
+
+// Close detaches the portal from its channel.
+func (p *Portal) Close() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+}
+
+// Frames reports how many frames the portal has consumed.
+func (p *Portal) Frames() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.frames
+}
+
+// Latest returns the most recent frame (nil before the first event).
+func (p *Portal) Latest() *moldyn.Frame {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.latest
+}
+
+// Install registers the portal's handlers on a core server.
+func (p *Portal) Install(srv *core.Server) error {
+	if err := srv.Handle("getFrame", p.getFrame); err != nil {
+		return err
+	}
+	return srv.Handle("describe", p.describe)
+}
+
+func (p *Portal) getFrame(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+	filterCode := params[0].Value.Str
+	format := params[1].Value.Str
+
+	frame := p.Latest()
+	if frame == nil {
+		return idl.Value{}, &soap.Fault{Code: "Server", String: "no frame available yet"}
+	}
+	spec, err := ParseFilter(filterCode)
+	if err != nil {
+		return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+	}
+	filtered := spec.Apply(frame)
+
+	switch format {
+	case FormatSVG, "":
+		svg := RenderSVG(filtered, RenderOptions{})
+		return responseValue(FormatSVG, svg, &moldyn.Frame{Step: filtered.Step}), nil
+	case FormatPNG:
+		doc, err := RenderPNG(filtered, RenderOptions{})
+		if err != nil {
+			return idl.Value{}, err
+		}
+		return responseValue(FormatPNG, doc, &moldyn.Frame{Step: filtered.Step}), nil
+	case FormatRaw:
+		return responseValue(FormatRaw, nil, filtered), nil
+	default:
+		return idl.Value{}, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown format %q", format)}
+	}
+}
+
+func (p *Portal) describe(_ *core.CallCtx, _ []soap.Param) (idl.Value, error) {
+	doc, err := wsdl.Generate(Spec(), p.endpoint)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	return idl.StringV(string(doc)), nil
+}
+
+func responseValue(format string, doc []byte, frame *moldyn.Frame) idl.Value {
+	docList := make([]idl.Value, len(doc))
+	for i, b := range doc {
+		docList[i] = idl.CharV(b)
+	}
+	return idl.StructV(ResponseType,
+		idl.StringV(format),
+		idl.Value{Type: idl.List(idl.Char()), List: docList},
+		frame.ToValue(),
+	)
+}
+
+// DocFromResponse extracts the rendered document (SVG or PNG) from a
+// getFrame response, verifying it carries the expected format.
+func DocFromResponse(v idl.Value, wantFormat string) ([]byte, error) {
+	format, ok := v.Field("format")
+	if !ok || format.Str != wantFormat {
+		return nil, fmt.Errorf("viz: response format %q, want %q", format.Str, wantFormat)
+	}
+	doc, _ := v.Field("doc")
+	out := make([]byte, len(doc.List))
+	for i, e := range doc.List {
+		out[i] = e.Char
+	}
+	return out, nil
+}
+
+// SVGFromResponse extracts the SVG document from a getFrame response.
+func SVGFromResponse(v idl.Value) ([]byte, error) {
+	return DocFromResponse(v, FormatSVG)
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/echo"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+// TestRemotePortalEndToEnd runs Figure 10 fully distributed: the bond
+// server publishes into an ECho bridge in "process A"; the portal in
+// "process B" subscribes over TCP; a display client fetches SVG from the
+// portal over SOAP-bin.
+func TestRemotePortalEndToEnd(t *testing.T) {
+	// Process A: bond server + ECho bridge.
+	domain := echo.NewDomain()
+	defer domain.Close()
+	ch, err := domain.CreateChannel("bonds", moldyn.FrameType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := echo.NewBridgeServer(domain)
+	if err := bridge.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	// Process B: remote portal.
+	portal, err := NewRemotePortal(bridge.Addr(), "bonds", "http://portal/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer portal.Close()
+
+	// Publish frames until the portal (via bridge + TCP) sees one.
+	sim := moldyn.NewSimulator(40, 21)
+	deadline := time.Now().Add(3 * time.Second)
+	step := int64(0)
+	for portal.Frames() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("remote portal never received a frame")
+		}
+		ch.Publish(sim.FrameAt(step).ToValue())
+		step++
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Display client against the portal.
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := portal.Install(srv); err != nil {
+		t.Fatal(err)
+	}
+	client := core.NewClient(Spec(), &core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	resp, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("elements=C,H,O,N,S")},
+		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := SVGFromResponse(resp.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") || strings.Count(string(svg), "<circle") != 40 {
+		t.Errorf("svg: %d circles", strings.Count(string(svg), "<circle"))
+	}
+}
+
+func TestRemotePortalErrors(t *testing.T) {
+	if _, err := NewRemotePortal("127.0.0.1:1", "bonds", ""); err == nil {
+		t.Error("dead bridge must fail")
+	}
+	domain := echo.NewDomain()
+	defer domain.Close()
+	bridge := echo.NewBridgeServer(domain)
+	if err := bridge.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	if _, err := NewRemotePortal(bridge.Addr(), "nope", ""); err == nil {
+		t.Error("unknown channel must fail")
+	}
+}

@@ -1,0 +1,112 @@
+// Package viz implements the paper's remote visualization application
+// (Figure 10): a service portal that advertises itself through WSDL, sits
+// as a sink on an ECho bond-data channel, and serves display clients that
+// request frames with per-request filter code and a desired output format
+// — SVG (an XML document, as the paper notes) or the raw frame record.
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"soapbinq/internal/moldyn"
+)
+
+// RenderOptions controls SVG output.
+type RenderOptions struct {
+	Width, Height int     // canvas size (default 640×480)
+	AtomRadius    float64 // default 4
+}
+
+func (o RenderOptions) withDefaults() RenderOptions {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 480
+	}
+	if o.AtomRadius <= 0 {
+		o.AtomRadius = 4
+	}
+	return o
+}
+
+// elementColors maps element initials to display colors (CPK-inspired).
+var elementColors = map[byte]string{
+	'C': "#444444",
+	'H': "#dddddd",
+	'O': "#cc2222",
+	'N': "#2244cc",
+	'S': "#cccc22",
+}
+
+// RenderSVG projects a frame's 3-D atom positions onto the canvas
+// (orthographic, z ignored for position but encoded as opacity) and draws
+// bonds as lines and atoms as circles. The output is a complete SVG
+// document — "just an XML document", which is what makes it the natural
+// display format for the paper's XML-based display clients.
+func RenderSVG(f *moldyn.Frame, opts RenderOptions) []byte {
+	o := opts.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minZ, maxZ := math.Inf(1), math.Inf(-1)
+	for _, a := range f.Atoms {
+		minX, maxX = math.Min(minX, a.X), math.Max(maxX, a.X)
+		minY, maxY = math.Min(minY, a.Y), math.Max(maxY, a.Y)
+		minZ, maxZ = math.Min(minZ, a.Z), math.Max(maxZ, a.Z)
+	}
+	spanX, spanY, spanZ := maxX-minX, maxY-minY, maxZ-minZ
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	if spanZ <= 0 {
+		spanZ = 1
+	}
+	margin := o.AtomRadius * 3
+	px := func(a moldyn.Atom) (float64, float64, float64) {
+		x := margin + (a.X-minX)/spanX*(float64(o.Width)-2*margin)
+		y := margin + (a.Y-minY)/spanY*(float64(o.Height)-2*margin)
+		depth := 0.35 + 0.65*(a.Z-minZ)/spanZ // nearer = more opaque
+		return x, y, depth
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<?xml version="1.0" encoding="UTF-8"?>`+"\n")
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&buf, `  <title>molecule step %d</title>`+"\n", f.Step)
+	fmt.Fprintf(&buf, `  <rect width="%d" height="%d" fill="#0a0a12"/>`+"\n", o.Width, o.Height)
+
+	index := make(map[int64]moldyn.Atom, len(f.Atoms))
+	for _, a := range f.Atoms {
+		index[a.ID] = a
+	}
+	buf.WriteString(`  <g stroke="#8899aa" stroke-width="1.2">` + "\n")
+	for _, b := range f.Bonds {
+		a1, ok1 := index[b.A]
+		a2, ok2 := index[b.B]
+		if !ok1 || !ok2 {
+			continue
+		}
+		x1, y1, _ := px(a1)
+		x2, y2, _ := px(a2)
+		fmt.Fprintf(&buf, `    <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x1, y1, x2, y2)
+	}
+	buf.WriteString("  </g>\n")
+
+	for _, a := range f.Atoms {
+		x, y, depth := px(a)
+		color, ok := elementColors[a.Element]
+		if !ok {
+			color = "#888888"
+		}
+		fmt.Fprintf(&buf, `  <circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+			x, y, o.AtomRadius, color, depth)
+	}
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}

@@ -1,0 +1,259 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/echo"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/moldyn"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/wsdl"
+)
+
+func TestRenderSVG(t *testing.T) {
+	sim := moldyn.NewSimulator(40, 5)
+	f := sim.FrameAt(3)
+	svg := RenderSVG(f, RenderOptions{})
+	s := string(svg)
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "molecule step 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(s, "<circle") != 40 {
+		t.Errorf("circles = %d, want 40", strings.Count(s, "<circle"))
+	}
+	// Deterministic.
+	if string(RenderSVG(f, RenderOptions{})) != s {
+		t.Error("render must be deterministic")
+	}
+	// Single atom (degenerate span) must not divide by zero.
+	one := &moldyn.Frame{Step: 1, Atoms: []moldyn.Atom{{ID: 0, Element: 'C'}}}
+	if !strings.Contains(string(RenderSVG(one, RenderOptions{Width: 100, Height: 100, AtomRadius: 2})), "<circle") {
+		t.Error("single-atom render failed")
+	}
+	// Unknown element gets the fallback color.
+	odd := &moldyn.Frame{Step: 1, Atoms: []moldyn.Atom{{ID: 0, Element: 'Q'}}}
+	if !strings.Contains(string(RenderSVG(odd, RenderOptions{})), "#888888") {
+		t.Error("fallback color missing")
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("stride=2; elements=C,O ;box=0,0,5,5;nobonds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stride != 2 || !f.Elements['C'] || !f.Elements['O'] || f.Elements['H'] {
+		t.Errorf("filter = %+v", f)
+	}
+	if !f.HasBox || f.X1 != 5 || !f.NoBonds {
+		t.Errorf("filter = %+v", f)
+	}
+	// Box coordinates normalize.
+	f2, _ := ParseFilter("box=5,5,0,0")
+	if f2.X0 != 0 || f2.Y1 != 5 {
+		t.Errorf("box normalize: %+v", f2)
+	}
+	id, err := ParseFilter("  ")
+	if err != nil || id.Stride != 1 || id.Elements != nil {
+		t.Errorf("identity filter: %+v %v", id, err)
+	}
+	if _, err := ParseFilter("stride=2;;nobonds"); err != nil {
+		t.Errorf("empty directive must be tolerated: %v", err)
+	}
+
+	for _, bad := range []string{
+		"stride", "stride=0", "stride=x",
+		"elements", "elements=", "elements=CC",
+		"box=1,2,3", "box=a,b,c,d", "box",
+		"nobonds=1", "wat=1",
+	} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) must fail", bad)
+		}
+	}
+}
+
+func TestFilterApply(t *testing.T) {
+	frame := &moldyn.Frame{
+		Step: 1,
+		Atoms: []moldyn.Atom{
+			{ID: 0, Element: 'C', X: 0, Y: 0},
+			{ID: 1, Element: 'H', X: 1, Y: 1},
+			{ID: 2, Element: 'C', X: 2, Y: 2},
+			{ID: 3, Element: 'O', X: 9, Y: 9},
+		},
+		Bonds: []moldyn.Bond{{A: 0, B: 1}, {A: 0, B: 2}, {A: 2, B: 3}},
+	}
+	f, _ := ParseFilter("elements=C")
+	out := f.Apply(frame)
+	if len(out.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(out.Atoms))
+	}
+	if len(out.Bonds) != 1 || out.Bonds[0] != (moldyn.Bond{A: 0, B: 2}) {
+		t.Errorf("bonds = %v", out.Bonds)
+	}
+
+	f2, _ := ParseFilter("box=0,0,2,2")
+	if got := f2.Apply(frame); len(got.Atoms) != 3 {
+		t.Errorf("box atoms = %d", len(got.Atoms))
+	}
+	f3, _ := ParseFilter("stride=2")
+	if got := f3.Apply(frame); len(got.Atoms) != 2 || got.Atoms[1].ID != 2 {
+		t.Errorf("stride atoms = %v", got.Atoms)
+	}
+	f4, _ := ParseFilter("nobonds")
+	if got := f4.Apply(frame); len(got.Bonds) != 0 || len(got.Atoms) != 4 {
+		t.Error("nobonds filter")
+	}
+}
+
+func portalRig(t *testing.T) (*Portal, *core.Client, *echo.Channel) {
+	t.Helper()
+	domain := echo.NewDomain()
+	t.Cleanup(domain.Close)
+	ch, err := domain.CreateChannel("bonds", moldyn.FrameType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	portal, err := NewPortal(domain, "bonds", "http://portal.example/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(portal.Close)
+
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(Spec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	if err := portal.Install(srv); err != nil {
+		t.Fatal(err)
+	}
+	client := core.NewClient(Spec(), &core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	return portal, client, ch
+}
+
+func publishFrame(t *testing.T, ch *echo.Channel, portal *Portal, sim *moldyn.Simulator, step int64) {
+	t.Helper()
+	before := portal.Frames()
+	if err := ch.Publish(sim.FrameAt(step).ToValue()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for portal.Frames() <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("portal never consumed the frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPortalEndToEnd(t *testing.T) {
+	portal, client, ch := portalRig(t)
+
+	// Before any frame: fault.
+	_, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("")},
+		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
+	)
+	if err == nil {
+		t.Fatal("empty portal must fault")
+	}
+
+	sim := moldyn.NewSimulator(30, 8)
+	publishFrame(t, ch, portal, sim, 0)
+
+	// SVG response.
+	resp, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("stride=2")},
+		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := SVGFromResponse(resp.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(string(svg), "<circle") != 15 {
+		t.Errorf("filtered circles = %d, want 15", strings.Count(string(svg), "<circle"))
+	}
+
+	// Raw response.
+	resp, err = client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("")},
+		soap.Param{Name: "format", Value: idl.StringV(FormatRaw)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	format, _ := resp.Value.Field("format")
+	if format.Str != FormatRaw {
+		t.Errorf("format = %q", format.Str)
+	}
+	frameV, _ := resp.Value.Field("frame")
+	frame, err := moldyn.FrameFromValue(frameV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Atoms) != 30 {
+		t.Errorf("raw atoms = %d", len(frame.Atoms))
+	}
+	if _, err := SVGFromResponse(resp.Value); err == nil {
+		t.Error("SVGFromResponse on raw must fail")
+	}
+
+	// Bad filter / format.
+	if _, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("wat=1")},
+		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
+	); err == nil {
+		t.Error("bad filter must fault")
+	}
+	if _, err := client.Call("getFrame", nil,
+		soap.Param{Name: "filter", Value: idl.StringV("")},
+		soap.Param{Name: "format", Value: idl.StringV("jpeg2000")},
+	); err == nil {
+		t.Error("bad format must fault")
+	}
+}
+
+func TestPortalDescribeServesWSDL(t *testing.T) {
+	_, client, _ := portalRig(t)
+	resp, err := client.Call("describe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdl.Parse([]byte(resp.Value.Str))
+	if err != nil {
+		t.Fatalf("served WSDL does not parse: %v", err)
+	}
+	if defs.Name != "VizPortal" || defs.Endpoint != "http://portal.example/soap" {
+		t.Errorf("defs = %+v", defs)
+	}
+	spec, err := defs.ServiceSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.Op("getFrame"); !ok {
+		t.Error("WSDL missing getFrame")
+	}
+}
+
+func TestNewPortalErrors(t *testing.T) {
+	domain := echo.NewDomain()
+	defer domain.Close()
+	if _, err := NewPortal(domain, "nope", ""); err == nil {
+		t.Error("missing channel must fail")
+	}
+	domain.CreateChannel("ints", idl.Int())
+	if _, err := NewPortal(domain, "ints", ""); err == nil {
+		t.Error("wrong channel type must fail")
+	}
+}

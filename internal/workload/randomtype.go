@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"soapbinq/internal/idl"
+)
+
+// RandomType derives a well-formed random type from a seed, for property
+// tests over codecs, WSDL round trips and stub generation. Struct names
+// are unique per call tree, so generated types always validate (and can
+// be emitted into a single WSDL <types> section).
+func RandomType(seed uint64) *idl.Type {
+	r := rng(seed)
+	g := &typeGen{r: &r}
+	t := g.build(0)
+	// Guarantee a composite at the top so the type is interesting for
+	// struct/WSDL-oriented tests.
+	if t.Kind != idl.KindStruct {
+		g.count++
+		t = idl.Struct(g.name(), idl.F("payload", t))
+	}
+	return t
+}
+
+type typeGen struct {
+	r     *rngState
+	count int
+}
+
+func (g *typeGen) name() string {
+	return "T" + itoa(g.count)
+}
+
+func (g *typeGen) build(depth int) *idl.Type {
+	roll := g.r.next() % 100
+	if depth > 3 {
+		roll %= 60 // force scalars at depth
+	}
+	switch {
+	case roll < 15:
+		return idl.Int()
+	case roll < 30:
+		return idl.Float()
+	case roll < 45:
+		return idl.Char()
+	case roll < 60:
+		return idl.StringT()
+	case roll < 75:
+		return idl.List(g.build(depth + 1))
+	default:
+		n := int(g.r.next()%4) + 1
+		fields := make([]idl.Field, n)
+		for i := 0; i < n; i++ {
+			fields[i] = idl.F("f"+itoa(i), g.build(depth+1))
+		}
+		g.count++
+		return idl.Struct(g.name(), fields...)
+	}
+}

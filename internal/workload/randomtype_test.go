@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"soapbinq/internal/idl"
+)
+
+func TestRandomTypeWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 300; seed++ {
+		typ := RandomType(seed)
+		if err := typ.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if typ.Kind != idl.KindStruct {
+			t.Fatalf("seed %d: top type %s is not a struct", seed, typ)
+		}
+		seen[typ.Signature()] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct shapes in 300 seeds", len(seen))
+	}
+}
+
+func TestRandomTypeDeterministic(t *testing.T) {
+	if !RandomType(42).Equal(RandomType(42)) {
+		t.Error("same seed must produce the same type")
+	}
+}
+
+func TestRandomTypeValuesCheck(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		typ := RandomType(seed)
+		v := Random(typ, seed^0xF00)
+		if err := v.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

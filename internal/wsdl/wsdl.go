@@ -1,0 +1,403 @@
+// Package wsdl reads and writes the WSDL service descriptions SOAP-binQ
+// uses as its descriptive layer: services advertise their operations and
+// message types in WSDL; the stub compiler (internal/gen, cmd/wsdlc)
+// consumes them; the remote-visualization portal serves one at run time
+// (step (1) of the paper's Figure 10).
+//
+// The dialect is the Soup subset the paper works with: the basic types
+// int, char, string, float, and complex types built from lists and
+// structs. Types appear in <types> as <complexType> (structs) and
+// <arrayType> (lists); messages reference them by name.
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+)
+
+// Namespace is the target-namespace prefix for generated definitions.
+const Namespace = "urn:soapbinq:"
+
+// Definitions is the parsed model of a WSDL document.
+type Definitions struct {
+	Name     string
+	Endpoint string
+	Types    map[string]*idl.Type // named struct/array types
+	Ops      []*core.OpDef
+}
+
+// ServiceSpec converts parsed definitions to the runtime spec.
+func (d *Definitions) ServiceSpec() (*core.ServiceSpec, error) {
+	return core.NewServiceSpec(d.Name, d.Ops...)
+}
+
+// ---- generation ----
+
+// Generate renders a WSDL document for a service spec. The endpoint (SOAP
+// address location) may be empty for templates.
+func Generate(spec *core.ServiceSpec, endpoint string) ([]byte, error) {
+	return GenerateWithTypes(spec, endpoint, nil)
+}
+
+// GenerateWithTypes is Generate with additional named types included in
+// the <types> section even though no message references them — the
+// alternative message types a quality file selects among travel with the
+// WSDL this way, as the paper envisions publishing quality files "along
+// with the WSDL file, through UDDI or a similar WSDL repository".
+func GenerateWithTypes(spec *core.ServiceSpec, endpoint string, extra map[string]*idl.Type) ([]byte, error) {
+	g := &generator{named: map[string]*idl.Type{}}
+	extraNames := make([]string, 0, len(extra))
+	for name := range extra {
+		extraNames = append(extraNames, name)
+	}
+	sort.Strings(extraNames)
+	for _, name := range extraNames {
+		t := extra[name]
+		got, err := g.nameFor(t)
+		if err != nil {
+			return nil, fmt.Errorf("wsdl: extra type %q: %w", name, err)
+		}
+		if got != name {
+			return nil, fmt.Errorf("wsdl: extra type %q resolves to name %q", name, got)
+		}
+	}
+	// Collect and name every composite type reachable from the spec, in a
+	// deterministic order.
+	opNames := make([]string, 0, len(spec.Ops))
+	for name := range spec.Ops {
+		opNames = append(opNames, name)
+	}
+	sort.Strings(opNames)
+	for _, opName := range opNames {
+		op := spec.Ops[opName]
+		for _, p := range op.Params {
+			if _, err := g.nameFor(p.Type); err != nil {
+				return nil, fmt.Errorf("wsdl: operation %s param %s: %w", op.Name, p.Name, err)
+			}
+		}
+		if op.Result != nil {
+			if _, err := g.nameFor(op.Result); err != nil {
+				return nil, fmt.Errorf("wsdl: operation %s result: %w", op.Name, err)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	fmt.Fprintf(&buf, `<definitions name="%s" targetNamespace="%s%s">`+"\n", xmlEscape(spec.Name), Namespace, xmlEscape(spec.Name))
+	buf.WriteString("  <types>\n")
+	g.writeTypes(&buf)
+	buf.WriteString("  </types>\n")
+
+	for _, opName := range opNames {
+		op := spec.Ops[opName]
+		fmt.Fprintf(&buf, `  <message name="%sRequest">`+"\n", xmlEscape(op.Name))
+		for _, p := range op.Params {
+			name, _ := g.nameFor(p.Type)
+			fmt.Fprintf(&buf, `    <part name="%s" type="%s"/>`+"\n", xmlEscape(p.Name), xmlEscape(name))
+		}
+		buf.WriteString("  </message>\n")
+		fmt.Fprintf(&buf, `  <message name="%sResponse">`+"\n", xmlEscape(op.Name))
+		if op.Result != nil {
+			name, _ := g.nameFor(op.Result)
+			fmt.Fprintf(&buf, `    <part name="%s" type="%s"/>`+"\n", core.ResultParam, xmlEscape(name))
+		}
+		buf.WriteString("  </message>\n")
+	}
+
+	fmt.Fprintf(&buf, `  <portType name="%sPortType">`+"\n", xmlEscape(spec.Name))
+	for _, opName := range opNames {
+		fmt.Fprintf(&buf, `    <operation name="%s">`+"\n", xmlEscape(opName))
+		fmt.Fprintf(&buf, `      <input message="%sRequest"/>`+"\n", xmlEscape(opName))
+		fmt.Fprintf(&buf, `      <output message="%sResponse"/>`+"\n", xmlEscape(opName))
+		buf.WriteString("    </operation>\n")
+	}
+	buf.WriteString("  </portType>\n")
+
+	fmt.Fprintf(&buf, `  <service name="%s">`+"\n", xmlEscape(spec.Name))
+	fmt.Fprintf(&buf, `    <port name="%sPort">`+"\n", xmlEscape(spec.Name))
+	fmt.Fprintf(&buf, `      <address location="%s"/>`+"\n", xmlEscape(endpoint))
+	buf.WriteString("    </port>\n  </service>\n</definitions>\n")
+	return buf.Bytes(), nil
+}
+
+type generator struct {
+	named map[string]*idl.Type
+	order []string
+}
+
+// nameFor returns the WSDL type name for t, registering composite types.
+func (g *generator) nameFor(t *idl.Type) (string, error) {
+	switch t.Kind {
+	case idl.KindInt, idl.KindFloat, idl.KindChar, idl.KindString:
+		return t.Kind.String(), nil
+	case idl.KindList:
+		elemName, err := g.nameFor(t.Elem)
+		if err != nil {
+			return "", err
+		}
+		name := "ArrayOf" + elemName
+		return name, g.register(name, t)
+	case idl.KindStruct:
+		if err := g.register(t.Name, t); err != nil {
+			return "", err
+		}
+		// Ensure field types are registered too.
+		for _, f := range t.Fields {
+			if _, err := g.nameFor(f.Type); err != nil {
+				return "", err
+			}
+		}
+		return t.Name, nil
+	default:
+		return "", fmt.Errorf("unsupported kind %s", t.Kind)
+	}
+}
+
+func (g *generator) register(name string, t *idl.Type) error {
+	if existing, ok := g.named[name]; ok {
+		if !existing.Equal(t) {
+			return fmt.Errorf("type name %q used for two different types", name)
+		}
+		return nil
+	}
+	g.named[name] = t
+	g.order = append(g.order, name)
+	return nil
+}
+
+func (g *generator) writeTypes(buf *bytes.Buffer) {
+	// Emit in registration order (dependencies may forward-reference;
+	// the parser resolves in two passes).
+	for _, name := range g.order {
+		t := g.named[name]
+		switch t.Kind {
+		case idl.KindList:
+			elemName, _ := g.nameFor(t.Elem)
+			fmt.Fprintf(buf, `    <arrayType name="%s" element="%s"/>`+"\n", xmlEscape(name), xmlEscape(elemName))
+		case idl.KindStruct:
+			fmt.Fprintf(buf, `    <complexType name="%s">`+"\n", xmlEscape(name))
+			for _, f := range t.Fields {
+				fieldName, _ := g.nameFor(f.Type)
+				fmt.Fprintf(buf, `      <field name="%s" type="%s"/>`+"\n", xmlEscape(f.Name), xmlEscape(fieldName))
+			}
+			buf.WriteString("    </complexType>\n")
+		}
+	}
+}
+
+func xmlEscape(s string) string {
+	var buf bytes.Buffer
+	xml.EscapeText(&buf, []byte(s))
+	return buf.String()
+}
+
+// ---- parsing ----
+
+// xmlDefinitions et al. mirror the document structure for decoding.
+type xmlDefinitions struct {
+	Name     string        `xml:"name,attr"`
+	Types    xmlTypes      `xml:"types"`
+	Messages []xmlMessage  `xml:"message"`
+	PortType []xmlPortType `xml:"portType"`
+	Service  xmlService    `xml:"service"`
+}
+
+type xmlTypes struct {
+	Complex []xmlComplexType `xml:"complexType"`
+	Arrays  []xmlArrayType   `xml:"arrayType"`
+	// Nested <schema> wrappers are tolerated.
+	Schemas []xmlTypes `xml:"schema"`
+}
+
+type xmlComplexType struct {
+	Name   string     `xml:"name,attr"`
+	Fields []xmlField `xml:"field"`
+}
+
+type xmlField struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlArrayType struct {
+	Name    string `xml:"name,attr"`
+	Element string `xml:"element,attr"`
+}
+
+type xmlMessage struct {
+	Name  string     `xml:"name,attr"`
+	Parts []xmlField `xml:"part"`
+}
+
+type xmlPortType struct {
+	Name string         `xml:"name,attr"`
+	Ops  []xmlOperation `xml:"operation"`
+}
+
+type xmlOperation struct {
+	Name   string   `xml:"name,attr"`
+	Input  xmlIORef `xml:"input"`
+	Output xmlIORef `xml:"output"`
+}
+
+type xmlIORef struct {
+	Message string `xml:"message,attr"`
+}
+
+type xmlService struct {
+	Name  string `xml:"name,attr"`
+	Ports []struct {
+		Address struct {
+			Location string `xml:"location,attr"`
+		} `xml:"address"`
+	} `xml:"port"`
+}
+
+// Parse reads a WSDL document into Definitions.
+func Parse(data []byte) (*Definitions, error) {
+	var doc xmlDefinitions
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	if doc.Name == "" {
+		return nil, fmt.Errorf("wsdl: definitions without a name")
+	}
+
+	r := &resolver{
+		complex: map[string]xmlComplexType{},
+		arrays:  map[string]string{},
+		built:   map[string]*idl.Type{},
+	}
+	collectTypes(&doc.Types, r)
+
+	types := make(map[string]*idl.Type)
+	for name := range r.complex {
+		t, err := r.resolve(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		types[name] = t
+	}
+	for name := range r.arrays {
+		t, err := r.resolve(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		types[name] = t
+	}
+
+	messages := make(map[string]xmlMessage, len(doc.Messages))
+	for _, m := range doc.Messages {
+		messages[m.Name] = m
+	}
+
+	d := &Definitions{Name: doc.Name, Types: types}
+	if len(doc.Service.Ports) > 0 {
+		d.Endpoint = doc.Service.Ports[0].Address.Location
+	}
+
+	for _, pt := range doc.PortType {
+		for _, op := range pt.Ops {
+			def := &core.OpDef{Name: op.Name}
+			in, ok := messages[op.Input.Message]
+			if !ok {
+				return nil, fmt.Errorf("wsdl: operation %s: unknown input message %q", op.Name, op.Input.Message)
+			}
+			for _, part := range in.Parts {
+				t, err := r.resolve(part.Type, 0)
+				if err != nil {
+					return nil, fmt.Errorf("wsdl: operation %s part %s: %w", op.Name, part.Name, err)
+				}
+				def.Params = append(def.Params, soap.ParamSpec{Name: part.Name, Type: t})
+			}
+			out, ok := messages[op.Output.Message]
+			if !ok {
+				return nil, fmt.Errorf("wsdl: operation %s: unknown output message %q", op.Name, op.Output.Message)
+			}
+			if len(out.Parts) > 1 {
+				return nil, fmt.Errorf("wsdl: operation %s: multiple output parts unsupported", op.Name)
+			}
+			if len(out.Parts) == 1 {
+				t, err := r.resolve(out.Parts[0].Type, 0)
+				if err != nil {
+					return nil, fmt.Errorf("wsdl: operation %s result: %w", op.Name, err)
+				}
+				def.Result = t
+			}
+			d.Ops = append(d.Ops, def)
+		}
+	}
+	return d, nil
+}
+
+func collectTypes(t *xmlTypes, r *resolver) {
+	for _, c := range t.Complex {
+		r.complex[c.Name] = c
+	}
+	for _, a := range t.Arrays {
+		r.arrays[a.Name] = a.Element
+	}
+	for i := range t.Schemas {
+		collectTypes(&t.Schemas[i], r)
+	}
+}
+
+type resolver struct {
+	complex map[string]xmlComplexType
+	arrays  map[string]string
+	built   map[string]*idl.Type
+}
+
+const maxResolveDepth = 64
+
+func (r *resolver) resolve(name string, depth int) (*idl.Type, error) {
+	if depth > maxResolveDepth {
+		return nil, fmt.Errorf("wsdl: type %q nests deeper than %d (cycle?)", name, maxResolveDepth)
+	}
+	switch name {
+	case "int":
+		return idl.Int(), nil
+	case "float":
+		return idl.Float(), nil
+	case "char":
+		return idl.Char(), nil
+	case "string":
+		return idl.StringT(), nil
+	}
+	if t, ok := r.built[name]; ok {
+		return t, nil
+	}
+	if elem, ok := r.arrays[name]; ok {
+		et, err := r.resolve(elem, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		t := idl.List(et)
+		r.built[name] = t
+		return t, nil
+	}
+	if c, ok := r.complex[name]; ok {
+		fields := make([]idl.Field, len(c.Fields))
+		for i, f := range c.Fields {
+			ft, err := r.resolve(f.Type, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = idl.Field{Name: f.Name, Type: ft}
+		}
+		t := &idl.Type{Kind: idl.KindStruct, Name: c.Name, Fields: fields}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("wsdl: complexType %q: %w", name, err)
+		}
+		r.built[name] = t
+		return t, nil
+	}
+	return nil, fmt.Errorf("wsdl: unknown type %q", name)
+}

@@ -1,0 +1,156 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+func imageSpec() *core.ServiceSpec {
+	img := idl.Struct("Image",
+		idl.F("width", idl.Int()),
+		idl.F("height", idl.Int()),
+		idl.F("pixels", idl.List(idl.Char())),
+	)
+	return core.MustServiceSpec("ImageService",
+		&core.OpDef{
+			Name: "getImage",
+			Params: []soap.ParamSpec{
+				{Name: "name", Type: idl.StringT()},
+				{Name: "transform", Type: idl.StringT()},
+			},
+			Result: img,
+		},
+		&core.OpDef{Name: "listImages", Result: idl.List(idl.StringT())},
+		&core.OpDef{Name: "ping"},
+	)
+}
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	spec := imageSpec()
+	doc, err := Generate(spec, "http://localhost:8080/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<definitions name="ImageService"`,
+		`<complexType name="Image">`,
+		`<arrayType name="ArrayOfchar" element="char"/>`,
+		`<message name="getImageRequest">`,
+		`<part name="return" type="Image"/>`,
+		`<address location="http://localhost:8080/soap"/>`,
+	} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("generated WSDL missing %q\n%s", want, doc)
+		}
+	}
+
+	defs, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defs.Name != "ImageService" || defs.Endpoint != "http://localhost:8080/soap" {
+		t.Errorf("defs = %+v", defs)
+	}
+	spec2, err := defs.ServiceSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec2.Ops) != 3 {
+		t.Fatalf("ops = %d", len(spec2.Ops))
+	}
+	got, _ := spec2.Op("getImage")
+	want, _ := spec.Op("getImage")
+	if len(got.Params) != 2 || !got.Params[0].Type.Equal(want.Params[0].Type) {
+		t.Error("params mismatch after round trip")
+	}
+	if !got.Result.Equal(want.Result) {
+		t.Errorf("result mismatch: %s vs %s", got.Result.Signature(), want.Result.Signature())
+	}
+	ping, _ := spec2.Op("ping")
+	if ping.Result != nil || len(ping.Params) != 0 {
+		t.Error("void op mismatch")
+	}
+}
+
+func TestGenerateNestedTypes(t *testing.T) {
+	spec := core.MustServiceSpec("Orders",
+		&core.OpDef{Name: "submit",
+			Params: []soap.ParamSpec{{Name: "order", Type: workload.NestedStructType(4)}},
+			Result: idl.Int(),
+		},
+	)
+	doc, err := Generate(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := defs.ServiceSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := spec2.Op("submit")
+	if !got.Params[0].Type.Equal(workload.NestedStructType(4)) {
+		t.Error("nested type did not survive round trip")
+	}
+}
+
+func TestGenerateRejectsConflictingNames(t *testing.T) {
+	a := idl.Struct("Conflict", idl.F("x", idl.Int()))
+	b := idl.Struct("Conflict", idl.F("y", idl.Float()))
+	spec := core.MustServiceSpec("S",
+		&core.OpDef{Name: "one", Params: []soap.ParamSpec{{Name: "p", Type: a}}, Result: idl.Int()},
+		&core.OpDef{Name: "two", Params: []soap.ParamSpec{{Name: "p", Type: b}}, Result: idl.Int()},
+	)
+	if _, err := Generate(spec, ""); err == nil {
+		t.Error("conflicting struct names must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":            "junk",
+		"no name":            `<definitions></definitions>`,
+		"unknown type":       `<definitions name="S"><message name="mReq"><part name="p" type="Mystery"/></message><portType><operation name="m"><input message="mReq"/><output message="mResp"/></operation></portType><message name="mResp"></message></definitions>`,
+		"missing input msg":  `<definitions name="S"><portType><operation name="m"><input message="nope"/><output message="alsoNope"/></operation></portType></definitions>`,
+		"multi output":       `<definitions name="S"><message name="mReq"/><message name="mResp"><part name="a" type="int"/><part name="b" type="int"/></message><portType><operation name="m"><input message="mReq"/><output message="mResp"/></operation></portType></definitions>`,
+		"missing output msg": `<definitions name="S"><message name="mReq"/><portType><operation name="m"><input message="mReq"/><output message="nope"/></operation></portType></definitions>`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseRecursiveTypeRejected(t *testing.T) {
+	doc := `<definitions name="S">
+	  <types><complexType name="R"><field name="self" type="R"/></complexType></types>
+	</definitions>`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Error("recursive type must be rejected")
+	}
+}
+
+func TestParseToleratesSchemaWrapper(t *testing.T) {
+	doc := `<definitions name="S">
+	  <types><schema><complexType name="P"><field name="x" type="int"/></complexType></schema></types>
+	  <message name="getReq"/>
+	  <message name="getResp"><part name="return" type="P"/></message>
+	  <portType name="SPortType"><operation name="get"><input message="getReq"/><output message="getResp"/></operation></portType>
+	</definitions>`
+	defs, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := defs.Types["P"]; !ok {
+		t.Error("schema-wrapped type not collected")
+	}
+}

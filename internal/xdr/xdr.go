@@ -1,0 +1,220 @@
+// Package xdr implements the External Data Representation (RFC 4506
+// subset) used by Sun RPC, the baseline the paper compares SOAP-bin
+// against in Figure 4. Unlike PBIO's receiver-makes-right scheme, XDR is a
+// canonical big-endian wire format: both sides convert unconditionally.
+//
+// Mapping from the idl type system:
+//
+//	int    → hyper (8 bytes)
+//	float  → double (8 bytes)
+//	char   → unsigned int (4 bytes, low byte significant)
+//	string → counted string (4-byte length + bytes + pad to 4)
+//	list   → variable-length array (4-byte count + elements)
+//	struct → fields in declaration order
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"soapbinq/internal/idl"
+)
+
+// ErrTruncated reports input shorter than the type requires.
+var ErrTruncated = errors.New("xdr: truncated input")
+
+// Marshal encodes a value in XDR.
+func Marshal(v idl.Value) ([]byte, error) {
+	return AppendMarshal(nil, v)
+}
+
+// AppendMarshal is Marshal appending to dst.
+func AppendMarshal(dst []byte, v idl.Value) ([]byte, error) {
+	if v.Type == nil {
+		return nil, fmt.Errorf("xdr: marshal untyped value")
+	}
+	return appendValue(dst, v)
+}
+
+func appendValue(dst []byte, v idl.Value) ([]byte, error) {
+	switch v.Type.Kind {
+	case idl.KindInt:
+		return binary.BigEndian.AppendUint64(dst, uint64(v.Int)), nil
+	case idl.KindFloat:
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float)), nil
+	case idl.KindChar:
+		return binary.BigEndian.AppendUint32(dst, uint32(v.Char)), nil
+	case idl.KindString:
+		if len(v.Str) > math.MaxUint32 {
+			return nil, fmt.Errorf("xdr: string too long")
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Str)))
+		dst = append(dst, v.Str...)
+		return appendPad(dst, len(v.Str)), nil
+	case idl.KindList:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.List)))
+		var err error
+		for i := range v.List {
+			if v.List[i].Type == nil || !v.List[i].Type.Equal(v.Type.Elem) {
+				return nil, fmt.Errorf("xdr: list element %d ill-typed", i)
+			}
+			if dst, err = appendValue(dst, v.List[i]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case idl.KindStruct:
+		if len(v.Fields) != len(v.Type.Fields) {
+			return nil, fmt.Errorf("xdr: struct %s arity mismatch", v.Type.Name)
+		}
+		var err error
+		for i := range v.Fields {
+			if v.Fields[i].Type == nil || !v.Fields[i].Type.Equal(v.Type.Fields[i].Type) {
+				return nil, fmt.Errorf("xdr: struct %s field %q ill-typed", v.Type.Name, v.Type.Fields[i].Name)
+			}
+			if dst, err = appendValue(dst, v.Fields[i]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("xdr: cannot encode kind %s", v.Type.Kind)
+	}
+}
+
+func appendPad(dst []byte, n int) []byte {
+	for n%4 != 0 {
+		dst = append(dst, 0)
+		n++
+	}
+	return dst
+}
+
+// Unmarshal decodes an XDR payload known to be of type t, rejecting
+// trailing bytes.
+func Unmarshal(data []byte, t *idl.Type) (idl.Value, error) {
+	v, rest, err := Decode(data, t)
+	if err != nil {
+		return idl.Value{}, err
+	}
+	if len(rest) != 0 {
+		return idl.Value{}, fmt.Errorf("xdr: %d trailing bytes", len(rest))
+	}
+	return v, nil
+}
+
+// Decode decodes one value of type t from the front of data, returning
+// the remainder (for streaming protocol layers like sunrpc).
+func Decode(data []byte, t *idl.Type) (idl.Value, []byte, error) {
+	if t == nil {
+		return idl.Value{}, nil, fmt.Errorf("xdr: nil type")
+	}
+	switch t.Kind {
+	case idl.KindInt:
+		if len(data) < 8 {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		return idl.IntV(int64(binary.BigEndian.Uint64(data))), data[8:], nil
+	case idl.KindFloat:
+		if len(data) < 8 {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		return idl.FloatV(math.Float64frombits(binary.BigEndian.Uint64(data))), data[8:], nil
+	case idl.KindChar:
+		if len(data) < 4 {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		return idl.CharV(byte(binary.BigEndian.Uint32(data))), data[4:], nil
+	case idl.KindString:
+		if len(data) < 4 {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		padded := n + (4-n%4)%4
+		if n < 0 || len(data) < padded {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		return idl.StringV(string(data[:n])), data[padded:], nil
+	case idl.KindList:
+		if len(data) < 4 {
+			return idl.Value{}, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		if min := minSize(t.Elem); min > 0 && n > len(data)/min {
+			return idl.Value{}, nil, fmt.Errorf("xdr: array count %d exceeds input", n)
+		}
+		elems := make([]idl.Value, n)
+		for i := 0; i < n; i++ {
+			var e idl.Value
+			var err error
+			e, data, err = Decode(data, t.Elem)
+			if err != nil {
+				return idl.Value{}, nil, fmt.Errorf("xdr: element %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		return idl.Value{Type: t, List: elems}, data, nil
+	case idl.KindStruct:
+		fields := make([]idl.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			var fv idl.Value
+			var err error
+			fv, data, err = Decode(data, f.Type)
+			if err != nil {
+				return idl.Value{}, nil, fmt.Errorf("xdr: field %q: %w", f.Name, err)
+			}
+			fields[i] = fv
+		}
+		return idl.Value{Type: t, Fields: fields}, data, nil
+	default:
+		return idl.Value{}, nil, fmt.Errorf("xdr: cannot decode kind %s", t.Kind)
+	}
+}
+
+func minSize(t *idl.Type) int {
+	switch t.Kind {
+	case idl.KindInt, idl.KindFloat:
+		return 8
+	case idl.KindChar, idl.KindString, idl.KindList:
+		return 4
+	case idl.KindStruct:
+		n := 0
+		for _, f := range t.Fields {
+			n += minSize(f.Type)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// EncodedSize returns the number of bytes Marshal will produce for v.
+func EncodedSize(v idl.Value) int {
+	switch v.Type.Kind {
+	case idl.KindInt, idl.KindFloat:
+		return 8
+	case idl.KindChar:
+		return 4
+	case idl.KindString:
+		n := len(v.Str)
+		return 4 + n + (4-n%4)%4
+	case idl.KindList:
+		n := 4
+		for i := range v.List {
+			n += EncodedSize(v.List[i])
+		}
+		return n
+	case idl.KindStruct:
+		n := 0
+		for i := range v.Fields {
+			n += EncodedSize(v.Fields[i])
+		}
+		return n
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,114 @@
+package xdr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	values := []idl.Value{
+		idl.IntV(-1),
+		idl.IntV(1 << 40),
+		idl.FloatV(3.25),
+		idl.CharV(0xAB),
+		idl.StringV(""),
+		idl.StringV("a"),     // pad 3
+		idl.StringV("ab"),    // pad 2
+		idl.StringV("abc"),   // pad 1
+		idl.StringV("abcd"),  // pad 0
+		idl.ListV(idl.Int()), // empty
+		workload.IntArray(100),
+		workload.NestedStruct(4, 3),
+	}
+	for _, v := range values {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Type, err)
+		}
+		if len(b)%4 != 0 {
+			t.Errorf("%s: encoding not 4-aligned (%d bytes)", v.Type, len(b))
+		}
+		got, err := Unmarshal(b, v.Type)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Type, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("%s: round trip mismatch", v.Type)
+		}
+		if EncodedSize(v) != len(b) {
+			t.Errorf("%s: EncodedSize = %d, encoded %d", v.Type, EncodedSize(v), len(b))
+		}
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := Marshal(idl.Value{}); err == nil {
+		t.Error("untyped must fail")
+	}
+	bad := idl.Value{Type: idl.List(idl.Int()), List: []idl.Value{idl.StringV("x")}}
+	if _, err := Marshal(bad); err == nil {
+		t.Error("ill-typed list must fail")
+	}
+	badStruct := idl.Value{Type: idl.Struct("S", idl.F("x", idl.Int()))}
+	if _, err := Marshal(badStruct); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	wrongField := idl.Value{Type: idl.Struct("S2", idl.F("x", idl.Int())), Fields: []idl.Value{idl.FloatV(0)}}
+	if _, err := Marshal(wrongField); err == nil {
+		t.Error("field type mismatch must fail")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	v := workload.NestedStruct(2, 2)
+	b, _ := Marshal(v)
+	for _, cut := range []int{0, 1, 4, len(b) / 2, len(b) - 1} {
+		if _, err := Unmarshal(b[:cut], v.Type); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(b, 0, 0, 0, 0), v.Type); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := Unmarshal([]byte{0, 0, 0, 0}, nil); err == nil {
+		t.Error("nil type accepted")
+	}
+	// Hostile array count.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Unmarshal(hostile, idl.List(idl.Int())); err == nil {
+		t.Error("hostile count accepted")
+	}
+	// Truncated scalar kinds.
+	if _, _, err := Decode([]byte{1}, idl.Float()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("float: %v", err)
+	}
+	if _, _, err := Decode([]byte{1}, idl.Char()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("char: %v", err)
+	}
+	if _, _, err := Decode([]byte{1}, idl.StringT()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("string: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	typ := workload.NestedStructType(3)
+	f := func(seed uint64) bool {
+		v := workload.Random(typ, seed)
+		b, err := Marshal(v)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b, typ)
+		if err != nil {
+			return false
+		}
+		return got.Equal(v) && EncodedSize(v) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

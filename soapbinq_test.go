@@ -1,0 +1,165 @@
+package soapbinq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart exercises the public API surface the way the
+// quickstart example does, in-process.
+func TestFacadeQuickstart(t *testing.T) {
+	spec := MustServiceSpec("Calc",
+		&OpDef{
+			Name:   "add",
+			Params: []ParamSpec{{Name: "values", Type: List(Int())}},
+			Result: Int(),
+		},
+	)
+	formats := NewMemFormatServer()
+	server := NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("add", func(_ *CallCtx, params []Param) (Value, error) {
+		var total int64
+		for _, e := range params[0].Value.List {
+			total += e.Int
+		}
+		return IntV(total), nil
+	})
+
+	for _, wire := range []WireFormat{WireBinary, WireXML, WireXMLDeflate} {
+		client := NewEndpoint(formats).NewClient(spec, &Loopback{Server: server}, wire)
+		resp, err := client.Call("add", nil, Param{Name: "values", Value: ListV(Int(), IntV(40), IntV(2))})
+		if err != nil {
+			t.Fatalf("%v: %v", wire, err)
+		}
+		if resp.Value.Int != 42 {
+			t.Errorf("%v: add = %d", wire, resp.Value.Int)
+		}
+	}
+}
+
+// TestFacadeNilFormatServer covers the NewEndpoint(nil) convenience. Note
+// two endpoints with nil servers cannot interoperate on the binary wire
+// (separate format spaces) — XML works regardless.
+func TestFacadeNilFormatServer(t *testing.T) {
+	spec := MustServiceSpec("S", &OpDef{Name: "ping"})
+	server := NewEndpoint(nil).NewServer(spec)
+	server.MustHandle("ping", func(*CallCtx, []Param) (Value, error) {
+		return Value{}, nil
+	})
+	client := NewEndpoint(nil).NewClient(spec, &Loopback{Server: server}, WireXML)
+	if _, err := client.Call("ping", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeQualityLoop drives the full binQ loop through the facade.
+func TestFacadeQualityLoop(t *testing.T) {
+	full := StructT("Big", F("n", Int()), F("pad", List(Char())))
+	small := StructT("Sml", F("n", Int()))
+	types := map[string]*Type{"Big": full, "Sml": small}
+	policy, err := ParseQualityPolicy("attribute rtt\n0 50ms Big\n50ms inf Sml\n", types, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pad := make([]Value, 50000)
+	for i := range pad {
+		pad[i] = CharV(byte(i))
+	}
+	big := StructV(full, IntV(7), Value{Type: List(Char()), List: pad})
+
+	spec := MustServiceSpec("Q", &OpDef{Name: "get", Result: full})
+	formats := NewMemFormatServer()
+	server := NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("get", QualityMiddleware(policy, nil, func(*CallCtx, []Param) (Value, error) {
+		return big.Clone(), nil
+	}))
+
+	link := LinkProfile{Name: "slow", UpBps: 1e6, DownBps: 1e6, Latency: time.Millisecond}
+	sim := NewSimLink(link, &Loopback{Server: server})
+	client := NewQualityClient(NewEndpoint(formats).NewClient(spec, sim, WireBinary), policy)
+
+	sawSmall := false
+	for i := 0; i < 10; i++ {
+		resp, err := client.Call("get", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header[MsgTypeHeader] == "Sml" {
+			sawSmall = true
+			n, _ := resp.Value.Field("n")
+			padField, _ := resp.Value.Field("pad")
+			if n.Int != 7 || len(padField.List) != 0 {
+				t.Errorf("padded response: n=%d pad=%d", n.Int, len(padField.List))
+			}
+			break
+		}
+	}
+	if !sawSmall {
+		t.Error("quality loop never downgraded over the slow link")
+	}
+	if client.RTT() <= 0 {
+		t.Error("estimator never primed")
+	}
+}
+
+// TestFacadeWSDLRoundTrip checks WSDL generation + parsing through the
+// facade names.
+func TestFacadeWSDLRoundTrip(t *testing.T) {
+	spec := MustServiceSpec("Svc",
+		&OpDef{Name: "get", Result: StructT("Rec", F("x", Int()))},
+	)
+	doc, err := GenerateWSDL(spec, "http://x/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := ParseWSDL(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defs.Name != "Svc" {
+		t.Errorf("name = %q", defs.Name)
+	}
+	if !strings.Contains(string(doc), "Rec") {
+		t.Error("types missing from WSDL")
+	}
+}
+
+// TestFacadeFaultType ensures faults surface as *Fault via errors.As
+// through the aliased types.
+func TestFacadeFaultType(t *testing.T) {
+	spec := MustServiceSpec("S", &OpDef{Name: "boom"})
+	formats := NewMemFormatServer()
+	server := NewEndpoint(formats).NewServer(spec)
+	server.MustHandle("boom", func(*CallCtx, []Param) (Value, error) {
+		return Value{}, errors.New("nope")
+	})
+	client := NewEndpoint(formats).NewClient(spec, &Loopback{Server: server}, WireBinary)
+	_, err := client.Call("boom", nil)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != "Server" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFacadeUpgradeDowngrade covers the exported field-copy helpers.
+func TestFacadeUpgradeDowngrade(t *testing.T) {
+	full := StructT("FullR", F("a", Int()), F("b", String()))
+	small := StructT("SmallR", F("a", Int()))
+	v := StructV(full, IntV(5), StringV("x"))
+	d, err := Downgrade(v, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Upgrade(d, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Field("a")
+	bField, _ := u.Field("b")
+	if a.Int != 5 || bField.Str != "" {
+		t.Errorf("upgrade = %s", u)
+	}
+}
