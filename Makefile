@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# The tier-1 gate: everything must build, vet clean, and pass the full
+# suite under the race detector (the context/cancellation paths are
+# concurrency-heavy; -race is not optional here).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table/figure of the paper's evaluation (quick pass).
+bench:
+	$(GO) run ./cmd/soapbench -all -quick

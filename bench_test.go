@@ -1,6 +1,7 @@
 package soapbinq
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -183,7 +184,7 @@ func BenchmarkQualityMiddlewareOverhead(b *testing.B) {
 	qc := NewQualityClient(NewEndpoint(fs).NewClient(spec, &Loopback{Server: srv}, WireBinary), policy)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := qc.Call("get", nil); err != nil {
+		if _, err := qc.Call(context.Background(), "get", nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,7 +208,7 @@ func BenchmarkBinaryEnvelopeRoundTrip(b *testing.B) {
 	v := workload.NestedStruct(4, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call("echo", nil, Param{Name: "v", Value: v}); err != nil {
+		if _, err := client.Call(context.Background(), "echo", nil, Param{Name: "v", Value: v}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -242,7 +243,7 @@ func benchLoopbackCall(b *testing.B, wire core.WireFormat) {
 	v := workload.IntArray(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call("echo", nil, Param{Name: "v", Value: v}); err != nil {
+		if _, err := client.Call(context.Background(), "echo", nil, Param{Name: "v", Value: v}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,11 @@
 //	soapbench -exp fig8         # run one experiment
 //	soapbench -all              # run everything
 //	soapbench -all -quick       # fast smoke pass (fewer sizes/reps)
+//
+// -timeout puts a per-call deadline on every benchmark invocation and
+// -retries re-sends on transient transport errors (the echo workloads
+// are side-effect free, so repeats are safe). Both default to off, which
+// keeps the measured path identical to the paper's.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"soapbinq/internal/bench"
+	"soapbinq/internal/core"
 )
 
 func main() {
@@ -29,7 +35,19 @@ func run() error {
 	exp := flag.String("exp", "", "experiment ID to run")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
+	timeout := flag.Duration("timeout", 0, "per-call deadline for every benchmark invocation (0 = none)")
+	retries := flag.Int("retries", 0, "retries on transient transport errors (echo workloads are side-effect free)")
 	flag.Parse()
+
+	if *timeout > 0 || *retries > 0 {
+		bench.SetCallPolicy(&core.CallPolicy{
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+			// The bench spec declares no idempotency, but every workload
+			// is a pure echo; retries are safe by construction.
+			RetryNonIdempotent: *retries > 0,
+		})
+	}
 
 	switch {
 	case *list:

@@ -11,9 +11,17 @@
 //	soapcall -wsdl http://host:8082/wsdl -op getCatering DL0104
 //	soapcall -wsdl svc.wsdl -url http://host/soap -op add '<values><item>1</item><item>2</item></values>'
 //	soapcall -wsdl ... -op getImage -wire xml m31 edge
+//	soapcall -wsdl ... -op getCatering -timeout 2s -retries 3 DL0104
+//
+// -timeout bounds the whole call (including retries) and is propagated
+// to the server, which abandons work whose deadline has already passed.
+// -retries re-sends on transport errors with exponential backoff; WSDL
+// carries no idempotency declarations, so retries apply to every
+// operation — only enable them for operations that are safe to repeat.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +52,8 @@ func run() error {
 	url := flag.String("url", "", "endpoint URL (default: the WSDL's address)")
 	wireName := flag.String("wire", "bin", "wire format: bin, xml, xmlz")
 	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
+	timeout := flag.Duration("timeout", 0, "overall call deadline, propagated to the server (0 = none)")
+	retries := flag.Int("retries", 0, "retries on transport errors; the WSDL declares no idempotency, so only use for operations safe to repeat")
 	flag.Parse()
 
 	if *wsdlSrc == "" || *op == "" {
@@ -105,8 +115,17 @@ func run() error {
 		fs = pbio.NewMemServer() // XML wires never touch it
 	}
 	client := core.NewClient(spec, &core.HTTPTransport{URL: endpoint}, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	if *timeout > 0 || *retries > 0 {
+		client.Policy = &core.CallPolicy{
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+			// WSDL has no idempotency metadata; the -retries flag is the
+			// operator's declaration that the operation is safe to repeat.
+			RetryNonIdempotent: *retries > 0,
+		}
+	}
 
-	resp, err := client.Call(*op, nil, params...)
+	resp, err := client.Call(context.Background(), *op, nil, params...)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,7 +57,7 @@ func run() error {
 		pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
 	// Step (2) of Fig. 10: obtain the portal's WSDL and sanity-check it.
-	desc, err := client.Call("describe", nil)
+	desc, err := client.Call(context.Background(), "describe", nil)
 	if err != nil {
 		return fmt.Errorf("describe: %w", err)
 	}
@@ -67,7 +68,7 @@ func run() error {
 	fmt.Printf("portal advertises service %q with %d types\n", defs.Name, len(defs.Types))
 
 	// Step (3): request a frame with filter code and output format.
-	resp, err := client.Call("getFrame", nil,
+	resp, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV(*filter)},
 		soap.Param{Name: "format", Value: idl.StringV(*format)},
 	)

@@ -1,6 +1,7 @@
 package soapbinq_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ func Example() {
 	})
 
 	client := soapbinq.NewEndpoint(formats).NewClient(spec, &soapbinq.Loopback{Server: server}, soapbinq.WireBinary)
-	resp, err := client.Call("greet", nil, soapbinq.Param{Name: "who", Value: soapbinq.StringV("world")})
+	resp, err := client.Call(context.Background(), "greet", nil, soapbinq.Param{Name: "who", Value: soapbinq.StringV("world")})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -58,7 +59,7 @@ func ExampleWireFormat() {
 	var sizes []int
 	for _, wire := range []soapbinq.WireFormat{soapbinq.WireBinary, soapbinq.WireXML} {
 		client := soapbinq.NewEndpoint(formats).NewClient(spec, &soapbinq.Loopback{Server: server}, wire)
-		resp, err := client.Call("echo", nil, soapbinq.Param{Name: "v", Value: arg})
+		resp, err := client.Call(context.Background(), "echo", nil, soapbinq.Param{Name: "v", Value: arg})
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -108,7 +109,7 @@ func ExampleQualityClient() {
 
 	downgraded := false
 	for i := 0; i < 8; i++ {
-		resp, err := client.Call("read", nil)
+		resp, err := client.Call(context.Background(), "read", nil)
 		if err != nil {
 			fmt.Println("error:", err)
 			return

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -82,7 +83,7 @@ func run() error {
 		var size int
 		var total time.Duration
 		for i := 0; i < events; i++ {
-			resp, err := client.Call("getCatering", nil,
+			resp, err := client.Call(context.Background(), "getCatering", nil,
 				soapbinq.Param{Name: "flight", Value: soapbinq.StringV("DL0104")})
 			if err != nil {
 				return err

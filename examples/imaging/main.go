@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -112,7 +113,7 @@ func run() error {
 		case 16:
 			sim.SetCrossRate(0) // iperf off
 		}
-		resp, err := client.Call("getFrame", nil)
+		resp, err := client.Call(context.Background(), "getFrame", nil)
 		if err != nil {
 			return err
 		}

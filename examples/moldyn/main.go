@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -129,7 +130,7 @@ func run() error {
 		case 20:
 			sim.SetCrossRate(0) // congestion off
 		}
-		resp, err := client.Call("getBonds", nil,
+		resp, err := client.Call(context.Background(), "getBonds", nil,
 			soapbinq.Param{Name: "from", Value: soapbinq.IntV(from)})
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -54,7 +55,7 @@ func run() error {
 	for _, wire := range []soapbinq.WireFormat{soapbinq.WireBinary, soapbinq.WireXML} {
 		client := soapbinq.NewEndpoint(formats).NewClient(spec,
 			&soapbinq.HTTPTransport{URL: url}, wire)
-		resp, err := client.Call("add", nil, soapbinq.Param{Name: "values", Value: values})
+		resp, err := client.Call(context.Background(), "add", nil, soapbinq.Param{Name: "values", Value: values})
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,13 +64,13 @@ func run() error {
 	)
 
 	// Typed calls: no idl.Value in sight.
-	img, err := client.GetImage("andromeda", "edge")
+	img, err := client.GetImage(context.Background(), "andromeda", "edge")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("GetImage: %dx%d, %d pixel bytes\n", img.Width, img.Height, len(img.Pixels))
 
-	names, err := client.ListImages()
+	names, err := client.ListImages(context.Background())
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -101,7 +102,7 @@ func runImagingPolicy(policyText string, imgW, imgH, requests, congestStart, con
 		case congestEnd:
 			sim.SetCrossRate(0)
 		}
-		resp, err := qc.Call("getImage", nil,
+		resp, err := qc.Call(context.Background(), "getImage", nil,
 			soap.Param{Name: "name", Value: idl.StringV("m31")},
 			soap.Param{Name: "transform", Value: idl.StringV(imaging.TransformEdge)},
 		)
@@ -204,7 +205,7 @@ func runMoldynPolicy(policyText string, requests, congestStart, congestEnd int) 
 		case congestEnd:
 			nsim.SetCrossRate(0)
 		}
-		resp, err := qc.Call("getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(from)})
+		resp, err := qc.Call(context.Background(), "getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(from)})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -231,7 +232,10 @@ type pbioDirect struct {
 	codec   *pbio.Codec
 }
 
-func (p *pbioDirect) RoundTrip(req *core.WireRequest) (*core.WireResponse, error) {
+func (p *pbioDirect) RoundTrip(ctx context.Context, req *core.WireRequest) (*core.WireResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	v, err := p.codec.Unmarshal(req.Body)
 	if err != nil {
 		return nil, err
@@ -275,7 +279,7 @@ func table1(w io.Writer, quick bool) error {
 
 		var lastSize int
 		samples := stats.Repeat(n, discard, func() float64 {
-			resp, err := client.Call("getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV(flight)})
+			resp, err := client.Call(context.Background(), "getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV(flight)})
 			if err != nil {
 				return 0
 			}
@@ -303,7 +307,7 @@ func table1(w io.Writer, quick bool) error {
 		if err != nil {
 			return 0
 		}
-		resp, err := sim.RoundTrip(&core.WireRequest{ContentType: core.ContentTypeBinary, Body: req})
+		resp, err := sim.RoundTrip(context.Background(), &core.WireRequest{ContentType: core.ContentTypeBinary, Body: req})
 		if err != nil {
 			return 0
 		}
@@ -369,7 +373,7 @@ func vizExperiment(w io.Writer, quick bool) error {
 
 	var size int
 	samples := stats.Repeat(n, discard, func() float64 {
-		resp, err := client.Call("getFrame", nil,
+		resp, err := client.Call(context.Background(), "getFrame", nil,
 			soap.Param{Name: "filter", Value: idl.StringV("")},
 			soap.Param{Name: "format", Value: idl.StringV(viz.FormatSVG)},
 		)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -287,7 +288,7 @@ func wireComparison(w io.Writer, quick bool, arrays bool) error {
 				return err
 			}
 			ms := stats.Summarize(stats.Repeat(n, discard, func() float64 {
-				res, err := rig.client.CallXML(op, nil, frag)
+				res, err := rig.client.CallXML(context.Background(), op, nil, frag)
 				if err != nil {
 					return 0
 				}
@@ -352,7 +353,7 @@ func fig7(w io.Writer, quick bool) error {
 				// Interoperability: XML client, native server.
 				ioRig := newSimRig(depth, core.WireBinary, link)
 				iop := stats.Summarize(stats.Repeat(n, discard, func() float64 {
-					res, err := ioRig.client.CallXML(op, nil, frag)
+					res, err := ioRig.client.CallXML(context.Background(), op, nil, frag)
 					if err != nil {
 						return 0
 					}
@@ -362,7 +363,7 @@ func fig7(w io.Writer, quick bool) error {
 				// Compatibility: XML on both ends.
 				coRig := newXMLServerSimRig(depth, link)
 				co := stats.Summarize(stats.Repeat(n, discard, func() float64 {
-					res, err := coRig.client.CallXML(op, nil, frag)
+					res, err := coRig.client.CallXML(context.Background(), op, nil, frag)
 					if err != nil {
 						return 0
 					}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"net/http/httptest"
 
 	"soapbinq/internal/core"
@@ -10,6 +11,22 @@ import (
 	"soapbinq/internal/soap"
 	"soapbinq/internal/workload"
 )
+
+// callPolicy, when set, is installed on every client the rigs build, so
+// a whole benchmark run can be bounded (soapbench -timeout) or hardened
+// against transient transport errors (soapbench -retries).
+var callPolicy *core.CallPolicy
+
+// SetCallPolicy installs a policy on all subsequently built rig clients;
+// nil restores the default (no deadline, no retries). Call before Run —
+// the rigs are constructed per experiment.
+func SetCallPolicy(p *core.CallPolicy) { callPolicy = p }
+
+func newRigClient(spec *core.ServiceSpec, t core.Transport, fs pbio.Server, wire core.WireFormat) *core.Client {
+	client := core.NewClient(spec, t, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	client.Policy = callPolicy
+	return client
+}
 
 // echoSpec builds the microbenchmark service: echoArray and echoStruct
 // operations for the paper's two parameter families.
@@ -51,7 +68,7 @@ func newSimRig(depth int, wire core.WireFormat, link netem.LinkProfile) *simRig 
 	spec := echoSpec(depth)
 	srv := newEchoServer(spec, fs)
 	sim := netem.NewSim(link, &core.Loopback{Server: srv})
-	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	client := newRigClient(spec, sim, fs, wire)
 	return &simRig{client: client, sim: sim, server: srv}
 }
 
@@ -69,7 +86,7 @@ func newXMLServerSimRig(depth int, link netem.LinkProfile) *simRig {
 	srv.MustHandle("echoArray", srv.XMLHandler("echoArray", arrayT, echoXMLFragment))
 	srv.MustHandle("echoStruct", srv.XMLHandler("echoStruct", structT, echoXMLFragment))
 	sim := netem.NewSim(link, &core.Loopback{Server: srv})
-	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	client := newRigClient(spec, sim, fs, core.WireBinary)
 	return &simRig{client: client, sim: sim, server: srv}
 }
 
@@ -98,7 +115,7 @@ func newHTTPRig(depth int, wire core.WireFormat) *httpRig {
 	srv := newEchoServer(spec, fs)
 	ts := httptest.NewServer(srv)
 	transport := &core.HTTPTransport{URL: ts.URL, Client: ts.Client()}
-	client := core.NewClient(spec, transport, pbio.NewCodec(pbio.NewRegistry(fs)), wire)
+	client := newRigClient(spec, transport, fs, wire)
 	return &httpRig{client: client, ts: ts}
 }
 
@@ -106,7 +123,7 @@ func (r *httpRig) Close() { r.ts.Close() }
 
 // callArray invokes echoArray and returns the call stats.
 func callArray(client *core.Client, v idl.Value) (core.CallStats, error) {
-	resp, err := client.Call("echoArray", nil, soap.Param{Name: "v", Value: v})
+	resp, err := client.Call(context.Background(), "echoArray", nil, soap.Param{Name: "v", Value: v})
 	if err != nil {
 		return core.CallStats{}, err
 	}
@@ -115,7 +132,7 @@ func callArray(client *core.Client, v idl.Value) (core.CallStats, error) {
 
 // callStruct invokes echoStruct and returns the call stats.
 func callStruct(client *core.Client, v idl.Value) (core.CallStats, error) {
-	resp, err := client.Call("echoStruct", nil, soap.Param{Name: "v", Value: v})
+	resp, err := client.Call(context.Background(), "echoStruct", nil, soap.Param{Name: "v", Value: v})
 	if err != nil {
 		return core.CallStats{}, err
 	}

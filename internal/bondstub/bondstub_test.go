@@ -1,6 +1,7 @@
 package bondstub
 
 import (
+	"context"
 	"testing"
 
 	"soapbinq/internal/core"
@@ -39,7 +40,7 @@ func TestGeneratedBondStubs(t *testing.T) {
 	}
 	client := NewBondServerClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
-	batch, err := client.GetBonds(100)
+	batch, err := client.GetBonds(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bondstub
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestGeneratedServerErrorPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := NewBondServerClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
-	if _, err := client.GetBonds(0); err == nil {
+	if _, err := client.GetBonds(context.Background(), 0); err == nil {
 		t.Error("implementation error must propagate")
 	}
 }
@@ -66,13 +67,13 @@ func TestGeneratedRegisterTwiceFails(t *testing.T) {
 func TestGeneratedClientTransportError(t *testing.T) {
 	fs := pbio.NewMemServer()
 	client := NewBondServerClient(deadTransport{}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
-	if _, err := client.GetBonds(0); err == nil {
+	if _, err := client.GetBonds(context.Background(), 0); err == nil {
 		t.Error("transport error must propagate through typed stub")
 	}
 }
 
 type deadTransport struct{}
 
-func (deadTransport) RoundTrip(*core.WireRequest) (*core.WireResponse, error) {
+func (deadTransport) RoundTrip(context.Context, *core.WireRequest) (*core.WireResponse, error) {
 	return nil, errors.New("down")
 }

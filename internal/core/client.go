@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,8 +31,12 @@ type WireResponse struct {
 // Transport moves serialized envelopes between client and server. The two
 // provided implementations are HTTPTransport (real net/http) and the
 // netem package's simulated transports; tests may supply their own.
+//
+// RoundTrip must honor ctx: cancellation or deadline expiry aborts any
+// blocking I/O promptly, and the returned error then wraps (or is)
+// ctx.Err(). Implementations must not retry internally once ctx is done.
 type Transport interface {
-	RoundTrip(req *WireRequest) (*WireResponse, error)
+	RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error)
 }
 
 // TimedTransport is implemented by transports that know the true duration
@@ -54,9 +59,11 @@ type HTTPTransport struct {
 	Client *http.Client // nil means http.DefaultClient
 }
 
-// RoundTrip implements Transport.
-func (t *HTTPTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
-	hreq, err := http.NewRequest(http.MethodPost, t.URL, bytes.NewReader(req.Body))
+// RoundTrip implements Transport. The request is built with ctx, so
+// net/http aborts the connection attempt, the write, or the pending read
+// as soon as ctx is cancelled or its deadline passes.
+func (t *HTTPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL, bytes.NewReader(req.Body))
 	if err != nil {
 		return nil, fmt.Errorf("core: build request: %w", err)
 	}
@@ -90,10 +97,11 @@ func (t *HTTPTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
 // unmarshalling; message sizes).
 type CallStats struct {
 	MarshalTime   time.Duration // request serialization (and compression)
-	RoundTripTime time.Duration // transport round trip
+	RoundTripTime time.Duration // transport round trip (all attempts)
 	UnmarshalTime time.Duration // response deserialization
 	RequestBytes  int
 	ResponseBytes int
+	Attempts      int // transport attempts made (>1 only under a retry policy)
 }
 
 // Total returns the end-to-end invocation cost.
@@ -132,6 +140,10 @@ type Client struct {
 	// ResolveType decodes downgraded XML responses; unused on the binary
 	// wire, where PBIO messages are self-describing.
 	ResolveType TypeResolver
+
+	// Policy bounds and hardens calls: per-call timeout, retry budget
+	// with backoff for idempotent operations. Nil disables both.
+	Policy *CallPolicy
 }
 
 // NewClient builds a client for spec over the given transport and wire
@@ -152,21 +164,54 @@ func (c *Client) Spec() *ServiceSpec { return c.spec }
 
 // Call invokes an operation with native (idl.Value) parameters — the
 // high-performance mode path when the wire format is WireBinary.
-func (c *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
+//
+// The invocation is bounded by ctx end to end: the remaining budget is
+// stamped on the request envelope (soap.DeadlineHeader) so the server can
+// enforce it too, the transport aborts blocking I/O when ctx is done, and
+// expiry surfaces as a *soap.Fault with the deadline-exceeded or
+// cancelled code (matching errors.Is against context.DeadlineExceeded /
+// context.Canceled). A CallPolicy on the client additionally caps the
+// call with its own timeout and re-sends failed attempts of idempotent
+// operations with exponential backoff.
+func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opDef, ok := c.spec.Op(op)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown operation %q", op)
 	}
+	if p := c.Policy; p != nil && p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
+	// Propagate the remaining budget to the server. The caller's header
+	// map is copied, not mutated.
+	if deadline, ok := ctx.Deadline(); ok {
+		withDeadline := make(soap.Header, len(hdr)+1)
+		for k, v := range hdr {
+			withDeadline[k] = v
+		}
+		hdr = soap.EncodeDeadline(withDeadline, deadline, start)
+	}
 	req, err := c.encodeRequest(opDef, hdr, params)
 	if err != nil {
 		return nil, err
 	}
 	marshalled := time.Now()
 
-	wresp, err := c.transport.RoundTrip(req)
+	wresp, attempts, err := c.roundTrip(ctx, opDef, req)
 	if err != nil {
+		// Budget expiry has one well-defined shape regardless of which
+		// layer noticed first.
+		if ce := ctx.Err(); ce != nil {
+			if f := soap.ContextFault(ce); f != nil {
+				return nil, f
+			}
+		}
 		return nil, err
 	}
 	returned := time.Now()
@@ -185,7 +230,38 @@ func (c *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*Respon
 	resp.Stats.UnmarshalTime = done.Sub(returned)
 	resp.Stats.RequestBytes = len(req.Body)
 	resp.Stats.ResponseBytes = len(wresp.Body)
+	resp.Stats.Attempts = attempts
 	return resp, nil
+}
+
+// CallBackground is the no-context compatibility wrapper over Call, for
+// callers that have no budget to propagate (interactive tools, tests).
+func (c *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
+	return c.Call(context.Background(), op, hdr, params...)
+}
+
+// roundTrip drives the transport, re-sending per the client's policy.
+// Only transport-level failures are retried — a fault is a definitive
+// answer, and a done context is final.
+func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*WireResponse, int, error) {
+	budget := 0
+	if p := c.Policy; p != nil && p.MaxRetries > 0 && (op.Idempotent || p.RetryNonIdempotent) {
+		budget = p.MaxRetries
+	}
+	attempts := 0
+	for {
+		wresp, err := c.transport.RoundTrip(ctx, req)
+		attempts++
+		if err == nil {
+			return wresp, attempts, nil
+		}
+		if attempts > budget || !retriable(err) {
+			return nil, attempts, err
+		}
+		if serr := sleepCtx(ctx, c.Policy.backoff(attempts)); serr != nil {
+			return nil, attempts, serr
+		}
+	}
 }
 
 func (c *Client) encodeRequest(op *OpDef, hdr soap.Header, params []soap.Param) (*WireRequest, error) {
@@ -321,7 +397,7 @@ type XMLCallResult struct {
 // the result is up-converted back to XML. Combined with WireBinary this
 // is the paper's compatibility mode; the conversions are exactly the costs
 // Figure 6 charges against SOAP-bin.
-func (c *Client) CallXML(op string, hdr soap.Header, xmlParams ...[]byte) (*XMLCallResult, error) {
+func (c *Client) CallXML(ctx context.Context, op string, hdr soap.Header, xmlParams ...[]byte) (*XMLCallResult, error) {
 	opDef, ok := c.spec.Op(op)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown operation %q", op)
@@ -342,7 +418,7 @@ func (c *Client) CallXML(op string, hdr soap.Header, xmlParams ...[]byte) (*XMLC
 	}
 	convertIn := time.Since(start)
 
-	resp, err := c.Call(op, hdr, params...)
+	resp, err := c.Call(ctx, op, hdr, params...)
 	if err != nil {
 		return nil, err
 	}

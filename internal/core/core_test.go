@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -75,7 +76,7 @@ func TestCallRoundTripAllWires(t *testing.T) {
 	for _, wire := range wires() {
 		t.Run(wire.String(), func(t *testing.T) {
 			client, _ := newRig(t, wire)
-			resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+			resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +93,7 @@ func TestCallRoundTripAllWires(t *testing.T) {
 func TestSumAndVoid(t *testing.T) {
 	for _, wire := range wires() {
 		client, _ := newRig(t, wire)
-		resp, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(10)})
+		resp, err := client.Call(context.Background(), "sum", nil, soap.Param{Name: "values", Value: workload.IntArray(10)})
 		if err != nil {
 			t.Fatalf("%v: %v", wire, err)
 		}
@@ -104,7 +105,7 @@ func TestSumAndVoid(t *testing.T) {
 			t.Errorf("%v: sum = %d, want %d", wire, resp.Value.Int, want)
 		}
 
-		pong, err := client.Call("ping", nil)
+		pong, err := client.Call(context.Background(), "ping", nil)
 		if err != nil {
 			t.Fatalf("%v: ping: %v", wire, err)
 		}
@@ -117,7 +118,7 @@ func TestSumAndVoid(t *testing.T) {
 func TestFaultPropagation(t *testing.T) {
 	for _, wire := range wires() {
 		client, _ := newRig(t, wire)
-		_, err := client.Call("fail", nil)
+		_, err := client.Call(context.Background(), "fail", nil)
 		var f *soap.Fault
 		if !errors.As(err, &f) {
 			t.Fatalf("%v: error %v is not a fault", wire, err)
@@ -137,7 +138,7 @@ func TestExplicitFaultPassthrough(t *testing.T) {
 		return idl.Value{}, &soap.Fault{Code: "Client", String: "bad input", Detail: "field x"}
 	}
 	srv.mu.Unlock()
-	_, err := client.Call("fail", nil)
+	_, err := client.Call(context.Background(), "fail", nil)
 	var f *soap.Fault
 	if !errors.As(err, &f) || f.Code != "Client" || f.Detail != "field x" {
 		t.Fatalf("fault = %v", err)
@@ -153,7 +154,7 @@ func TestHeadersTravelBothWays(t *testing.T) {
 			return idl.Value{}, nil
 		}
 		srv.mu.Unlock()
-		resp, err := client.Call("ping", soap.Header{"ts": "987"})
+		resp, err := client.Call(context.Background(), "ping", soap.Header{"ts": "987"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,22 +166,22 @@ func TestHeadersTravelBothWays(t *testing.T) {
 
 func TestClientErrors(t *testing.T) {
 	client, _ := newRig(t, WireBinary)
-	if _, err := client.Call("nosuch", nil); err == nil {
+	if _, err := client.Call(context.Background(), "nosuch", nil); err == nil {
 		t.Error("unknown op must fail client-side")
 	}
 	// Wrong param type is rejected server-side as a Client fault.
-	_, err := client.Call("sum", nil, soap.Param{Name: "values", Value: idl.IntV(1)})
+	_, err := client.Call(context.Background(), "sum", nil, soap.Param{Name: "values", Value: idl.IntV(1)})
 	var f *soap.Fault
 	if !errors.As(err, &f) || f.Code != "Client" {
 		t.Errorf("wrong type: %v", err)
 	}
 	// Wrong param name.
-	_, err = client.Call("sum", nil, soap.Param{Name: "nums", Value: workload.IntArray(1)})
+	_, err = client.Call(context.Background(), "sum", nil, soap.Param{Name: "nums", Value: workload.IntArray(1)})
 	if !errors.As(err, &f) || f.Code != "Client" {
 		t.Errorf("wrong name: %v", err)
 	}
 	// Wrong arity.
-	_, err = client.Call("sum", nil)
+	_, err = client.Call(context.Background(), "sum", nil)
 	if !errors.As(err, &f) || f.Code != "Client" {
 		t.Errorf("wrong arity: %v", err)
 	}
@@ -189,25 +190,25 @@ func TestClientErrors(t *testing.T) {
 func TestServerProcessBadInputs(t *testing.T) {
 	_, srv := newRig(t, WireBinary)
 
-	ct, body := srv.Process("application/weird", "", nil)
+	ct, body := srv.Process(context.Background(), "application/weird", "", nil)
 	if ct != ContentTypeXML || !strings.Contains(string(body), "Fault") {
 		t.Errorf("bad content type: ct=%q body=%q", ct, body)
 	}
-	ct, body = srv.Process(ContentTypeBinary, "", []byte{})
+	ct, body = srv.Process(context.Background(), ContentTypeBinary, "", []byte{})
 	if ct != ContentTypeBinary || body[0] != frameFault {
 		t.Error("empty binary body must fault")
 	}
-	ct, _ = srv.Process(ContentTypeXML, "", []byte("<junk/>"))
+	ct, _ = srv.Process(context.Background(), ContentTypeXML, "", []byte("<junk/>"))
 	if ct != ContentTypeXML {
 		t.Error("missing SOAPAction must fault in XML")
 	}
 	// Unknown op via action.
-	_, body = srv.Process(ContentTypeXML, "nosuch", []byte("<junk/>"))
+	_, body = srv.Process(context.Background(), ContentTypeXML, "nosuch", []byte("<junk/>"))
 	if !strings.Contains(string(body), "unknown operation") {
 		t.Errorf("unknown op body: %q", body)
 	}
 	// Deflate wire with garbage bytes.
-	ct, _ = srv.Process(ContentTypeXMLDeflate, "ping", []byte{1, 2, 3})
+	ct, _ = srv.Process(context.Background(), ContentTypeXMLDeflate, "ping", []byte{1, 2, 3})
 	if ct != ContentTypeXMLDeflate && ct != ContentTypeXML {
 		t.Errorf("garbage deflate ct = %q", ct)
 	}
@@ -216,7 +217,7 @@ func TestServerProcessBadInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, body = srv.Process(ContentTypeBinary, "", respFrame)
+	_, body = srv.Process(context.Background(), ContentTypeBinary, "", respFrame)
 	env, err := unmarshalBinary(srv.Codec(), body)
 	if err != nil || env.Kind != frameFault {
 		t.Errorf("response-as-request: %v %v", env, err)
@@ -266,7 +267,7 @@ func TestCallXMLCompatibilityMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := client.CallXML("echo", nil, frag)
+	res, err := client.CallXML(context.Background(), "echo", nil, frag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +283,13 @@ func TestCallXMLCompatibilityMode(t *testing.T) {
 	}
 
 	// Arity errors are client-side.
-	if _, err := client.CallXML("echo", nil); err == nil {
+	if _, err := client.CallXML(context.Background(), "echo", nil); err == nil {
 		t.Error("missing XML param must fail")
 	}
-	if _, err := client.CallXML("nosuch", nil); err == nil {
+	if _, err := client.CallXML(context.Background(), "nosuch", nil); err == nil {
 		t.Error("unknown op must fail")
 	}
-	if _, err := client.CallXML("echo", nil, []byte("<junk")); err == nil {
+	if _, err := client.CallXML(context.Background(), "echo", nil, []byte("<junk")); err == nil {
 		t.Error("malformed XML param must fail")
 	}
 }
@@ -310,7 +311,7 @@ func TestXMLHandlerCompatibilityServer(t *testing.T) {
 		return xmlenc.Marshal(ResultParam, idl.IntV(total))
 	}))
 	client := NewClient(spec, &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), WireBinary)
-	resp, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(5)})
+	resp, err := client.Call(context.Background(), "sum", nil, soap.Param{Name: "values", Value: workload.IntArray(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestXMLHandlerCompatibilityServer(t *testing.T) {
 	srv.MustHandle("fail", srv.XMLHandler("fail", idl.Int(), func(*CallCtx, [][]byte) ([]byte, error) {
 		return nil, fmt.Errorf("xml boom")
 	}))
-	_, err = client.Call("fail", nil)
+	_, err = client.Call(context.Background(), "fail", nil)
 	var f *soap.Fault
 	if !errors.As(err, &f) || !strings.Contains(f.String, "xml boom") {
 		t.Errorf("fault = %v", err)
@@ -342,11 +343,11 @@ func TestResultVarianceBinary(t *testing.T) {
 	srv.mu.Unlock()
 
 	payload := workload.NestedStruct(3, 1)
-	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
+	if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
 		t.Fatal("variance without AllowResultVariance must fail")
 	}
 	client.AllowResultVariance = true
-	resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+	resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestResultVarianceXML(t *testing.T) {
 		}
 		return nil, false
 	}
-	resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+	resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestResultVarianceXML(t *testing.T) {
 
 	// Unknown message type name must be an error, not silent misparse.
 	client.ResolveType = func(string) (*idl.Type, bool) { return nil, false }
-	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
+	if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err == nil {
 		t.Error("unknown mtype must fail")
 	}
 }
@@ -404,12 +405,12 @@ func TestAllowTypeVarianceRequests(t *testing.T) {
 	srv.mu.Unlock()
 
 	arg := soap.Param{Name: "payload", Value: idl.StructV(small, idl.IntV(1))}
-	if _, err := client.Call("echo", nil, arg); err == nil {
+	if _, err := client.Call(context.Background(), "echo", nil, arg); err == nil {
 		t.Fatal("variant request without server flag must fault")
 	}
 	srv.AllowTypeVariance = true
 	client.AllowResultVariance = true
-	resp, err := client.Call("echo", nil, arg)
+	resp, err := client.Call(context.Background(), "echo", nil, arg)
 	if err != nil {
 		t.Fatal(err)
 	}

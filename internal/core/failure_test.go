@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,7 +23,7 @@ type flakyTransport struct {
 	corrupt   bool
 }
 
-func (f *flakyTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
+func (f *flakyTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error) {
 	f.mu.Lock()
 	f.n++
 	n := f.n
@@ -30,7 +31,7 @@ func (f *flakyTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
 	if f.failEvery > 0 && n%f.failEvery == 0 {
 		return nil, errors.New("flaky: injected transport failure")
 	}
-	resp, err := f.inner.RoundTrip(req)
+	resp, err := f.inner.RoundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func TestClientSurvivesTransportFailures(t *testing.T) {
 	payload := workload.NestedStruct(3, 1)
 	var okCount, errCount int
 	for i := 0; i < 12; i++ {
-		_, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+		_, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 		if err != nil {
 			errCount++
 		} else {
@@ -74,7 +75,7 @@ func TestClientRejectsCorruptedResponses(t *testing.T) {
 		// shape. (A flipped bit inside a scalar payload byte is
 		// indistinguishable from data, so value corruption itself cannot
 		// always be detected — structural integrity must be.)
-		resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+		resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 		if err == nil && !resp.Value.Type.Equal(payload.Type) {
 			t.Errorf("%v: corrupted response decoded to wrong type %s", wire, resp.Value.Type)
 		}
@@ -84,14 +85,14 @@ func TestClientRejectsCorruptedResponses(t *testing.T) {
 // errTransport always fails, proving error wrapping shows the cause.
 type errTransport struct{}
 
-func (errTransport) RoundTrip(*WireRequest) (*WireResponse, error) {
+func (errTransport) RoundTrip(context.Context, *WireRequest) (*WireResponse, error) {
 	return nil, fmt.Errorf("network unreachable")
 }
 
 func TestTransportErrorPropagates(t *testing.T) {
 	client, _ := newRig(t, WireBinary)
 	client.transport = errTransport{}
-	_, err := client.Call("ping", nil)
+	_, err := client.Call(context.Background(), "ping", nil)
 	if err == nil || err.Error() != "network unreachable" {
 		t.Errorf("err = %v", err)
 	}
@@ -107,7 +108,7 @@ func TestConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				resp, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload})
+				resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
 				if err != nil {
 					errs <- err
 					return
@@ -137,7 +138,7 @@ func TestServerRejectsWrongFormatServer(t *testing.T) {
 	})
 	fsB := pbio.NewMemServer()
 	client := NewClient(specA, &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fsB)), WireBinary)
-	_, err := client.Call("sum", nil, soap.Param{Name: "values", Value: workload.IntArray(2)})
+	_, err := client.Call(context.Background(), "sum", nil, soap.Param{Name: "values", Value: workload.IntArray(2)})
 	if err == nil {
 		t.Error("mismatched format servers must error")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -35,7 +36,7 @@ func TestHTTPRoundTripAllWires(t *testing.T) {
 	for _, wire := range wires() {
 		t.Run(wire.String(), func(t *testing.T) {
 			client, _ := newHTTPRig(t, wire)
-			resp, err := client.Call("echo", soap.Header{"ts": "1"}, soap.Param{Name: "payload", Value: payload})
+			resp, err := client.Call(context.Background(), "echo", soap.Header{"ts": "1"}, soap.Param{Name: "payload", Value: payload})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,14 +49,14 @@ func TestHTTPRoundTripAllWires(t *testing.T) {
 
 func TestHTTPFaultStatus500(t *testing.T) {
 	client, _ := newHTTPRig(t, WireBinary)
-	_, err := client.Call("fail", nil)
+	_, err := client.Call(context.Background(), "fail", nil)
 	var f *soap.Fault
 	if !errors.As(err, &f) {
 		t.Fatalf("want fault, got %v", err)
 	}
 	// XML wire too: 500 + parseable fault envelope.
 	clientXML, _ := newHTTPRig(t, WireXML)
-	_, err = clientXML.Call("fail", nil)
+	_, err = clientXML.Call(context.Background(), "fail", nil)
 	if !errors.As(err, &f) || !strings.Contains(f.String, "kaboom") {
 		t.Fatalf("xml fault: %v", err)
 	}
@@ -76,21 +77,31 @@ func TestHTTPRejectsNonPost(t *testing.T) {
 }
 
 func TestHTTPRequestSizeLimit(t *testing.T) {
-	client, srv := newHTTPRig(t, WireBinary)
-	srv.MaxRequestBytes = 64
-	_, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: workload.NestedStruct(3, 3)})
-	if err == nil {
-		t.Error("oversized request must fail")
+	for _, wire := range wires() {
+		t.Run(wire.String(), func(t *testing.T) {
+			client, srv := newHTTPRig(t, wire)
+			srv.MaxRequestBytes = 64
+			_, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: workload.NestedStruct(3, 3)})
+			// Not a bare transport error: the rejection arrives as a
+			// parseable Client fault in the request's own wire format.
+			var f *soap.Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("oversized request: got %v, want *soap.Fault", err)
+			}
+			if f.Code != soap.FaultCodeClient || !strings.Contains(f.String, "byte limit") {
+				t.Errorf("fault = %q %q", f.Code, f.String)
+			}
+		})
 	}
 }
 
 func TestHTTPTransportErrors(t *testing.T) {
 	tr := &HTTPTransport{URL: "http://127.0.0.1:1/nope"}
-	if _, err := tr.RoundTrip(&WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
+	if _, err := tr.RoundTrip(context.Background(), &WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
 		t.Error("dead endpoint must error")
 	}
 	tr2 := &HTTPTransport{URL: ":bad url:"}
-	if _, err := tr2.RoundTrip(&WireRequest{ContentType: ContentTypeBinary}); err == nil {
+	if _, err := tr2.RoundTrip(context.Background(), &WireRequest{ContentType: ContentTypeBinary}); err == nil {
 		t.Error("bad URL must error")
 	}
 }

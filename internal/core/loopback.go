@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Loopback is a Transport that invokes a Server directly in-process, with
 // no network between: the zero-cost baseline for microbenchmarks and the
 // building block the netem package wraps link models around.
@@ -7,9 +9,14 @@ type Loopback struct {
 	Server *Server
 }
 
-// RoundTrip implements Transport.
-func (l *Loopback) RoundTrip(req *WireRequest) (*WireResponse, error) {
-	ct, body := l.Server.Process(req.ContentType, req.Action, req.Body)
+// RoundTrip implements Transport. The context flows straight into
+// Server.Process, so deadline enforcement and cancellation behave exactly
+// as they would across a real transport.
+func (l *Loopback) RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ct, body := l.Server.Process(ctx, req.ContentType, req.Action, req.Body)
 	return &WireResponse{ContentType: ct, Body: body}, nil
 }
 

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"soapbinq/internal/soap"
+)
+
+// CallPolicy bounds and hardens a client's invocations: an overall
+// per-call timeout and a retry budget with exponential backoff and
+// jitter. Retries re-send the already-encoded request, so they only
+// apply to operations declared Idempotent in the ServiceSpec (or to
+// everything, if the caller opts in with RetryNonIdempotent — only safe
+// when the application knows duplicates are harmless).
+//
+// A policy is consulted at the top of Client.Call; the zero value
+// disables both mechanisms.
+type CallPolicy struct {
+	// Timeout caps each call end-to-end (encode, all transport
+	// attempts, decode). It composes with the caller's context: the
+	// earlier deadline wins. Zero means no policy timeout.
+	Timeout time.Duration
+
+	// MaxRetries is how many times a failed attempt may be re-sent
+	// (so MaxRetries=2 allows up to 3 attempts). Zero disables retry.
+	MaxRetries int
+
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff. Defaults: 10ms / 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// JitterFrac randomizes each backoff by ±frac (default 0.2) to
+	// de-synchronize clients hammering a recovering server.
+	JitterFrac float64
+
+	// RetryNonIdempotent extends the retry budget to operations not
+	// declared Idempotent. Off by default.
+	RetryNonIdempotent bool
+}
+
+const (
+	defaultBaseBackoff = 10 * time.Millisecond
+	defaultMaxBackoff  = time.Second
+	defaultJitterFrac  = 0.2
+)
+
+// backoff computes the sleep before retry number n (1-based), with
+// exponential growth and jitter applied.
+func (p *CallPolicy) backoff(n int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = defaultBaseBackoff
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	d := base << uint(n-1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	frac := p.JitterFrac
+	if frac <= 0 {
+		frac = defaultJitterFrac
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Uniform in [1-frac, 1+frac].
+	scale := 1 + frac*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * scale)
+}
+
+// retriable reports whether an attempt error is worth re-sending:
+// transport-level failures are; SOAP faults are not (the server already
+// processed the request and gave a definitive answer), and context
+// expiry/cancellation is final by definition.
+func retriable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first,
+// returning ctx's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

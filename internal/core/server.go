@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,21 @@ type CallCtx struct {
 	RequestHeader  soap.Header
 	ResponseHeader soap.Header
 	ReceivedAt     time.Time
+
+	// ctx carries the invocation's remaining budget: the transport's
+	// context bounded further by the client-propagated deadline header.
+	ctx context.Context
+}
+
+// Context returns the invocation context. Handlers doing slow work
+// should watch it: when the client's budget runs out the server has
+// already abandoned the call, and further work is wasted. It is never
+// nil; a CallCtx built without one reports context.Background().
+func (c *CallCtx) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // SetResponseHeader records a response header entry, allocating lazily.
@@ -59,6 +75,8 @@ type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]HandlerFunc
 	stats    ServerStats
+	draining bool
+	inflight sync.WaitGroup
 }
 
 // ServerStats counts server traffic, for operational monitoring and the
@@ -174,8 +192,29 @@ func (s *Server) account(op string, in, out int, fault bool) {
 // serialized response. It never returns an error: all failures become
 // fault envelopes in the same wire format as the request (falling back to
 // XML when the request's format is unknown).
-func (s *Server) Process(contentType, action string, body []byte) (respContentType string, respBody []byte) {
-	ct, resp := s.process(contentType, action, body)
+//
+// ctx is the transport's context (HTTP request context, TCP connection
+// lifetime); a client-propagated deadline header narrows it further
+// before the handler runs. When the budget expires mid-handler the
+// response is a deadline-exceeded fault, even if the handler is still
+// running (its result is discarded).
+func (s *Server) Process(ctx context.Context, contentType, action string, body []byte) (respContentType string, respBody []byte) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ct, resp := s.faultBody(wireOrXML(contentType), "", nil,
+			&soap.Fault{Code: soap.FaultCodeUnavailable, String: "server is shutting down"})
+		s.account("", len(body), len(resp), true)
+		return ct, resp
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	ct, resp := s.process(ctx, contentType, action, body)
 	op := action
 	if op == "" && contentType == ContentTypeBinary {
 		// Binary requests carry the op in the envelope, not SOAPAction.
@@ -191,19 +230,27 @@ func (s *Server) Process(contentType, action string, body []byte) (respContentTy
 	return ct, resp
 }
 
-func (s *Server) process(contentType, action string, body []byte) (respContentType string, respBody []byte) {
+func (s *Server) process(ctx context.Context, contentType, action string, body []byte) (respContentType string, respBody []byte) {
 	wire, err := WireFromContentType(contentType)
 	if err != nil {
 		return s.faultBody(WireXML, "", nil, &soap.Fault{Code: "Client", String: err.Error()})
 	}
-	ctx := &CallCtx{Wire: wire, ReceivedAt: time.Now()}
+	cctx := &CallCtx{Wire: wire, ReceivedAt: time.Now()}
 
 	op, params, hdr, ferr := s.decodeRequest(wire, action, body)
 	if ferr != nil {
 		return s.faultBody(wire, op, nil, ferr)
 	}
-	ctx.Op = op
-	ctx.RequestHeader = hdr
+	cctx.Op = op
+	cctx.RequestHeader = hdr
+
+	// Narrow the transport context by the client-propagated budget.
+	if deadline, ok := soap.DecodeDeadline(hdr, cctx.ReceivedAt); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	cctx.ctx = ctx
 
 	opDef, ok := s.spec.Op(op)
 	if !ok {
@@ -220,15 +267,83 @@ func (s *Server) process(contentType, action string, body []byte) (respContentTy
 		return s.faultBody(wire, op, nil, &soap.Fault{Code: "Server", String: fmt.Sprintf("operation %q not implemented", op)})
 	}
 
-	result, err := h(ctx, params)
+	result, err := s.invoke(ctx, h, cctx, params)
 	if err != nil {
 		var f *soap.Fault
 		if !errors.As(err, &f) {
 			f = &soap.Fault{Code: "Server", String: err.Error()}
 		}
-		return s.faultBody(wire, op, ctx.ResponseHeader, f)
+		respHdr := cctx.ResponseHeader
+		if f.Code == soap.FaultCodeDeadlineExceeded || f.Code == soap.FaultCodeCancelled {
+			// The abandoned handler goroutine may still be mutating the
+			// response header map; don't touch it.
+			respHdr = nil
+		}
+		return s.faultBody(wire, op, respHdr, f)
 	}
-	return s.responseBody(wire, opDef, ctx.ResponseHeader, result)
+	return s.responseBody(wire, opDef, cctx.ResponseHeader, result)
+}
+
+// invoke runs the handler under the invocation context. Without a
+// cancellable context it calls the handler directly (no goroutine on the
+// fast path); with one, a watchdog abandons the handler the moment the
+// budget expires, so a stalled or slow handler cannot hold the response
+// past its deadline. An abandoned handler's goroutine finishes in the
+// background and its result is dropped.
+func (s *Server) invoke(ctx context.Context, h HandlerFunc, cctx *CallCtx, params []soap.Param) (idl.Value, error) {
+	if ctx.Done() == nil {
+		return h(cctx, params)
+	}
+	if err := ctx.Err(); err != nil {
+		return idl.Value{}, soap.ContextFault(err)
+	}
+	type outcome struct {
+		v   idl.Value
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := h(cctx, params)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		return idl.Value{}, soap.ContextFault(ctx.Err())
+	}
+}
+
+// Shutdown drains the server gracefully: new requests are refused with
+// an unavailable fault while requests already in flight run to
+// completion. It returns once the last in-flight handler finishes, or
+// with ctx's error if ctx expires first (in-flight handlers keep their
+// own deadlines either way).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wireOrXML resolves a content type for fault rendering, falling back to
+// XML when the request's format is unknown.
+func wireOrXML(contentType string) WireFormat {
+	wire, err := WireFromContentType(contentType)
+	if err != nil {
+		return WireXML
+	}
+	return wire
 }
 
 // decodeRequest parses the request envelope of either wire format. The
@@ -357,11 +472,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if int64(len(body)) > limit {
-		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+		// A proper Client fault in the request's own wire format, not a
+		// bare transport error: SOAP callers get a parseable envelope.
+		ct, resp := s.faultBody(wireOrXML(r.Header.Get("Content-Type")), "", nil,
+			&soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("request body exceeds %d byte limit", limit)})
+		s.account("", len(body), len(resp), true)
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write(resp)
 		return
 	}
 	action := trimActionQuotes(r.Header.Get(ActionHeader))
-	ct, resp := s.Process(r.Header.Get("Content-Type"), action, body)
+	ct, resp := s.Process(r.Context(), r.Header.Get("Content-Type"), action, body)
 	w.Header().Set("Content-Type", ct)
 	if isFaultBody(ct, resp) {
 		w.WriteHeader(http.StatusInternalServerError)

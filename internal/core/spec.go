@@ -32,6 +32,11 @@ type OpDef struct {
 	Name   string
 	Params []soap.ParamSpec
 	Result *idl.Type
+
+	// Idempotent declares that repeating the operation is harmless
+	// (pure reads, at-most-once semantics enforced by the handler).
+	// Only idempotent operations are eligible for CallPolicy retries.
+	Idempotent bool
 }
 
 // RequestSpec returns the soap.OpSpec for decoding this operation's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"soapbinq/internal/soap"
@@ -12,11 +13,11 @@ func TestServerStats(t *testing.T) {
 	payload := workload.NestedStruct(3, 1)
 
 	for i := 0; i < 3; i++ {
-		if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+		if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := client.Call("fail", nil); err == nil {
+	if _, err := client.Call(context.Background(), "fail", nil); err == nil {
 		t.Fatal("fail op must fault")
 	}
 
@@ -42,7 +43,7 @@ func TestServerStats(t *testing.T) {
 
 func TestServerStatsXMLWire(t *testing.T) {
 	client, srv := newRig(t, WireXML)
-	if _, err := client.Call("ping", nil); err != nil {
+	if _, err := client.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()
@@ -53,8 +54,8 @@ func TestServerStatsXMLWire(t *testing.T) {
 
 func TestServerStatsCountUnparseableRequests(t *testing.T) {
 	_, srv := newRig(t, WireBinary)
-	srv.Process("application/weird", "", nil)
-	srv.Process(ContentTypeBinary, "", []byte{0xFF})
+	srv.Process(context.Background(), "application/weird", "", nil)
+	srv.Process(context.Background(), ContentTypeBinary, "", []byte{0xFF})
 	st := srv.Stats()
 	if st.Requests != 2 || st.Faults != 2 {
 		t.Errorf("stats = %+v", st)

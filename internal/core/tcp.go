@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Raw TCP transport for SOAP-bin. The paper attributes SOAP-bin's gap
@@ -57,6 +59,8 @@ func codeToWire(code byte) (string, error) {
 // TCPListener serves a Server over raw TCP framing.
 type TCPListener struct {
 	server *Server
+	ctx    context.Context // parent of every request's context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -72,7 +76,8 @@ func ServeTCP(srv *Server, addr string) (*TCPListener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: tcp listen: %w", err)
 	}
-	l := &TCPListener{server: srv, listener: ln, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &TCPListener{server: srv, ctx: ctx, cancel: cancel, listener: ln, conns: make(map[net.Conn]struct{})}
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -112,6 +117,7 @@ func (l *TCPListener) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.cancel() // unblocks in-flight handlers watching their context
 	l.listener.Close()
 	for c := range l.conns {
 		c.Close()
@@ -137,7 +143,7 @@ func (l *TCPListener) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		respCT, respBody := l.server.Process(ct, action, body)
+		respCT, respBody := l.server.Process(l.ctx, ct, action, body)
 		respCode, err := wireToCode(respCT)
 		if err != nil {
 			return
@@ -175,38 +181,88 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// RoundTrip implements Transport.
-func (t *TCPTransport) RoundTrip(req *WireRequest) (*WireResponse, error) {
+// RoundTrip implements Transport. Context deadlines become connection
+// read/write deadlines; plain cancellation is enforced by a watcher that
+// yanks the in-flight I/O. A connection abandoned mid-frame is poisoned
+// and dropped so the next call redials cleanly.
+func (t *TCPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error) {
 	code, err := wireToCode(req.ContentType)
 	if err != nil {
 		return nil, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	resp, err := t.tryOnce(code, req)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := t.tryOnce(ctx, code, req)
 	if err == nil {
 		return resp, nil
 	}
+	t.dropConn()
+	// A done context is final: no reconnect, and the caller sees the
+	// context's own error.
+	if ce := ctx.Err(); ce != nil {
+		return nil, ce
+	}
 	// One reconnect attempt for stale connections.
+	resp, err = t.tryOnce(ctx, code, req)
+	if err != nil {
+		t.dropConn()
+		if ce := ctx.Err(); ce != nil {
+			return nil, ce
+		}
+	}
+	return resp, err
+}
+
+// dropConn closes and forgets the connection (holding t.mu).
+func (t *TCPTransport) dropConn() {
 	if t.conn != nil {
 		t.conn.Close()
 		t.conn = nil
 	}
-	return t.tryOnce(code, req)
 }
 
-func (t *TCPTransport) tryOnce(code byte, req *WireRequest) (*WireResponse, error) {
+func (t *TCPTransport) tryOnce(ctx context.Context, code byte, req *WireRequest) (*WireResponse, error) {
 	if t.conn == nil {
-		conn, err := net.Dial("tcp", t.addr)
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", t.addr)
 		if err != nil {
 			return nil, fmt.Errorf("core: tcp dial: %w", err)
 		}
 		t.conn = conn
 	}
-	if err := writeTCPRequest(t.conn, code, req.Action, req.Body); err != nil {
+	conn := t.conn
+	// Derive I/O deadlines from the context; clear any deadline a
+	// previous call left behind.
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// Mid-call cancellation: unblock the pending read/write immediately
+	// rather than waiting for a deadline that may not exist.
+	if ctx.Done() != nil {
+		watchStop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Unix(1, 0)) // in the past: fails in-flight I/O
+			case <-watchStop:
+			}
+		}()
+		defer func() {
+			close(watchStop)
+			<-watchDone
+		}()
+	}
+	if err := writeTCPRequest(conn, code, req.Action, req.Body); err != nil {
 		return nil, err
 	}
-	respCode, body, err := readTCPFrame(t.conn)
+	respCode, body, err := readTCPFrame(conn)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestTCPTransportAllWires(t *testing.T) {
 	for _, wire := range wires() {
 		t.Run(wire.String(), func(t *testing.T) {
 			client, _ := newTCPRig(t, wire)
-			resp, err := client.Call("echo", soap.Header{"k": "v"}, soap.Param{Name: "payload", Value: payload})
+			resp, err := client.Call(context.Background(), "echo", soap.Header{"k": "v"}, soap.Param{Name: "payload", Value: payload})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -49,7 +50,7 @@ func TestTCPTransportAllWires(t *testing.T) {
 
 func TestTCPTransportFaults(t *testing.T) {
 	client, _ := newTCPRig(t, WireBinary)
-	_, err := client.Call("fail", nil)
+	_, err := client.Call(context.Background(), "fail", nil)
 	var f *soap.Fault
 	if !errors.As(err, &f) || f.String != "kaboom" {
 		t.Fatalf("fault = %v", err)
@@ -60,7 +61,7 @@ func TestTCPTransportSequentialCallsShareConnection(t *testing.T) {
 	client, _ := newTCPRig(t, WireBinary)
 	payload := workload.IntArray(32)
 	for i := 0; i < 25; i++ {
-		if _, err := client.Call("sum", nil, soap.Param{Name: "values", Value: payload}); err == nil {
+		if _, err := client.Call(context.Background(), "sum", nil, soap.Param{Name: "values", Value: payload}); err == nil {
 			t.Fatal("sum handler is not registered in this rig; expected fault")
 		}
 	}
@@ -69,7 +70,7 @@ func TestTCPTransportSequentialCallsShareConnection(t *testing.T) {
 func TestTCPTransportReconnects(t *testing.T) {
 	client, ln := newTCPRig(t, WireBinary)
 	payload := workload.NestedStruct(3, 1)
-	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+	if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
 		t.Fatal(err)
 	}
 	ln.mu.Lock()
@@ -77,7 +78,7 @@ func TestTCPTransportReconnects(t *testing.T) {
 		c.Close()
 	}
 	ln.mu.Unlock()
-	if _, err := client.Call("echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+	if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
 		t.Fatalf("call after drop: %v", err)
 	}
 }
@@ -85,10 +86,10 @@ func TestTCPTransportReconnects(t *testing.T) {
 func TestTCPTransportDialFailure(t *testing.T) {
 	tr := NewTCPTransport("127.0.0.1:1")
 	defer tr.Close()
-	if _, err := tr.RoundTrip(&WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
+	if _, err := tr.RoundTrip(context.Background(), &WireRequest{ContentType: ContentTypeBinary, Body: []byte{1}}); err == nil {
 		t.Error("dead endpoint must fail")
 	}
-	if _, err := tr.RoundTrip(&WireRequest{ContentType: "weird"}); err == nil {
+	if _, err := tr.RoundTrip(context.Background(), &WireRequest{ContentType: "weird"}); err == nil {
 		t.Error("unknown content type must fail")
 	}
 }

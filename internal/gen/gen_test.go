@@ -46,7 +46,7 @@ func TestGenerateParsesAndFormats(t *testing.T) {
 		"Pixels []byte",
 		"func NewImageServiceSpec() *core.ServiceSpec",
 		"type ImageServiceClient struct",
-		"func (c *ImageServiceClient) GetImage(argName string, argTransform string) (Image640, error)",
+		"func (c *ImageServiceClient) GetImage(ctx context.Context, argName string, argTransform string) (Image640, error)",
 		"type ImageServiceServer interface",
 		"func RegisterImageService(srv *core.Server, impl ImageServiceServer) error",
 		"const ImageServiceQualityFile",
@@ -102,9 +102,9 @@ func TestGenerateNestedAndVoidOps(t *testing.T) {
 		"type Outer struct",
 		"In Inner",
 		"Tags []string",
-		"func (c *NestedClient) Get() ([]Outer, error)",
-		"func (c *NestedClient) Ping() error",
-		"func (c *NestedClient) Put(argO Outer) error",
+		"func (c *NestedClient) Get(ctx context.Context) ([]Outer, error)",
+		"func (c *NestedClient) Ping(ctx context.Context) error",
+		"func (c *NestedClient) Put(ctx context.Context, argO Outer) error",
 	} {
 		if !containsNormalized(string(src), want) {
 			t.Errorf("generated code missing %q\n%s", want, src)

@@ -1,6 +1,7 @@
 package imagestub
 
 import (
+	"context"
 	"testing"
 
 	"soapbinq/internal/core"
@@ -39,7 +40,7 @@ func TestGeneratedStubsEndToEnd(t *testing.T) {
 	}
 	client := NewImageServiceClient(&core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
-	img, err := client.GetImage("m31", "edge")
+	img, err := client.GetImage(context.Background(), "m31", "edge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestGeneratedStubsEndToEnd(t *testing.T) {
 		t.Errorf("image = %dx%d, %d pixel bytes", img.Width, img.Height, len(img.Pixels))
 	}
 
-	names, err := client.ListImages()
+	names, err := client.ListImages(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestGeneratedStubsEndToEnd(t *testing.T) {
 	}
 
 	// Bad transform surfaces as an error through the typed stub.
-	if _, err := client.GetImage("m31", "nope"); err == nil {
+	if _, err := client.GetImage(context.Background(), "m31", "nope"); err == nil {
 		t.Error("bad transform must fail")
 	}
 }

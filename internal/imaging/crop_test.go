@@ -1,6 +1,7 @@
 package imaging
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -98,7 +99,7 @@ handler ImageCrop cropFocus
 
 	get := func() *core.Response {
 		t.Helper()
-		resp, err := qc.Call("getImage", nil,
+		resp, err := qc.Call(context.Background(), "getImage", nil,
 			soap.Param{Name: "name", Value: idl.StringV("m1")},
 			soap.Param{Name: "transform", Value: idl.StringV(TransformNone)},
 		)

@@ -63,11 +63,13 @@ func Spec() *core.ServiceSpec {
 				{Name: "name", Type: idl.StringT()},
 				{Name: "transform", Type: idl.StringT()},
 			},
-			Result: FullImageType,
+			Result:     FullImageType,
+			Idempotent: true, // archive read; safe to retry
 		},
 		&core.OpDef{
-			Name:   "listImages",
-			Result: idl.List(idl.StringT()),
+			Name:       "listImages",
+			Result:     idl.List(idl.StringT()),
+			Idempotent: true,
 		},
 	)
 }

@@ -1,6 +1,7 @@
 package imaging
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestInstallServiceAdaptsResolution(t *testing.T) {
 
 	call := func() *core.Response {
 		t.Helper()
-		resp, err := qc.Call("getImage", nil,
+		resp, err := qc.Call(context.Background(), "getImage", nil,
 			soap.Param{Name: "name", Value: soapString("m31")},
 			soap.Param{Name: "transform", Value: soapString(TransformEdge)},
 		)
@@ -78,7 +79,7 @@ func TestInstallServiceAdaptsResolution(t *testing.T) {
 	}
 
 	// listImages sees the generated frame.
-	names, err := qc.Call("listImages", nil)
+	names, err := qc.Call(context.Background(), "listImages", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package moldyn
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -112,7 +113,7 @@ func TestServiceAdaptiveBatching(t *testing.T) {
 
 	get := func(from int64) *core.Response {
 		t.Helper()
-		resp, err := qc.Call("getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(from)})
+		resp, err := qc.Call(context.Background(), "getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(from)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func TestServiceAdaptiveBatching(t *testing.T) {
 	}
 
 	// Negative timestep faults.
-	if _, err := qc.Call("getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(-1)}); err == nil {
+	if _, err := qc.Call(context.Background(), "getBonds", nil, soap.Param{Name: "from", Value: idl.IntV(-1)}); err == nil {
 		t.Error("negative timestep must fault")
 	}
 }

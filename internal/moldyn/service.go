@@ -52,9 +52,10 @@ handler Batch1 batch1
 func Spec() *core.ServiceSpec {
 	return core.MustServiceSpec("BondServer",
 		&core.OpDef{
-			Name:   "getBonds",
-			Params: []soap.ParamSpec{{Name: "from", Type: idl.Int()}},
-			Result: Batch4Type,
+			Name:       "getBonds",
+			Params:     []soap.ParamSpec{{Name: "from", Type: idl.Int()}},
+			Result:     Batch4Type,
+			Idempotent: true, // frames are keyed by index; safe to retry
 		},
 	)
 }

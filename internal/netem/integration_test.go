@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"testing"
@@ -60,7 +61,7 @@ func TestRealSocketQualityAdaptation(t *testing.T) {
 
 	sawSmall := false
 	for i := 0; i < 8; i++ {
-		resp, err := qc.Call("get", nil)
+		resp, err := qc.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

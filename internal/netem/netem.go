@@ -14,6 +14,7 @@
 package netem
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -162,13 +163,15 @@ func (s *Sim) Calls() int {
 // RoundTrip implements core.Transport: it charges the request's
 // transmission up the link, invokes the inner transport, charges the
 // response down the link, and advances the virtual clock by the total.
-func (s *Sim) RoundTrip(req *core.WireRequest) (*core.WireResponse, error) {
+// Virtual link delay is modeled, not slept, so ctx only gates the inner
+// transport; simulated time does not consume real budget.
+func (s *Sim) RoundTrip(ctx context.Context, req *core.WireRequest) (*core.WireResponse, error) {
 	s.mu.Lock()
 	upStart := s.now
 	up := s.transmitLocked(upStart, len(req.Body)+s.link.OverheadBytes, s.link.UpBps)
 	s.mu.Unlock()
 
-	resp, err := s.inner.RoundTrip(req)
+	resp, err := s.inner.RoundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestSimChargesTransmissionAndLatency(t *testing.T) {
 	sim := NewSim(LinkProfile{Name: "test", UpBps: 8000, DownBps: 8000, Latency: 10 * time.Millisecond}, &core.Loopback{Server: srv})
 	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
-	resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
+	resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSimFasterLinkIsFaster(t *testing.T) {
 		spec, srv, fs := echoRig(t)
 		sim := NewSim(link, &core.Loopback{Server: srv})
 		client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
-		resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(10000)})
+		resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "v", Value: workload.IntArray(10000)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestSimCrossTrafficSlowsWindow(t *testing.T) {
 	client := core.NewClient(spec, sim, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
 	call := func() time.Duration {
-		resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(1000)})
+		resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "v", Value: workload.IntArray(1000)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestSimCrossesWindowBoundary(t *testing.T) {
 
 	// Request ≈ 850 bytes ≈ 6.8 kbit. Clean: ~0.85s. Congested rate is
 	// 800 bps for 0.5s (0.4 kbit) then full 8 kbps.
-	resp, err := client.Call("echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
+	resp, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "v", Value: workload.IntArray(100)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestSimQualityAdaptsToCongestion(t *testing.T) {
 	sawLite := false
 	sim.AddCrossTraffic(CrossTraffic{Start: 0, End: 10 * time.Minute, Bps: 0.98e6})
 	for i := 0; i < 10; i++ {
-		resp, err := qc.Call("get", nil)
+		resp, err := qc.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -309,9 +309,10 @@ func Generate(d *Dataset, nFlights, passengersPerFlight int, seed uint64) {
 func Spec() *core.ServiceSpec {
 	return core.MustServiceSpec("AirlineOIS",
 		&core.OpDef{
-			Name:   "getCatering",
-			Params: []soap.ParamSpec{{Name: "flight", Type: idl.StringT()}},
-			Result: cateringType,
+			Name:       "getCatering",
+			Params:     []soap.ParamSpec{{Name: "flight", Type: idl.StringT()}},
+			Result:     cateringType,
+			Idempotent: true, // read-only lookup; safe to retry
 		},
 	)
 }

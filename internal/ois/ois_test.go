@@ -1,6 +1,7 @@
 package ois
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -131,7 +132,7 @@ func TestServiceHandler(t *testing.T) {
 	srv.MustHandle("getCatering", NewHandler(d))
 	client := core.NewClient(Spec(), &core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
 
-	resp, err := client.Call("getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV("DL0101")})
+	resp, err := client.Call(context.Background(), "getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV("DL0101")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestServiceHandler(t *testing.T) {
 		t.Errorf("catering = %+v", c)
 	}
 
-	if _, err := client.Call("getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV("nope")}); err == nil {
+	if _, err := client.Call(context.Background(), "getCatering", nil, soap.Param{Name: "flight", Value: idl.StringV("nope")}); err == nil {
 		t.Error("unknown flight must fault")
 	}
 }

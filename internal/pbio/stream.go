@@ -2,10 +2,12 @@ package pbio
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"soapbinq/internal/idl"
 )
@@ -16,6 +18,47 @@ import (
 // payload length up front (EncodedSize is a cheap tree walk), writes the
 // header, and streams the payload through a small buffer; UnmarshalFrom
 // reads the header and decodes the payload incrementally.
+
+// deadlineSetter is the subset of net.Conn the context-aware streaming
+// entry points use: a context deadline becomes an I/O deadline, so a
+// stalled peer cannot pin a multi-megabyte stream forever.
+type deadlineSetter interface {
+	SetDeadline(t time.Time) error
+}
+
+// applyStreamDeadline projects ctx onto rw when rw can carry a deadline
+// (net.Conn does; bytes.Buffer and files do not, and large in-memory
+// streams complete without blocking anyway).
+func applyStreamDeadline(ctx context.Context, rw any) {
+	ds, ok := rw.(deadlineSetter)
+	if !ok {
+		return
+	}
+	if deadline, has := ctx.Deadline(); has {
+		ds.SetDeadline(deadline)
+	} else {
+		ds.SetDeadline(time.Time{})
+	}
+}
+
+// MarshalToContext is MarshalTo bounded by ctx: when w is a connection,
+// the context deadline bounds every write of the stream.
+func (c *Codec) MarshalToContext(ctx context.Context, w io.Writer, v idl.Value) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	applyStreamDeadline(ctx, w)
+	return c.MarshalTo(w, v)
+}
+
+// UnmarshalFromContext is UnmarshalFrom bounded by ctx, analogously.
+func (c *Codec) UnmarshalFromContext(ctx context.Context, r io.Reader) (idl.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return idl.Value{}, err
+	}
+	applyStreamDeadline(ctx, r)
+	return c.UnmarshalFrom(r)
+}
 
 // MarshalTo writes a complete framed PBIO message for v to w, returning
 // the number of bytes written. Equivalent to w.Write(Marshal(v)) without

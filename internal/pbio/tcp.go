@@ -1,12 +1,14 @@
 package pbio
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP format-server protocol. Frames in both directions are
@@ -186,6 +188,11 @@ func writeFrame(w io.Writer, frame []byte) error {
 type TCPClient struct {
 	addr string
 
+	// Timeout bounds each Register/Lookup round trip when the caller
+	// provides no context deadline of its own. Zero means unbounded,
+	// preserving the historical behavior.
+	Timeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 }
@@ -199,11 +206,17 @@ func NewTCPClient(addr string) *TCPClient {
 
 // Register implements Server.
 func (c *TCPClient) Register(f *Format) (*Format, error) {
+	return c.RegisterContext(context.Background(), f)
+}
+
+// RegisterContext is Register bounded by ctx: cancellation or deadline
+// expiry aborts the wire round trip.
+func (c *TCPClient) RegisterContext(ctx context.Context, f *Format) (*Format, error) {
 	if f == nil || f.Type == nil {
 		return nil, fmt.Errorf("pbio: register nil format")
 	}
 	req := AppendDescriptor([]byte{opRegister}, f.Type)
-	op, payload, err := c.roundTrip(req)
+	op, payload, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -226,10 +239,15 @@ func (c *TCPClient) Register(f *Format) (*Format, error) {
 
 // Lookup implements Server.
 func (c *TCPClient) Lookup(id uint64) (*Format, error) {
+	return c.LookupContext(context.Background(), id)
+}
+
+// LookupContext is Lookup bounded by ctx.
+func (c *TCPClient) LookupContext(ctx context.Context, id uint64) (*Format, error) {
 	req := make([]byte, 0, 9)
 	req = append(req, opLookup)
 	req = binary.BigEndian.AppendUint64(req, id)
-	op, payload, err := c.roundTrip(req)
+	op, payload, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -259,28 +277,58 @@ func (c *TCPClient) Close() error {
 	return nil
 }
 
-func (c *TCPClient) roundTrip(frame []byte) (byte, []byte, error) {
+func (c *TCPClient) roundTrip(ctx context.Context, frame []byte) (byte, []byte, error) {
+	if c.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+			defer cancel()
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	op, payload, err := c.tryOnce(frame)
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	op, payload, err := c.tryOnce(ctx, frame)
 	if err == nil {
 		return op, payload, nil
 	}
-	// One reconnect attempt: the previous connection may have gone stale.
+	// Drop the (possibly mid-frame) connection; a done context is final.
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
-	return c.tryOnce(frame)
+	if ce := ctx.Err(); ce != nil {
+		return 0, nil, ce
+	}
+	// One reconnect attempt: the previous connection may have gone stale.
+	op, payload, err = c.tryOnce(ctx, frame)
+	if err != nil && c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if err != nil {
+		if ce := ctx.Err(); ce != nil {
+			return 0, nil, ce
+		}
+	}
+	return op, payload, err
 }
 
-func (c *TCPClient) tryOnce(frame []byte) (byte, []byte, error) {
+func (c *TCPClient) tryOnce(ctx context.Context, frame []byte) (byte, []byte, error) {
 	if c.conn == nil {
-		conn, err := net.Dial("tcp", c.addr)
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
 		if err != nil {
 			return 0, nil, fmt.Errorf("pbio: dial format server: %w", err)
 		}
 		c.conn = conn
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(deadline)
+	} else {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if err := writeFrame(c.conn, frame); err != nil {
 		return 0, nil, err

@@ -1,0 +1,86 @@
+package quality
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+)
+
+func TestEstimatorExcludesFailures(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	e.Observe(10 * time.Millisecond)
+	before := e.Estimate()
+
+	e.ObserveFailure(context.DeadlineExceeded)
+	e.ObserveFailure(context.Canceled)
+	e.ObserveFailure(errors.New("connection refused"))
+	e.ObserveFailure(nil) // success: not an exclusion
+
+	if got := e.Estimate(); got != before {
+		t.Errorf("estimate moved from %v to %v on failed calls", before, got)
+	}
+	if e.Samples() != 1 {
+		t.Errorf("samples = %d, want 1", e.Samples())
+	}
+	if e.Excluded() != 3 {
+		t.Errorf("excluded = %d, want 3", e.Excluded())
+	}
+}
+
+func TestIsCensored(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.DeadlineExceeded, true},
+		{context.Canceled, true},
+		{soap.ContextFault(context.DeadlineExceeded), true},
+		{soap.ContextFault(context.Canceled), true},
+		{&soap.Fault{Code: "Server", String: "boom"}, false},
+		{errors.New("connection refused"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsCensored(c.err); got != c.want {
+			t.Errorf("IsCensored(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// stallTransport blocks until the caller's budget runs out — a stalled
+// peer, the scenario whose duration must never enter the RTT estimate.
+type stallTransport struct{}
+
+func (stallTransport) RoundTrip(ctx context.Context, _ *core.WireRequest) (*core.WireResponse, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestQualityClientExcludesTimedOutCalls(t *testing.T) {
+	fs := pbio.NewMemServer()
+	spec := qualityService()
+	policy := MustParsePolicy(testPolicyText, testTypes, nil)
+	inner := core.NewClient(spec, stallTransport{}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	qc := NewClient(inner, policy)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := qc.Call(ctx, "get", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if qc.Estimator.Samples() != 0 {
+		t.Errorf("timed-out call entered the estimate (%d samples)", qc.Estimator.Samples())
+	}
+	if qc.Estimator.Excluded() != 1 {
+		t.Errorf("excluded = %d, want 1", qc.Estimator.Excluded())
+	}
+	if qc.RTT() != 0 {
+		t.Errorf("RTT = %v, want 0 (no real samples yet)", qc.RTT())
+	}
+}

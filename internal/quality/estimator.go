@@ -1,6 +1,8 @@
 package quality
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 )
@@ -13,11 +15,12 @@ const DefaultAlpha = 0.875
 // Estimator maintains a smoothed round-trip-time estimate from per-request
 // samples. It is safe for concurrent use.
 type Estimator struct {
-	mu      sync.Mutex
-	alpha   float64
-	current time.Duration
-	primed  bool
-	samples int
+	mu       sync.Mutex
+	alpha    float64
+	current  time.Duration
+	primed   bool
+	samples  int
+	excluded int
 }
 
 // NewEstimator returns an estimator with the given weight; alpha outside
@@ -59,6 +62,38 @@ func (e *Estimator) Samples() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.samples
+}
+
+// ObserveFailure accounts for a failed call without letting it shift the
+// estimate. Timed-out and cancelled calls are censored observations —
+// their duration measures the caller's budget, not the network — and
+// folding them in would drag the estimate toward whatever timeout the
+// application happened to configure, destabilizing the adaptation loop.
+// Other failures (connection refused, faults) carry no RTT signal at
+// all. Either way the estimate is untouched; Excluded counts them for
+// observability.
+func (e *Estimator) ObserveFailure(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.excluded++
+}
+
+// Excluded returns how many failed calls were withheld from the
+// estimate.
+func (e *Estimator) Excluded() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.excluded
+}
+
+// IsCensored reports whether err marks a call whose duration reflects a
+// budget rather than the network: deadline expiry or cancellation,
+// locally observed or served back as the corresponding fault code.
+func IsCensored(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 // Set replaces the estimate outright. The server side uses this when the

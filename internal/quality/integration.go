@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -107,8 +108,12 @@ func (q *Client) SetPolicy(p *Policy) error {
 // RTT returns the current smoothed estimate.
 func (q *Client) RTT() time.Duration { return q.Estimator.Estimate() }
 
-// Call invokes an operation with quality management around it.
-func (q *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*core.Response, error) {
+// Call invokes an operation with quality management around it. The
+// context bounds the call exactly as in core.Client.Call; calls that
+// time out or are cancelled are excluded from the RTT estimate (their
+// duration measures the budget, not the network), so a stalled peer
+// cannot skew the adaptation loop.
+func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ...soap.Param) (*core.Response, error) {
 	if hdr == nil {
 		hdr = soap.Header{}
 	}
@@ -129,8 +134,11 @@ func (q *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*core.R
 		hdr[RequestTypeHeader] = reqType
 	}
 
-	resp, err := q.Inner.Call(op, hdr, params...)
+	resp, err := q.Inner.Call(ctx, op, hdr, params...)
 	if err != nil {
+		// A timed-out or cancelled sample is censored, not a
+		// measurement; count the exclusion instead of folding it in.
+		q.Estimator.ObserveFailure(err)
 		return nil, err
 	}
 
@@ -142,6 +150,11 @@ func (q *Client) Call(op string, hdr soap.Header, params ...soap.Param) (*core.R
 		}
 	}
 	return resp, nil
+}
+
+// CallBackground is the no-context compatibility wrapper over Call.
+func (q *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param) (*core.Response, error) {
+	return q.Call(context.Background(), op, hdr, params...)
 }
 
 // observe derives this call's RTT sample. Preference order: the

@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
@@ -22,8 +23,8 @@ type delayTransport struct {
 	last  time.Duration
 }
 
-func (d *delayTransport) RoundTrip(req *core.WireRequest) (*core.WireResponse, error) {
-	resp, err := d.inner.RoundTrip(req)
+func (d *delayTransport) RoundTrip(ctx context.Context, req *core.WireRequest) (*core.WireResponse, error) {
+	resp, err := d.inner.RoundTrip(ctx, req)
 	d.mu.Lock()
 	d.last = d.delay
 	d.mu.Unlock()
@@ -83,7 +84,7 @@ func TestAdaptiveDowngradeAndPadding(t *testing.T) {
 
 			// Fast link: full responses.
 			link.setDelay(5 * time.Millisecond)
-			resp, err := qc.Call("get", nil)
+			resp, err := qc.Call(context.Background(), "get", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +101,7 @@ func TestAdaptiveDowngradeAndPadding(t *testing.T) {
 			link.setDelay(500 * time.Millisecond)
 			var sawSmall bool
 			for i := 0; i < 20; i++ {
-				resp, err = qc.Call("get", nil)
+				resp, err = qc.Call(context.Background(), "get", nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -129,7 +130,7 @@ func TestAdaptiveDowngradeAndPadding(t *testing.T) {
 			link.setDelay(1 * time.Millisecond)
 			var sawFull bool
 			for i := 0; i < 60; i++ {
-				resp, err = qc.Call("get", nil)
+				resp, err = qc.Call(context.Background(), "get", nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -163,7 +164,7 @@ func TestQualityHandlerInvoked(t *testing.T) {
 	var resp *core.Response
 	var err error
 	for i := 0; i < 20; i++ {
-		resp, err = qc.Call("get", nil)
+		resp, err = qc.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func TestQualityHandlerInvoked(t *testing.T) {
 func TestMiddlewareReportsPrepAndEchoesTimestamp(t *testing.T) {
 	qc, link, _ := newQualityRig(t, core.WireBinary, nil, testPolicyText)
 	link.setDelay(time.Millisecond)
-	resp, err := qc.Call("get", nil)
+	resp, err := qc.Call(context.Background(), "get", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,13 +224,13 @@ func TestClientPiggybacksRTT(t *testing.T) {
 	link := &delayTransport{inner: &core.Loopback{Server: srv}, delay: 7 * time.Millisecond}
 	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
 
-	if _, err := qc.Call("get", nil); err != nil {
+	if _, err := qc.Call(context.Background(), "get", nil); err != nil {
 		t.Fatal(err)
 	}
 	if seenRTT != "" {
 		t.Error("first call must not carry an estimate")
 	}
-	if _, err := qc.Call("get", nil); err != nil {
+	if _, err := qc.Call(context.Background(), "get", nil); err != nil {
 		t.Fatal(err)
 	}
 	ns, err := strconv.ParseInt(seenRTT, 10, 64)
@@ -251,7 +252,7 @@ func TestMiddlewarePropagatesHandlerError(t *testing.T) {
 	}))
 	link := &delayTransport{inner: &core.Loopback{Server: srv}}
 	qc := NewClient(core.NewClient(spec, link, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary), policy)
-	if _, err := qc.Call("get", nil); err == nil {
+	if _, err := qc.Call(context.Background(), "get", nil); err == nil {
 		t.Error("handler error must propagate")
 	}
 }

@@ -2,6 +2,7 @@ package quality
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -107,7 +108,7 @@ func TestRuntimePolicyRedefinition(t *testing.T) {
 
 	// Under the always-full policy, high RTT changes nothing.
 	for i := 0; i < 3; i++ {
-		resp, err := qc.Call("get", nil)
+		resp, err := qc.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestRuntimePolicyRedefinition(t *testing.T) {
 
 	var sawSmall bool
 	for i := 0; i < 10; i++ {
-		resp, err := qc.Call("get", nil)
+		resp, err := qc.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

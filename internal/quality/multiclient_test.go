@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -41,14 +42,14 @@ func TestPerClientAdaptationIsolation(t *testing.T) {
 	// fast client's.
 	slowDowngraded := false
 	for i := 0; i < 12; i++ {
-		fresp, err := fast.Call("get", nil)
+		fresp, err := fast.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if fresp.Header[core.MsgTypeHeader] != "" {
 			t.Fatalf("iteration %d: fast client downgraded (%q)", i, fresp.Header[core.MsgTypeHeader])
 		}
-		sresp, err := slow.Call("get", nil)
+		sresp, err := slow.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -56,7 +57,7 @@ func TestClientRequestAdaptation(t *testing.T) {
 
 	// Fast link: the full request type goes out.
 	link.setDelay(time.Millisecond)
-	if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+	if _, err := qc.Call(context.Background(), "analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
 		t.Fatal(err)
 	}
 	if !lastType.Equal(fullT) || lastNote != "full fidelity" {
@@ -68,7 +69,7 @@ func TestClientRequestAdaptation(t *testing.T) {
 	link.setDelay(400 * time.Millisecond)
 	sawSmall := false
 	for i := 0; i < 10; i++ {
-		if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+		if _, err := qc.Call(context.Background(), "analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
 			t.Fatal(err)
 		}
 		if lastReqHeader == "Small" {
@@ -127,7 +128,7 @@ func TestRequestHandlerErrorsPropagate(t *testing.T) {
 	}
 	var sawErr bool
 	for i := 0; i < 10; i++ {
-		if _, err := qc.Call("analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
+		if _, err := qc.Call(context.Background(), "analyze", nil, soap.Param{Name: "img", Value: fullValue()}); err != nil {
 			sawErr = true
 			break
 		}

@@ -1,0 +1,91 @@
+package soap
+
+import (
+	"context"
+	"strconv"
+	"time"
+)
+
+// Deadline propagation. A caller with a context deadline stamps the
+// remaining budget on the request as a SOAP header entry, gRPC-style:
+// the value is the remaining time in integer milliseconds at send time.
+// Millisecond granularity keeps the entry compact and avoids pretending
+// clock skew between hosts is smaller than it is; what travels is the
+// *remaining* budget, not an absolute timestamp, so unsynchronized
+// clocks only cost the one-way network latency of accuracy.
+const DeadlineHeader = "X-SOAPBinQ-Deadline"
+
+// Fault codes with defined semantics in the SOAP-binQ invocation path.
+// SOAP 1.1 defines the Client/Server top-level codes; dotted subcodes
+// refine them, per the faultcode convention.
+const (
+	FaultCodeClient = "Client"
+	FaultCodeServer = "Server"
+	// FaultCodeDeadlineExceeded reports that the invocation's time budget
+	// ran out before a response was produced — whether detected by the
+	// server's handler watchdog or by the client's own context.
+	FaultCodeDeadlineExceeded = "Server.DeadlineExceeded"
+	// FaultCodeCancelled reports that the caller abandoned the invocation
+	// before it completed.
+	FaultCodeCancelled = "Server.Cancelled"
+	// FaultCodeUnavailable reports a server that is draining for
+	// shutdown and no longer accepting work.
+	FaultCodeUnavailable = "Server.Unavailable"
+)
+
+// EncodeDeadline writes the remaining budget until deadline into hdr
+// (creating it if nil) and returns the possibly-new map. A deadline at
+// or before now encodes as 0, which receivers treat as already expired.
+func EncodeDeadline(hdr Header, deadline, now time.Time) Header {
+	if hdr == nil {
+		hdr = Header{}
+	}
+	remaining := deadline.Sub(now).Milliseconds()
+	if remaining < 0 {
+		remaining = 0
+	}
+	hdr[DeadlineHeader] = strconv.FormatInt(remaining, 10)
+	return hdr
+}
+
+// DecodeDeadline reads the remaining budget from hdr relative to now.
+// ok is false when the header is absent or malformed.
+func DecodeDeadline(hdr Header, now time.Time) (deadline time.Time, ok bool) {
+	s, present := hdr[DeadlineHeader]
+	if !present {
+		return time.Time{}, false
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || ms < 0 {
+		return time.Time{}, false
+	}
+	return now.Add(time.Duration(ms) * time.Millisecond), true
+}
+
+// ContextFault maps a context error to its fault. A nil result means err
+// was not a context error.
+func ContextFault(err error) *Fault {
+	switch err {
+	case context.DeadlineExceeded:
+		return &Fault{Code: FaultCodeDeadlineExceeded, String: "invocation deadline exceeded"}
+	case context.Canceled:
+		return &Fault{Code: FaultCodeCancelled, String: "invocation cancelled"}
+	default:
+		return nil
+	}
+}
+
+// Is makes faults carrying the deadline/cancellation codes match
+// errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
+// context.Canceled), so callers can handle timeouts uniformly whether the
+// failure surfaced locally or as a served fault.
+func (f *Fault) Is(target error) bool {
+	switch target {
+	case context.DeadlineExceeded:
+		return f.Code == FaultCodeDeadlineExceeded
+	case context.Canceled:
+		return f.Code == FaultCodeCancelled
+	default:
+		return false
+	}
+}

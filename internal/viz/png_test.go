@@ -2,6 +2,7 @@ package viz
 
 import (
 	"bytes"
+	"context"
 	"image/png"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestPortalServesPNG(t *testing.T) {
 	sim := moldyn.NewSimulator(20, 4)
 	publishFrame(t, ch, portal, sim, 0)
 
-	resp, err := client.Call("getFrame", nil,
+	resp, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatPNG)},
 	)

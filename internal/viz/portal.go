@@ -38,11 +38,13 @@ func Spec() *core.ServiceSpec {
 				{Name: "filter", Type: idl.StringT()},
 				{Name: "format", Type: idl.StringT()},
 			},
-			Result: ResponseType,
+			Result:     ResponseType,
+			Idempotent: true, // snapshot read; safe to retry
 		},
 		&core.OpDef{
-			Name:   "describe",
-			Result: idl.StringT(),
+			Name:       "describe",
+			Result:     idl.StringT(),
+			Idempotent: true,
 		},
 	)
 }

@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func TestRemotePortalEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := core.NewClient(Spec(), &core.Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
-	resp, err := client.Call("getFrame", nil,
+	resp, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("elements=C,H,O,N,S")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
 	)

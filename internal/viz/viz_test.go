@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -155,7 +156,7 @@ func TestPortalEndToEnd(t *testing.T) {
 	portal, client, ch := portalRig(t)
 
 	// Before any frame: fault.
-	_, err := client.Call("getFrame", nil,
+	_, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
 	)
@@ -167,7 +168,7 @@ func TestPortalEndToEnd(t *testing.T) {
 	publishFrame(t, ch, portal, sim, 0)
 
 	// SVG response.
-	resp, err := client.Call("getFrame", nil,
+	resp, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("stride=2")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
 	)
@@ -186,7 +187,7 @@ func TestPortalEndToEnd(t *testing.T) {
 	}
 
 	// Raw response.
-	resp, err = client.Call("getFrame", nil,
+	resp, err = client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatRaw)},
 	)
@@ -210,13 +211,13 @@ func TestPortalEndToEnd(t *testing.T) {
 	}
 
 	// Bad filter / format.
-	if _, err := client.Call("getFrame", nil,
+	if _, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("wat=1")},
 		soap.Param{Name: "format", Value: idl.StringV(FormatSVG)},
 	); err == nil {
 		t.Error("bad filter must fault")
 	}
-	if _, err := client.Call("getFrame", nil,
+	if _, err := client.Call(context.Background(), "getFrame", nil,
 		soap.Param{Name: "filter", Value: idl.StringV("")},
 		soap.Param{Name: "format", Value: idl.StringV("jpeg2000")},
 	); err == nil {
@@ -226,7 +227,7 @@ func TestPortalEndToEnd(t *testing.T) {
 
 func TestPortalDescribeServesWSDL(t *testing.T) {
 	_, client, _ := portalRig(t)
-	resp, err := client.Call("describe", nil)
+	resp, err := client.Call(context.Background(), "describe", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,6 +111,28 @@ type (
 	CallStats   = core.CallStats
 )
 
+// CallPolicy configures per-client deadlines and retries: Call derives a
+// timeout when the caller's context has none, and re-sends idempotent
+// operations on transport errors with exponential backoff.
+type CallPolicy = core.CallPolicy
+
+// DeadlineHeader is the SOAP header entry carrying a call's remaining
+// time budget (milliseconds) from client to server; servers decode it
+// into the handler's context and refuse work whose budget is spent.
+const DeadlineHeader = soap.DeadlineHeader
+
+// Fault codes for context-governed outcomes: a call that ran out of
+// budget or was cancelled surfaces as a Fault with one of these codes,
+// and errors.Is matches it against context.DeadlineExceeded /
+// context.Canceled.
+const (
+	FaultCodeClient           = soap.FaultCodeClient
+	FaultCodeServer           = soap.FaultCodeServer
+	FaultCodeDeadlineExceeded = soap.FaultCodeDeadlineExceeded
+	FaultCodeCancelled        = soap.FaultCodeCancelled
+	FaultCodeUnavailable      = soap.FaultCodeUnavailable
+)
+
 // Wire formats: the SOAP-bin binary envelope, regular XML SOAP, and the
 // compressed-XML baseline.
 const (

@@ -1,6 +1,7 @@
 package soapbinq
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func TestFacadeQuickstart(t *testing.T) {
 
 	for _, wire := range []WireFormat{WireBinary, WireXML, WireXMLDeflate} {
 		client := NewEndpoint(formats).NewClient(spec, &Loopback{Server: server}, wire)
-		resp, err := client.Call("add", nil, Param{Name: "values", Value: ListV(Int(), IntV(40), IntV(2))})
+		resp, err := client.Call(context.Background(), "add", nil, Param{Name: "values", Value: ListV(Int(), IntV(40), IntV(2))})
 		if err != nil {
 			t.Fatalf("%v: %v", wire, err)
 		}
@@ -49,7 +50,7 @@ func TestFacadeNilFormatServer(t *testing.T) {
 		return Value{}, nil
 	})
 	client := NewEndpoint(nil).NewClient(spec, &Loopback{Server: server}, WireXML)
-	if _, err := client.Call("ping", nil); err != nil {
+	if _, err := client.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -83,7 +84,7 @@ func TestFacadeQualityLoop(t *testing.T) {
 
 	sawSmall := false
 	for i := 0; i < 10; i++ {
-		resp, err := client.Call("get", nil)
+		resp, err := client.Call(context.Background(), "get", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestFacadeFaultType(t *testing.T) {
 		return Value{}, errors.New("nope")
 	})
 	client := NewEndpoint(formats).NewClient(spec, &Loopback{Server: server}, WireBinary)
-	_, err := client.Call("boom", nil)
+	_, err := client.Call(context.Background(), "boom", nil)
 	var f *Fault
 	if !errors.As(err, &f) || f.Code != "Server" {
 		t.Fatalf("err = %v", err)
