@@ -1,11 +1,13 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench lint fuzz-smoke
 
-# The tier-1 gate: everything must build, vet clean, and pass the full
+# The tier-1 gate: everything must build, vet clean, pass the full
 # suite under the race detector (the context/cancellation paths are
-# concurrency-heavy; -race is not optional here).
-check: build vet race
+# concurrency-heavy; -race is not optional here), and lint clean under
+# the repo's own analyzer suite.
+check: build vet race lint
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The repo's own stdlib-only analyzer suite (see internal/lint): wire
+# width, bounded reads, context discipline, fault codes, error matching,
+# response-body hygiene. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/soaplint ./...
+
+# Short fuzz pass over the three untrusted-input parsers. FUZZTIME=10s
+# keeps it CI-sized; raise it locally for a real hunt.
+fuzz-smoke:
+	$(GO) test ./internal/pbio -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xmlenc -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/soap -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Regenerate every table/figure of the paper's evaluation (quick pass).
 bench:

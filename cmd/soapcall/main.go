@@ -147,7 +147,7 @@ func run() error {
 func formatEndpoint(endpoint string) (string, error) {
 	u, err := neturl.Parse(endpoint)
 	if err != nil {
-		return "", fmt.Errorf("bad endpoint %q: %v", endpoint, err)
+		return "", fmt.Errorf("bad endpoint %q: %w", endpoint, err)
 	}
 	u.Path = "/formats"
 	u.RawQuery = ""

@@ -1,0 +1,77 @@
+// Command soaplint runs the project's invariant analyzers (internal/lint)
+// over the module: context-first I/O, declared fault codes, bounded wire
+// reads, errors.Is matching, fixed-width wire encoding, and closed HTTP
+// response bodies. DESIGN.md § "Static analysis & enforced invariants"
+// documents each analyzer and the //lint:ignore escape hatch.
+//
+// Usage:
+//
+//	soaplint [-list] [packages]
+//
+// Packages are directory patterns relative to the module root ("./...",
+// "./internal/core", ...); the default is "./...". Exit status is 1 when
+// any diagnostic is reported, 2 on load or type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soapbinq/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	targets, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	analyzers := lint.Analyzers()
+	found := false
+	for _, t := range targets {
+		pkg, err := loader.Load(t[0], t[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			found = true
+			fmt.Println(d)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soaplint:", err)
+	os.Exit(2)
+}

@@ -57,6 +57,12 @@ type TimedTransport interface {
 type HTTPTransport struct {
 	URL    string
 	Client *http.Client // nil means http.DefaultClient
+
+	// MaxResponseBytes caps how much of a response body is read. Zero or
+	// negative means the default, 256 MiB — the same bound the server
+	// applies to requests (MaxRequestBytes). A response over the cap is a
+	// transport error, not an OOM.
+	MaxResponseBytes int64
 }
 
 // RoundTrip implements Transport. The request is built with ctx, so
@@ -80,9 +86,16 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireR
 		return nil, fmt.Errorf("core: http: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	limit := t.MaxResponseBytes
+	if limit <= 0 {
+		limit = 256 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, fmt.Errorf("core: read response: %w", err)
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("core: response body exceeds %d byte limit", limit)
 	}
 	// Fault responses use 500 but still carry a parseable envelope; other
 	// statuses are transport-level failures.
@@ -175,7 +188,7 @@ func (c *Client) Spec() *ServiceSpec { return c.spec }
 // operations with exponential backoff.
 func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ignore ctxfirst nil-ctx compatibility fallback for legacy callers
 	}
 	opDef, ok := c.spec.Op(op)
 	if !ok {
@@ -237,6 +250,7 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 // CallBackground is the no-context compatibility wrapper over Call, for
 // callers that have no budget to propagate (interactive tools, tests).
 func (c *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param) (*Response, error) {
+	//lint:ignore ctxfirst no-context compatibility wrapper delegates with a root context by design
 	return c.Call(context.Background(), op, hdr, params...)
 }
 

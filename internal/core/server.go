@@ -37,7 +37,7 @@ type CallCtx struct {
 // nil; a CallCtx built without one reports context.Background().
 func (c *CallCtx) Context() context.Context {
 	if c.ctx == nil {
-		return context.Background()
+		return context.Background() //lint:ignore ctxfirst defensive fallback for CallCtx built without a context
 	}
 	return c.ctx
 }
@@ -200,7 +200,7 @@ func (s *Server) account(op string, in, out int, fault bool) {
 // running (its result is discarded).
 func (s *Server) Process(ctx context.Context, contentType, action string, body []byte) (respContentType string, respBody []byte) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ignore ctxfirst defensive fallback for nil-ctx callers, not a minted root
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -233,7 +233,7 @@ func (s *Server) Process(ctx context.Context, contentType, action string, body [
 func (s *Server) process(ctx context.Context, contentType, action string, body []byte) (respContentType string, respBody []byte) {
 	wire, err := WireFromContentType(contentType)
 	if err != nil {
-		return s.faultBody(WireXML, "", nil, &soap.Fault{Code: "Client", String: err.Error()})
+		return s.faultBody(WireXML, "", nil, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()})
 	}
 	cctx := &CallCtx{Wire: wire, ReceivedAt: time.Now()}
 
@@ -254,7 +254,7 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 
 	opDef, ok := s.spec.Op(op)
 	if !ok {
-		return s.faultBody(wire, op, nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown operation %q", op)})
+		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown operation %q", op)})
 	}
 	if f := s.checkParams(opDef, params); f != nil {
 		return s.faultBody(wire, op, nil, f)
@@ -264,14 +264,14 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 	h := s.handlers[op]
 	s.mu.RUnlock()
 	if h == nil {
-		return s.faultBody(wire, op, nil, &soap.Fault{Code: "Server", String: fmt.Sprintf("operation %q not implemented", op)})
+		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeServer, String: fmt.Sprintf("operation %q not implemented", op)})
 	}
 
 	result, err := s.invoke(ctx, h, cctx, params)
 	if err != nil {
 		var f *soap.Fault
 		if !errors.As(err, &f) {
-			f = &soap.Fault{Code: "Server", String: err.Error()}
+			f = &soap.Fault{Code: soap.FaultCodeServer, String: err.Error()}
 		}
 		respHdr := cctx.ResponseHeader
 		if f.Code == soap.FaultCodeDeadlineExceeded || f.Code == soap.FaultCodeCancelled {
@@ -353,49 +353,49 @@ func (s *Server) decodeRequest(wire WireFormat, action string, body []byte) (op 
 	case WireBinary:
 		env, err := unmarshalBinary(s.codec, body)
 		if err != nil {
-			return "", nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+			return "", nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 		}
 		if env.Kind != frameRequest {
-			return env.Op, nil, nil, &soap.Fault{Code: "Client", String: "expected request frame"}
+			return env.Op, nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: "expected request frame"}
 		}
 		return env.Op, env.Params, env.Header, nil
 	case WireXML, WireXMLDeflate:
 		if wire == WireXMLDeflate {
 			raw, err := Inflate(body, s.MaxRequestBytes)
 			if err != nil {
-				return "", nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+				return "", nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 			}
 			body = raw
 		}
 		if action == "" {
-			return "", nil, nil, &soap.Fault{Code: "Client", String: "missing SOAPAction"}
+			return "", nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: "missing SOAPAction"}
 		}
 		opDef, ok := s.spec.Op(action)
 		if !ok {
-			return action, nil, nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown operation %q", action)}
+			return action, nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown operation %q", action)}
 		}
 		msg, err := soap.Parse(body, opDef.RequestSpec())
 		if err != nil {
-			return action, nil, nil, &soap.Fault{Code: "Client", String: err.Error()}
+			return action, nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 		}
 		return action, msg.Params, msg.Header, nil
 	default:
-		return "", nil, nil, &soap.Fault{Code: "Client", String: "unsupported wire format"}
+		return "", nil, nil, &soap.Fault{Code: soap.FaultCodeClient, String: "unsupported wire format"}
 	}
 }
 
 // checkParams validates decoded parameters against the operation spec.
 func (s *Server) checkParams(op *OpDef, params []soap.Param) *soap.Fault {
 	if len(params) != len(op.Params) {
-		return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: got %d parameters, want %d", op.Name, len(params), len(op.Params))}
+		return &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("operation %s: got %d parameters, want %d", op.Name, len(params), len(op.Params))}
 	}
 	for i, want := range op.Params {
 		got := params[i]
 		if got.Name != want.Name {
-			return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: parameter %d is %q, want %q", op.Name, i, got.Name, want.Name)}
+			return &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("operation %s: parameter %d is %q, want %q", op.Name, i, got.Name, want.Name)}
 		}
 		if !s.AllowTypeVariance && (got.Value.Type == nil || !got.Value.Type.Equal(want.Type)) {
-			return &soap.Fault{Code: "Client", String: fmt.Sprintf("operation %s: parameter %q has type %s, want %s", op.Name, want.Name, got.Value.Type, want.Type)}
+			return &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("operation %s: parameter %q has type %s, want %s", op.Name, want.Name, got.Value.Type, want.Type)}
 		}
 	}
 	return nil
@@ -410,18 +410,18 @@ func (s *Server) responseBody(wire WireFormat, op *OpDef, hdr soap.Header, resul
 	case WireBinary:
 		body, err := marshalBinary(s.codec, frameResponse, op.ResponseOp(), hdr, params)
 		if err != nil {
-			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: soap.FaultCodeServer, String: err.Error()})
 		}
 		return ContentTypeBinary, body
 	default:
 		body, err := soap.Marshal(&soap.Message{Op: op.ResponseOp(), Params: params, Header: hdr})
 		if err != nil {
-			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+			return s.faultBody(wire, op.Name, hdr, &soap.Fault{Code: soap.FaultCodeServer, String: err.Error()})
 		}
 		if wire == WireXMLDeflate {
 			z, err := Deflate(body)
 			if err != nil {
-				return s.faultBody(WireXML, op.Name, hdr, &soap.Fault{Code: "Server", String: err.Error()})
+				return s.faultBody(WireXML, op.Name, hdr, &soap.Fault{Code: soap.FaultCodeServer, String: err.Error()})
 			}
 			return ContentTypeXMLDeflate, z
 		}

@@ -76,6 +76,7 @@ func ServeTCP(srv *Server, addr string) (*TCPListener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: tcp listen: %w", err)
 	}
+	//lint:ignore ctxfirst the listener owns this root; Close cancels it for every in-flight request
 	ctx, cancel := context.WithCancel(context.Background())
 	l := &TCPListener{server: srv, ctx: ctx, cancel: cancel, listener: ln, conns: make(map[net.Conn]struct{})}
 	l.wg.Add(1)

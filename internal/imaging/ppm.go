@@ -2,6 +2,7 @@ package imaging
 
 import (
 	"bufio"
+	"errors"
 	"bytes"
 	"fmt"
 	"io"
@@ -78,7 +79,7 @@ func nextToken(br *bufio.Reader) (string, error) {
 	for {
 		b, err := br.ReadByte()
 		if err != nil {
-			if err == io.EOF && len(tok) > 0 {
+			if errors.Is(err, io.EOF) && len(tok) > 0 {
 				return string(tok), nil
 			}
 			return "", fmt.Errorf("imaging: ppm header: %w", err)

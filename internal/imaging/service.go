@@ -203,7 +203,7 @@ func NewHandler(store *Store) core.HandlerFunc {
 		}
 		out, err := Apply(im, transform)
 		if err != nil {
-			return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+			return idl.Value{}, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 		}
 		return out.ToValue(FullImageType), nil
 	}

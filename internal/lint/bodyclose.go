@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BodyClose enforces that every *http.Response obtained in a function is
+// either closed there (resp.Body.Close(), deferred or not) or handed off
+// (returned, or passed to another function that assumes ownership). A
+// leaked body pins the connection and, at production call rates, starves
+// the client's connection pool.
+var BodyClose = &Analyzer{
+	Name: "bodyclose",
+	Doc:  "every http.Response.Body is closed (or the response handed off) in the acquiring function",
+	Run:  runBodyClose,
+}
+
+func runBodyClose(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBodies(pass, fd.Body)
+		}
+	}
+}
+
+func checkBodies(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !returnsHTTPResponse(pass.Info, call) {
+					continue
+				}
+				// resp, err := client.Do(req) — the response is result 0,
+				// so with multiple RHS values indexes align; with one
+				// call RHS, the response binds to the first LHS.
+				if i >= len(node.Lhs) {
+					continue
+				}
+				id, ok := node.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Report(call.Pos(), "http response discarded without closing its Body")
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !bodyClosedOrEscapes(pass.Info, body, obj) {
+					pass.Report(call.Pos(), "http.Response %q is never closed on this path; defer %s.Body.Close()", id.Name, id.Name)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok && returnsHTTPResponse(pass.Info, call) {
+				pass.Report(call.Pos(), "http response discarded without closing its Body")
+			}
+		}
+		return true
+	})
+}
+
+// returnsHTTPResponse reports whether the call's first result is
+// *net/http.Response.
+func returnsHTTPResponse(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Response" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// bodyClosedOrEscapes scans for resp.Body.Close() on obj, or for obj
+// escaping the function (returned or passed as a call argument), which
+// transfers the close obligation.
+func bodyClosedOrEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if isBodyCloseOn(info, node, obj) {
+				done = true
+				return false
+			}
+			for _, arg := range node.Args {
+				if exprUsesObj(info, arg, obj) && !isBodySelector(info, arg, obj) {
+					done = true // handed to another function
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if exprUsesObj(info, res, obj) {
+					done = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored into a struct field or another variable: handed off.
+			for _, rhs := range node.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && info.Uses[id] == obj {
+					done = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// isBodyCloseOn matches obj.Body.Close().
+func isBodyCloseOn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := ast.Unparen(inner.X).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// isBodySelector matches resp.Body (or deeper selections on resp) used
+// as a plain argument — reading the body does not discharge the close
+// obligation.
+func isBodySelector(info *types.Info, e ast.Expr, obj types.Object) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func exprUsesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

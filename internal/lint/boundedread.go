@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundedRead enforces the bounded-ingest invariant on untrusted input:
+//
+//   - io.ReadAll is only called on inherently bounded readers (in-memory
+//     buffers) or through an explicit guard (io.LimitReader,
+//     http.MaxBytesReader). An unguarded ReadAll on a connection lets a
+//     hostile peer allocate without limit.
+//   - A buffer allocated with make([]byte, n), where n was decoded from
+//     the wire (a binary.ByteOrder integer read), must be bounds-checked
+//     before the allocation — the receiver-makes-right frame decoders'
+//     "validate length, then allocate" discipline.
+var BoundedRead = &Analyzer{
+	Name: "boundedread",
+	Doc:  "wire reads are bounded: no unguarded io.ReadAll, no unchecked frame-length allocations",
+	Run:  runBoundedRead,
+}
+
+func runBoundedRead(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReadAlls(pass, fd.Body)
+			checkWireMakes(pass, fd.Body)
+		}
+	}
+}
+
+func checkReadAlls(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if !isPkgFunc(callee, "io", "ReadAll") || len(call.Args) != 1 {
+			return true
+		}
+		if isBoundedReader(pass.Info, call.Args[0]) {
+			return true
+		}
+		pass.Report(call.Pos(), "io.ReadAll without a bound; wrap the reader in io.LimitReader (or http.MaxBytesReader)")
+		return true
+	})
+}
+
+// isBoundedReader reports readers that cannot be unbounded: explicit
+// limit guards and in-memory readers.
+func isBoundedReader(info *types.Info, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	if call, ok := arg.(*ast.CallExpr); ok {
+		callee := calleeFunc(info, call)
+		if isPkgFunc(callee, "io", "LimitReader") ||
+			isPkgFunc(callee, "net/http", "MaxBytesReader") ||
+			isPkgFunc(callee, "bytes", "NewReader") ||
+			isPkgFunc(callee, "bytes", "NewBuffer") ||
+			isPkgFunc(callee, "bytes", "NewBufferString") ||
+			isPkgFunc(callee, "strings", "NewReader") {
+			return true
+		}
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isInMemoryReader(tv.Type)
+}
+
+func isInMemoryReader(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "bytes.Reader", "strings.Reader", "io.LimitedReader":
+		return true
+	}
+	return false
+}
+
+// checkWireMakes flags make([]byte, n) where n came off the wire and is
+// never compared against a bound in the enclosing function.
+func checkWireMakes(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" || len(call.Args) < 2 {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		lenExpr := ast.Unparen(call.Args[1])
+		// Inline, unnamed wire length: make([]byte, int(order.Uint32(b))).
+		if exprReadsWire(pass.Info, lenExpr) {
+			pass.Report(call.Pos(), "allocation sized by an unchecked wire-decoded length; validate it against a maximum first")
+			return true
+		}
+		id, ok := lenExpr.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if !wireDerived(pass.Info, body, obj) {
+			return true
+		}
+		if comparedSomewhere(pass.Info, body, obj) {
+			return true
+		}
+		pass.Report(call.Pos(), "allocation sized by wire-decoded length %q with no bounds check in this function", id.Name)
+		return true
+	})
+}
+
+// exprReadsWire reports whether e contains a binary.ByteOrder integer
+// decode (Uint16/Uint32/Uint64 call on an encoding/binary value).
+func exprReadsWire(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Uint16", "Uint32", "Uint64":
+		default:
+			return true
+		}
+		fn, _ := info.Uses[sel.Sel].(*types.Func)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" {
+			found = true
+			return false
+		}
+		// Method on a binary.ByteOrder interface value (e.g. d.order).
+		if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "encoding/binary" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// wireDerived reports whether obj's defining assignment reads the wire.
+func wireDerived(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	derived := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || info.Defs[id] != obj {
+				continue
+			}
+			rhs := assign.Rhs[0]
+			if len(assign.Rhs) == len(assign.Lhs) {
+				rhs = assign.Rhs[i]
+			}
+			if exprReadsWire(info, rhs) {
+				derived = true
+				return false
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// comparedSomewhere reports whether obj appears in any comparison in the
+// function — the signature of a length check.
+func comparedSomewhere(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	compared := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !be.Op.IsOperator() {
+			return true
+		}
+		switch be.Op.String() {
+		case "<", ">", "<=", ">=", "==", "!=":
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			referenced := false
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					referenced = true
+					return false
+				}
+				return true
+			})
+			if referenced {
+				compared = true
+				return false
+			}
+		}
+		return true
+	})
+	return compared
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// TestRepoLintClean asserts the invariant `make lint` enforces: running
+// every analyzer over every package in the module produces zero
+// diagnostics. A regression in guarded code (say, dropping a LimitReader
+// bound) fails this test even before CI runs soaplint itself.
+func TestRepoLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 10 {
+		t.Fatalf("expanded only %d packages from ./...; pattern expansion is broken", len(targets))
+	}
+	analyzers := Analyzers()
+	for _, target := range targets {
+		pkg, err := loader.Load(target[0], target[1])
+		if err != nil {
+			t.Fatalf("load %s: %v", target[1], err)
+		}
+		for _, d := range Run(pkg, analyzers) {
+			t.Errorf("%s", d)
+		}
+	}
+}

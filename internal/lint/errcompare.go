@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrCompare enforces errors.Is-based error matching. Fault and context
+// errors travel through wrapping layers (retry policies, transports), so
+// pointer identity comparison silently stops matching:
+//
+//   - err == sentinel / err != sentinel on error-typed operands is
+//     reported (compare with errors.Is); switch statements over an error
+//     value with non-nil cases likewise.
+//   - fmt.Errorf formatting an error argument with %v or %s is reported
+//     (wrap with %w so the chain stays matchable).
+//
+// The one place identity comparison is the point — the body of an
+// `Is(error) bool` method, which implements the errors.Is protocol — is
+// exempt.
+var ErrCompare = &Analyzer{
+	Name: "errcompare",
+	Doc:  "errors are matched with errors.Is and wrapped with %w, never compared with ==",
+	Run:  runErrCompare,
+}
+
+func runErrCompare(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isErrorsIsMethod(pass.Info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BinaryExpr:
+					checkErrEquality(pass, node)
+				case *ast.SwitchStmt:
+					checkErrSwitch(pass, node)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, node)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isErrorsIsMethod matches `func (x T) Is(target error) bool`.
+func isErrorsIsMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func checkErrEquality(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNilIdent(pass.Info, be.X) || isNilIdent(pass.Info, be.Y) {
+		return
+	}
+	xt, xok := pass.Info.Types[be.X]
+	yt, yok := pass.Info.Types[be.Y]
+	if !xok || !yok || xt.Type == nil || yt.Type == nil {
+		return
+	}
+	if isErrorType(xt.Type) || isErrorType(yt.Type) {
+		pass.Report(be.OpPos, "error compared with %s; use errors.Is, which matches through wrapping", be.Op)
+	}
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNilIdent(pass.Info, e) {
+				pass.Report(sw.Switch, "switch compares an error with ==; use errors.Is, which matches through wrapping")
+				return
+			}
+		}
+	}
+}
+
+// checkErrorfWrap matches fmt.Errorf verbs to arguments and reports
+// error-typed arguments formatted with %v or %s.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.Info, call)
+	if !isPkgFunc(callee, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return // indexed or variadic-spread formats: out of scope
+	}
+	for i, verb := range verbs {
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		arg := call.Args[i+1]
+		at, ok := pass.Info.Types[arg]
+		if !ok || at.Type == nil || !isErrorType(at.Type) {
+			continue
+		}
+		pass.Report(arg.Pos(), "error argument formatted with %%%c; use %%w so errors.Is keeps matching through the wrap", verb)
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in order.
+// ok is false for explicit argument indexes ("%[1]v"), which this
+// analyzer does not model.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, and precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}

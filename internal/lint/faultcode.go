@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FaultCode enforces the declared-fault-code invariant: every
+// soap.Fault's Code field is one of the constants declared in the soap
+// package (FaultCodeClient, FaultCodeServer, FaultCodeDeadlineExceeded,
+// ...), never an ad-hoc string literal. Ad-hoc codes silently escape the
+// errors.Is mapping and the client-side fault taxonomy.
+var FaultCode = &Analyzer{
+	Name: "faultcode",
+	Doc:  "soap.Fault codes come from declared constants, not string literals",
+	Run:  runFaultCode,
+}
+
+func runFaultCode(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				checkFaultLit(pass, node)
+			case *ast.AssignStmt:
+				checkFaultAssign(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// isSoapFault reports whether t is (a pointer to) the soap package's
+// Fault struct. Matching by package-path suffix keeps the analyzer
+// independent of the module path.
+func isSoapFault(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Fault" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "soap" || strings.HasSuffix(path, "/soap")
+}
+
+func checkFaultLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !isSoapFault(tv.Type) {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Code" {
+				continue
+			}
+			value = kv.Value
+		} else if i == 0 {
+			// Positional literal: Code is the first field.
+			value = elt
+		} else {
+			continue
+		}
+		reportAdHocCode(pass, value)
+	}
+}
+
+// checkFaultAssign catches `f.Code = "..."` on a fault value.
+func checkFaultAssign(pass *Pass, assign *ast.AssignStmt) {
+	for i, lhs := range assign.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Code" || i >= len(assign.Rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || !isSoapFault(tv.Type) {
+			continue
+		}
+		if len(assign.Rhs) == len(assign.Lhs) {
+			reportAdHocCode(pass, assign.Rhs[i])
+		}
+	}
+}
+
+func reportAdHocCode(pass *Pass, value ast.Expr) {
+	lit, ok := ast.Unparen(value).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // identifiers, selectors, and computed codes are fine
+	}
+	pass.Report(lit.Pos(), "ad-hoc fault code %s; use a declared soap.FaultCode constant", lit.Value)
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGolden runs the full analyzer suite over every package under
+// testdata/src and checks the diagnostics against the `// want "regex"`
+// comments in the sources: every diagnostic must be wanted, and every
+// want must be matched, line by line.
+func TestGolden(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(root, "internal", "lint", "testdata", "src")
+	pkgs := goldenPackages(t, src)
+	if len(pkgs) == 0 {
+		t.Fatal("no golden packages under testdata/src")
+	}
+	for _, dir := range pkgs {
+		rel, _ := filepath.Rel(src, dir)
+		importPath := filepath.ToSlash(rel)
+		t.Run(importPath, func(t *testing.T) {
+			pkg, err := loader.Load(dir, importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run(pkg, Analyzers())
+			checkWants(t, dir, diags)
+		})
+	}
+}
+
+// goldenPackages finds every directory under src containing Go files.
+func goldenPackages(t *testing.T, src string) []string {
+	var dirs []string
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && hasGoFiles(p) {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// checkWants compares diagnostics against want comments in dir's files.
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	// wants[file][line] = expectations on that line.
+	wants := make(map[string]map[int][]*want)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				if wants[path] == nil {
+					wants[path] = make(map[int][]*want)
+				}
+				wants[path][i+1] = append(wants[path][i+1], &want{re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		if !strings.HasPrefix(d.Pos.Filename, dir+string(filepath.Separator)) {
+			continue // diagnostics in imported packages are not this test's
+		}
+		lineWants := wants[d.Pos.Filename][d.Pos.Line]
+		found := false
+		for _, w := range lineWants {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, w.re)
+				}
+			}
+		}
+	}
+}

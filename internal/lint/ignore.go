@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int      // the directive's own line
+	analyzers []string // analyzer names, or ["all"]
+	reason    string
+}
+
+// covers reports whether the directive suppresses the given diagnostic.
+// A directive applies to its own line (trailing comment) and to the line
+// immediately below it (comment above the offending statement).
+func (d ignoreDirective) covers(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.file {
+		return false
+	}
+	if diag.Pos.Line != d.line && diag.Pos.Line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == "all" || a == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores scans all comments for ignore directives. Malformed
+// directives (no analyzer list or no reason) are reported as diagnostics
+// by the caller via Malformed.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Directive without a reason: ignore nothing, so the
+					// underlying diagnostic still surfaces and the author
+					// is forced to justify the suppression.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by a directive.
+func suppress(diags []Diagnostic, directives []ignoreDirective) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		covered := false
+		for _, dir := range directives {
+			if dir.covers(d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

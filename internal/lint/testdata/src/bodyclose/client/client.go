@@ -1,0 +1,54 @@
+// Package client is the bodyclose golden fixture: responses whose Body
+// is neither closed nor handed off are reported.
+package client
+
+import (
+	"io"
+	"net/http"
+)
+
+// Leak never closes the response body.
+func Leak(url string) (bool, error) {
+	resp, err := http.Get(url) // want "never closed on this path"
+	if err != nil {
+		return false, err
+	}
+	ok := resp.StatusCode == 200
+	return ok, nil
+}
+
+// Discard drops the response entirely.
+func Discard(url string) {
+	http.Get(url) // want "discarded without closing its Body"
+}
+
+// DiscardBlank binds the response to the blank identifier.
+func DiscardBlank(url string) error {
+	_, err := http.Get(url) // want "discarded without closing its Body"
+	return err
+}
+
+// Closed defers the close; no finding.
+func Closed(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Delegate hands the response to a consumer that assumes ownership.
+func Delegate(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return err
+}

@@ -1,0 +1,47 @@
+// Package transport is the boundedread golden fixture: unguarded
+// io.ReadAll calls and unchecked wire-length allocations are reported;
+// limited, in-memory, and bounds-checked reads are not.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+const maxFrame = 1 << 20
+
+// ReadAllUnbounded slurps an arbitrary reader with no limit.
+func ReadAllUnbounded(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want "io.ReadAll without a bound"
+}
+
+// ReadAllLimited guards the read with io.LimitReader.
+func ReadAllLimited(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, maxFrame))
+}
+
+// ReadAllMemory reads an in-memory buffer, which is inherently bounded.
+func ReadAllMemory(buf *bytes.Buffer) ([]byte, error) {
+	return io.ReadAll(buf)
+}
+
+// AllocUnchecked allocates a frame sized straight off the wire.
+func AllocUnchecked(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]byte, n) // want "allocation sized by wire-decoded length .n. with no bounds check"
+}
+
+// AllocInline does the same without even naming the length.
+func AllocInline(hdr []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(hdr)) // want "unchecked wire-decoded length"
+}
+
+// AllocChecked validates the length before allocating.
+func AllocChecked(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}

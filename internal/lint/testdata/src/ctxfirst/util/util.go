@@ -1,0 +1,20 @@
+// Package util is the ctxfirst applicability negative: it dials without
+// a context and mints a root context, but its import path ends in
+// "util", outside the analyzer's jurisdiction, so nothing is reported.
+package util
+
+import (
+	"context"
+	"net"
+)
+
+// Dial would trip every ctxfirst rule in a guarded package.
+func Dial(addr string) error {
+	ctx := context.Background()
+	_ = ctx
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}

@@ -1,0 +1,73 @@
+// Package retry is the errcompare golden fixture: identity comparison
+// of errors and %v-formatted error wraps are reported; errors.Is, nil
+// checks, %w wraps, and Is-method bodies are not.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Classify compares sentinels by identity.
+func Classify(err error) string {
+	if err == io.EOF { // want "error compared with =="
+		return "eof"
+	}
+	if err != io.ErrUnexpectedEOF { // want "error compared with !="
+		return "other"
+	}
+	return "short"
+}
+
+// Switchy switches over the error value with a non-nil case.
+func Switchy(err error) bool {
+	switch err { // want "switch compares an error with =="
+	case context.Canceled:
+		return true
+	}
+	return false
+}
+
+// NilSwitch only distinguishes nil, which identity handles correctly.
+func NilSwitch(err error) bool {
+	switch err {
+	case nil:
+		return true
+	}
+	return false
+}
+
+// Matched uses errors.Is and a nil check: nothing to report.
+func Matched(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, io.EOF)
+}
+
+// BadWrap formats an error with %v, severing the unwrap chain.
+func BadWrap(err error) error {
+	return fmt.Errorf("retry: %v", err) // want "error argument formatted with %v"
+}
+
+// GoodWrap keeps the chain matchable.
+func GoodWrap(err error) error {
+	return fmt.Errorf("retry: %w", err)
+}
+
+// GoodVerb formats a non-error with %v; no finding.
+func GoodVerb(n int) error {
+	return fmt.Errorf("retry attempt %v failed", n)
+}
+
+type tagErr struct{ code string }
+
+func (e *tagErr) Error() string { return e.code }
+
+// Is implements the errors.Is protocol; identity comparison here is the
+// point and is exempt.
+func (e *tagErr) Is(target error) bool {
+	return target == io.EOF
+}

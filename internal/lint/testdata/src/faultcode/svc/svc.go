@@ -1,0 +1,36 @@
+// Package svc is the faultcode golden fixture: faults built from string
+// literals are reported; faults built from the declared constants (or
+// values computed elsewhere) are not.
+package svc
+
+import "soapbinq/internal/soap"
+
+// BadLit sets the code from an ad-hoc string in a keyed literal.
+func BadLit() *soap.Fault {
+	return &soap.Fault{Code: "ServerBlewUp", String: "boom"} // want "ad-hoc fault code"
+}
+
+// BadPositional does the same with a positional literal.
+func BadPositional() soap.Fault {
+	return soap.Fault{"Oops", "positional", ""} // want "ad-hoc fault code"
+}
+
+// BadAssign sets the code after construction.
+func BadAssign(f *soap.Fault) {
+	f.Code = "Client.Unknown" // want "ad-hoc fault code"
+}
+
+// GoodConst uses a declared constant.
+func GoodConst() *soap.Fault {
+	return &soap.Fault{Code: soap.FaultCodeClient, String: "bad request"}
+}
+
+// GoodAssign assigns a declared constant.
+func GoodAssign(f *soap.Fault) {
+	f.Code = soap.FaultCodeServer
+}
+
+// GoodComputed copies a code computed elsewhere; only literals are ad hoc.
+func GoodComputed(f *soap.Fault, code string) {
+	f.Code = code
+}

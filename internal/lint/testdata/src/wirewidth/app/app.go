@@ -1,0 +1,14 @@
+// Package app is the wirewidth applicability negative: it writes
+// platform-width data with encoding/binary, but its import path does
+// not end in a wire codec segment, so wirewidth stays silent.
+package app
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Persist would trip wirewidth in a codec package.
+func Persist(buf *bytes.Buffer, v int) error {
+	return binary.Write(buf, binary.BigEndian, v)
+}

@@ -1,0 +1,37 @@
+// Package xdr is the wirewidth golden fixture. Its import path ends in
+// "xdr", a wire codec package: platform-width binary.Write/Read data
+// and the unsafe import are reported; fixed-width data is not.
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"unsafe" // want "must not import unsafe"
+)
+
+var _ = unsafe.Sizeof(0)
+
+type header struct {
+	Len   uint32
+	Flags int // platform width hiding inside a struct
+}
+
+// PutInt encodes a bare platform-width int.
+func PutInt(buf *bytes.Buffer, v int) error {
+	return binary.Write(buf, binary.BigEndian, v) // want "binary.Write with platform-width integer data"
+}
+
+// PutHeader encodes a struct with a platform-width field.
+func PutHeader(buf *bytes.Buffer, h header) error {
+	return binary.Write(buf, binary.BigEndian, h) // want "binary.Write with platform-width integer data"
+}
+
+// GetInt decodes into a platform-width int.
+func GetInt(r *bytes.Reader, v *int) error {
+	return binary.Read(r, binary.BigEndian, v) // want "binary.Read with platform-width integer data"
+}
+
+// PutFixed encodes a fixed-width value; no finding.
+func PutFixed(buf *bytes.Buffer, v uint64) error {
+	return binary.Write(buf, binary.BigEndian, v)
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireWidth enforces the receiver-makes-right invariant on the wire
+// codec packages (pbio, xdr, sunrpc, core): what goes on the wire is
+// fixed-width, so a message encoded on one platform decodes to the same
+// values on another.
+//
+//   - binary.Write / binary.Read with data containing platform-width
+//     int, uint, or uintptr is reported: the encoded size would depend on
+//     the sender's word size.
+//   - Importing unsafe is reported outright: memory-image encoding is
+//     exactly what receiver-makes-right exists to avoid.
+//
+// Explicit fixed-width paths (AppendUint32, PutUint64, byte-wise
+// encoding) are untouched — the compiler already forces explicit
+// conversions there.
+var WireWidth = &Analyzer{
+	Name: "wirewidth",
+	Doc:  "wire codecs encode fixed-width integers only; no platform-width binary.Write, no unsafe",
+	Run:  runWireWidth,
+}
+
+func wireWidthApplies(path string) bool {
+	switch pathLastSegment(path) {
+	case "pbio", "xdr", "sunrpc", "core":
+		return true
+	}
+	return false
+}
+
+func runWireWidth(pass *Pass) {
+	if !wireWidthApplies(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				pass.Report(imp.Pos(), "wire codec packages must not import unsafe; encode explicitly, fixed-width")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			isWrite := isPkgFunc(callee, "encoding/binary", "Write")
+			isRead := isPkgFunc(callee, "encoding/binary", "Read")
+			if (!isWrite && !isRead) || len(call.Args) != 3 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[2]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if hasPlatformWidthInt(tv.Type, map[types.Type]bool{}) {
+				verb := "binary.Write"
+				if isRead {
+					verb = "binary.Read"
+				}
+				pass.Report(call.Args[2].Pos(), "%s with platform-width integer data (%s); use fixed-width types on the wire", verb, tv.Type)
+			}
+			return true
+		})
+	}
+}
+
+// hasPlatformWidthInt walks t looking for int, uint, or uintptr.
+func hasPlatformWidthInt(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int, types.Uint, types.Uintptr:
+			return true
+		}
+	case *types.Pointer:
+		return hasPlatformWidthInt(u.Elem(), seen)
+	case *types.Slice:
+		return hasPlatformWidthInt(u.Elem(), seen)
+	case *types.Array:
+		return hasPlatformWidthInt(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasPlatformWidthInt(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -108,7 +108,7 @@ func NewHandler(sim *Simulator) core.HandlerFunc {
 	return func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
 		from := params[0].Value.Int
 		if from < 0 {
-			return idl.Value{}, &soap.Fault{Code: "Client", String: "negative timestep"}
+			return idl.Value{}, &soap.Fault{Code: soap.FaultCodeClient, String: "negative timestep"}
 		}
 		return BatchValue(sim, Batch4Type, from, 4), nil
 	}

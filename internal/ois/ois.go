@@ -322,7 +322,7 @@ func NewHandler(d *Dataset) core.HandlerFunc {
 	return func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
 		c, err := d.Catering(params[0].Value.Str)
 		if err != nil {
-			return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+			return idl.Value{}, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 		}
 		return c.ToValue(), nil
 	}

@@ -1,0 +1,57 @@
+package pbio
+
+import (
+	"testing"
+
+	"soapbinq/internal/workload"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the message decoder, the
+// descriptor parser, and the header parser. None of them may panic; a
+// successful decode must yield a well-typed value, and a successfully
+// parsed descriptor must validate. Seeds are valid encodings plus
+// corrupted variants, so coverage starts inside the interesting part of
+// the input space rather than at byte soup.
+func FuzzUnmarshal(f *testing.F) {
+	server := NewMemServer()
+	sender := NewCodec(NewRegistry(server))
+	for _, v := range []struct {
+		name string
+		val  func() ([]byte, error)
+	}{
+		{"nested", func() ([]byte, error) { return sender.Marshal(workload.NestedStruct(3, 2)) }},
+		{"intarray", func() ([]byte, error) { return sender.Marshal(workload.IntArray(64)) }},
+		{"random", func() ([]byte, error) { return sender.Marshal(workload.Random(workload.RandomType(7), 7)) }},
+	} {
+		msg, err := v.val()
+		if err != nil {
+			f.Fatalf("seed %s: %v", v.name, err)
+		}
+		f.Add(msg)
+		// Truncations and single-byte corruptions of a valid message.
+		f.Add(msg[:len(msg)/2])
+		corrupted := append([]byte{}, msg...)
+		corrupted[len(corrupted)/3] ^= 0x40
+		f.Add(corrupted)
+	}
+	f.Add(AppendDescriptor(nil, workload.NestedStructType(2)))
+	f.Add([]byte{})
+
+	receiver := NewCodec(NewRegistry(server))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := receiver.Unmarshal(data); err == nil {
+			if cerr := v.Check(); cerr != nil {
+				t.Fatalf("decoded value fails Check: %v", cerr)
+			}
+		}
+		if typ, err := ParseDescriptor(data); err == nil {
+			if verr := typ.Validate(); verr != nil {
+				t.Fatalf("parsed descriptor fails Validate: %v", verr)
+			}
+		}
+		// The header parser must reject anything short and never panic.
+		if _, err := ParseHeader(data); err == nil && len(data) < headerLen {
+			t.Fatalf("ParseHeader accepted %d bytes, header is %d", len(data), headerLen)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package pbio
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -84,11 +85,20 @@ func NewHTTPFormatClient(url string) *HTTPFormatClient {
 }
 
 // Register implements Server.
+//
+//lint:ignore ctxfirst Server interface compatibility; RegisterContext is the bounded variant
 func (c *HTTPFormatClient) Register(f *Format) (*Format, error) {
+	//lint:ignore ctxfirst compat wrapper delegates with a root context by design
+	return c.RegisterContext(context.Background(), f)
+}
+
+// RegisterContext is Register bounded by ctx: cancellation or deadline
+// expiry aborts the HTTP round trip.
+func (c *HTTPFormatClient) RegisterContext(ctx context.Context, f *Format) (*Format, error) {
 	if f == nil || f.Type == nil {
 		return nil, fmt.Errorf("pbio: register nil format")
 	}
-	reply, err := c.post(AppendDescriptor([]byte{opRegister}, f.Type))
+	reply, err := c.post(ctx, AppendDescriptor([]byte{opRegister}, f.Type))
 	if err != nil {
 		return nil, err
 	}
@@ -109,10 +119,18 @@ func (c *HTTPFormatClient) Register(f *Format) (*Format, error) {
 }
 
 // Lookup implements Server.
+//
+//lint:ignore ctxfirst Server interface compatibility; LookupContext is the bounded variant
 func (c *HTTPFormatClient) Lookup(id uint64) (*Format, error) {
+	//lint:ignore ctxfirst compat wrapper delegates with a root context by design
+	return c.LookupContext(context.Background(), id)
+}
+
+// LookupContext is Lookup bounded by ctx.
+func (c *HTTPFormatClient) LookupContext(ctx context.Context, id uint64) (*Format, error) {
 	req := append([]byte{opLookup}, make([]byte, 8)...)
 	putID(req[1:], id)
-	reply, err := c.post(req)
+	reply, err := c.post(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -130,12 +148,17 @@ func (c *HTTPFormatClient) Lookup(id uint64) (*Format, error) {
 	}
 }
 
-func (c *HTTPFormatClient) post(frame []byte) ([]byte, error) {
+func (c *HTTPFormatClient) post(ctx context.Context, frame []byte) ([]byte, error) {
 	client := c.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Post(c.URL, FormatContentType, bytes.NewReader(frame))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("pbio: build format request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", FormatContentType)
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("pbio: format POST: %w", err)
 	}

@@ -193,7 +193,7 @@ func (d *streamDecoder) need(n int) ([]byte, error) {
 	}
 	buf := d.tmp[:n]
 	if _, err := io.ReadFull(d.r, buf); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	d.remaining -= n
 	return buf, nil
@@ -230,7 +230,7 @@ func (d *streamDecoder) value(t *idl.Type) (idl.Value, error) {
 		}
 		s := make([]byte, n)
 		if _, err := io.ReadFull(d.r, s); err != nil {
-			return idl.Value{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+			return idl.Value{}, fmt.Errorf("%w: %w", ErrTruncated, err)
 		}
 		d.remaining -= n
 		return idl.StringV(string(s)), nil

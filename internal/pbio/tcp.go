@@ -205,7 +205,10 @@ func NewTCPClient(addr string) *TCPClient {
 }
 
 // Register implements Server.
+//
+//lint:ignore ctxfirst Server interface compatibility; RegisterContext is the bounded variant
 func (c *TCPClient) Register(f *Format) (*Format, error) {
+	//lint:ignore ctxfirst compat wrapper delegates with a root context by design
 	return c.RegisterContext(context.Background(), f)
 }
 
@@ -238,7 +241,10 @@ func (c *TCPClient) RegisterContext(ctx context.Context, f *Format) (*Format, er
 }
 
 // Lookup implements Server.
+//
+//lint:ignore ctxfirst Server interface compatibility; LookupContext is the bounded variant
 func (c *TCPClient) Lookup(id uint64) (*Format, error) {
+	//lint:ignore ctxfirst compat wrapper delegates with a root context by design
 	return c.LookupContext(context.Background(), id)
 }
 

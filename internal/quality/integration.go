@@ -154,6 +154,7 @@ func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 
 // CallBackground is the no-context compatibility wrapper over Call.
 func (q *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param) (*core.Response, error) {
+	//lint:ignore ctxfirst documented no-context compatibility wrapper
 	return q.Call(context.Background(), op, hdr, params...)
 }
 

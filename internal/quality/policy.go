@@ -212,7 +212,7 @@ func parseBound(s string) (time.Duration, error) {
 	}
 	d, err := time.ParseDuration(s)
 	if err != nil {
-		return 0, fmt.Errorf("bad bound %q: %v", s, err)
+		return 0, fmt.Errorf("bad bound %q: %w", s, err)
 	}
 	if d < 0 {
 		return 0, fmt.Errorf("negative bound %q", s)

@@ -2,6 +2,7 @@ package soap
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"time"
 )
@@ -62,13 +63,13 @@ func DecodeDeadline(hdr Header, now time.Time) (deadline time.Time, ok bool) {
 	return now.Add(time.Duration(ms) * time.Millisecond), true
 }
 
-// ContextFault maps a context error to its fault. A nil result means err
-// was not a context error.
+// ContextFault maps a context error (possibly wrapped) to its fault. A
+// nil result means err was not a context error.
 func ContextFault(err error) *Fault {
-	switch err {
-	case context.DeadlineExceeded:
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
 		return &Fault{Code: FaultCodeDeadlineExceeded, String: "invocation deadline exceeded"}
-	case context.Canceled:
+	case errors.Is(err, context.Canceled):
 		return &Fault{Code: FaultCodeCancelled, String: "invocation cancelled"}
 	default:
 		return nil

@@ -11,6 +11,7 @@ package soap
 import (
 	"bytes"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 
@@ -349,7 +350,7 @@ func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return xml.StartElement{}, fmt.Errorf("unexpected end of document")
 			}
 			return xml.StartElement{}, err

@@ -1,0 +1,68 @@
+package soap
+
+import (
+	"errors"
+	"testing"
+
+	"soapbinq/internal/idl"
+)
+
+// FuzzParse feeds arbitrary bytes to the envelope parser against a fixed
+// operation spec. Parsing must never panic; a successful parse must
+// return a message matching the spec's shape, and a fault envelope must
+// surface as a *Fault error.
+func FuzzParse(f *testing.F) {
+	spec := OpSpec{Op: "getQuote", Params: []ParamSpec{
+		{Name: "symbol", Type: idl.StringT()},
+		{Name: "count", Type: idl.Int()},
+	}}
+
+	good, err := Marshal(&Message{
+		Op: "getQuote",
+		Params: []Param{
+			{Name: "symbol", Value: idl.StringV("ACME")},
+			{Name: "count", Value: idl.IntV(3)},
+		},
+		Header: Header{DeadlineHeader: "250"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+
+	fault, err := MarshalFault(&Fault{Code: FaultCodeServer, String: "boom", Detail: "d"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fault)
+
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`<Envelope><Body></Body></Envelope>`))
+	f.Add([]byte(`<?xml version="1.0"?><Envelope>`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Parse(data, spec)
+		if err != nil {
+			var fe *Fault
+			if errors.As(err, &fe) && fe == nil {
+				t.Fatal("Parse returned a typed-nil *Fault error")
+			}
+			return
+		}
+		if msg == nil {
+			t.Fatal("Parse returned nil message and nil error")
+		}
+		if msg.Op != spec.Op {
+			t.Fatalf("parsed op %q, spec op %q", msg.Op, spec.Op)
+		}
+		if len(msg.Params) != len(spec.Params) {
+			t.Fatalf("parsed %d params, spec has %d", len(msg.Params), len(spec.Params))
+		}
+		for i, p := range msg.Params {
+			if cerr := p.Value.Check(); cerr != nil {
+				t.Fatalf("param %d fails Check: %v", i, cerr)
+			}
+		}
+	})
+}

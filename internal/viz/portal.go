@@ -141,11 +141,11 @@ func (p *Portal) getFrame(_ *core.CallCtx, params []soap.Param) (idl.Value, erro
 
 	frame := p.Latest()
 	if frame == nil {
-		return idl.Value{}, &soap.Fault{Code: "Server", String: "no frame available yet"}
+		return idl.Value{}, &soap.Fault{Code: soap.FaultCodeServer, String: "no frame available yet"}
 	}
 	spec, err := ParseFilter(filterCode)
 	if err != nil {
-		return idl.Value{}, &soap.Fault{Code: "Client", String: err.Error()}
+		return idl.Value{}, &soap.Fault{Code: soap.FaultCodeClient, String: err.Error()}
 	}
 	filtered := spec.Apply(frame)
 
@@ -162,7 +162,7 @@ func (p *Portal) getFrame(_ *core.CallCtx, params []soap.Param) (idl.Value, erro
 	case FormatRaw:
 		return responseValue(FormatRaw, nil, filtered), nil
 	default:
-		return idl.Value{}, &soap.Fault{Code: "Client", String: fmt.Sprintf("unknown format %q", format)}
+		return idl.Value{}, &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown format %q", format)}
 	}
 }
 

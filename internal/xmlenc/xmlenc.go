@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -142,7 +143,7 @@ func Unmarshal(data []byte, name string, t *idl.Type) (idl.Value, error) {
 	// Only whitespace may follow the root element.
 	for {
 		tok, err := dec.Token()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return v, nil
 		}
 		if err != nil {
@@ -289,7 +290,7 @@ func parseScalar(text string, t *idl.Type, elem string) (idl.Value, error) {
 func decodeCharList(text string, t *idl.Type, elem string) (idl.Value, error) {
 	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
 	if err != nil {
-		return idl.Value{}, fmt.Errorf("xmlenc: <%s>: bad base64: %v", elem, err)
+		return idl.Value{}, fmt.Errorf("xmlenc: <%s>: bad base64: %w", elem, err)
 	}
 	elems := make([]idl.Value, len(raw))
 	for i, b := range raw {
