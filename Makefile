@@ -1,13 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench lint fuzz-smoke
+.PHONY: check build vet test race chaos bench lint fuzz-smoke
 
 # The tier-1 gate: everything must build, vet clean, pass the full
 # suite under the race detector (the context/cancellation paths are
-# concurrency-heavy; -race is not optional here), and lint clean under
-# the repo's own analyzer suite.
-check: build vet race lint
+# concurrency-heavy; -race is not optional here), survive the seeded
+# chaos suite, and lint clean under the repo's own analyzer suite.
+check: build vet race chaos lint
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection suite over real sockets: scripted
+# refusals, resets, stalls, corruption, 503 bursts, and duplicates
+# driving the breaker, the load shedder, and quality degradation.
+# -count=1 defeats the test cache — chaos runs must actually run.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/faultinject ./internal/core ./internal/netem
 
 # The repo's own stdlib-only analyzer suite (see internal/lint): wire
 # width, bounded reads, context discipline, fault codes, error matching,

@@ -1,0 +1,82 @@
+// Command corpusgen regenerates the checked-in fuzz seed corpora with
+// injector-corrupted frames: each parser's corpus gets valid encodings
+// plus TruncateFrame/FlipBitInFrame variants so fuzzing starts from the
+// exact corruption shapes the chaos transport produces on the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"soapbinq/internal/faultinject"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+	"soapbinq/internal/xmlenc"
+)
+
+func writeSeed(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// corrupt emits the injector's two corruption shapes for one valid frame.
+func corrupt(dir, name string, frame []byte) {
+	writeSeed(dir, name+"-trunc", faultinject.TruncateFrame(frame))
+	writeSeed(dir, name+"-flip-header", faultinject.FlipBitInFrame(frame, 3))
+	writeSeed(dir, name+"-flip-mid", faultinject.FlipBitInFrame(frame, uint64(len(frame))*4))
+}
+
+func main() {
+	// pbio: binary messages for two workload shapes.
+	fs := pbio.NewMemServer()
+	codec := pbio.NewCodec(pbio.NewRegistry(fs))
+	pbioDir := filepath.Join("internal", "pbio", "testdata", "fuzz", "FuzzUnmarshal")
+	for name, v := range map[string]idl.Value{
+		"nested":   workload.NestedStruct(3, 2),
+		"intarray": workload.IntArray(16),
+	} {
+		frame, err := codec.Marshal(v)
+		if err != nil {
+			log.Fatalf("pbio %s: %v", name, err)
+		}
+		corrupt(pbioDir, name, frame)
+	}
+
+	// xmlenc: element encodings of a list and a struct-shaped document.
+	xmlDir := filepath.Join("internal", "xmlenc", "testdata", "fuzz", "FuzzUnmarshal")
+	list, err := xmlenc.Marshal("v", idl.ListV(idl.Int(), idl.IntV(7), idl.IntV(9)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrupt(xmlDir, "list", list)
+	corrupt(xmlDir, "pair", []byte(`<v><name>n</name><count>3</count></v>`))
+
+	// soap: a request envelope and a fault envelope.
+	soapDir := filepath.Join("internal", "soap", "testdata", "fuzz", "FuzzParse")
+	msg, err := soap.Marshal(&soap.Message{
+		Op: "getQuote",
+		Params: []soap.Param{
+			{Name: "symbol", Value: idl.StringV("ACME")},
+			{Name: "count", Value: idl.IntV(3)},
+		},
+		Header: soap.Header{soap.DeadlineHeader: "250"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrupt(soapDir, "request", msg)
+	fault, err := soap.MarshalFault(&soap.Fault{Code: soap.FaultCodeBusy, String: "shed", Detail: "retry-after=5ms"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrupt(soapDir, "busy-fault", fault)
+}

@@ -12,6 +12,17 @@
 // -retries re-sends on transient transport errors (the echo workloads
 // are side-effect free, so repeats are safe). Both default to off, which
 // keeps the measured path identical to the paper's.
+//
+// Chaos mode replays a named fault scenario against a real-socket rig
+// with the full resilience stack (retry policy, circuit breaker, load
+// shedding, fault-pressure quality degradation) and reports shed /
+// broken-circuit / degraded counts alongside RTT percentiles:
+//
+//	soapbench -faults list      # enumerate scenarios
+//	soapbench -faults mixed -seed 42
+//
+// The same scenario and seed always reproduce the identical fault
+// injection sequence.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 
 	"soapbinq/internal/bench"
 	"soapbinq/internal/core"
+	"soapbinq/internal/faultinject"
 )
 
 func main() {
@@ -37,7 +49,19 @@ func run() error {
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
 	timeout := flag.Duration("timeout", 0, "per-call deadline for every benchmark invocation (0 = none)")
 	retries := flag.Int("retries", 0, "retries on transient transport errors (echo workloads are side-effect free)")
+	faults := flag.String("faults", "", "replay a named fault scenario (\"list\" to enumerate)")
+	seed := flag.Int64("seed", 1, "fault scenario seed (same scenario+seed = same injection sequence)")
 	flag.Parse()
+
+	if *faults == "list" {
+		for _, s := range faultinject.Scenarios() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Desc)
+		}
+		return nil
+	}
+	if *faults != "" {
+		return bench.RunChaos(os.Stdout, *faults, *seed, *quick)
+	}
 
 	if *timeout > 0 || *retries > 0 {
 		bench.SetCallPolicy(&core.CallPolicy{
@@ -67,6 +91,6 @@ func run() error {
 		return bench.Run(*exp, os.Stdout, *quick)
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -list, -exp, -all is required")
+		return fmt.Errorf("one of -list, -exp, -all, -faults is required")
 	}
 }

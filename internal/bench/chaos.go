@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/faultinject"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/stats"
+)
+
+// Chaos mode: replay a named fault scenario against a real-socket
+// quality-managed rig with the full resilience stack engaged — client
+// retry policy, per-endpoint circuit breaker, server-side load
+// shedding, and fault-pressure quality degradation — and report how
+// each mechanism absorbed the injected failures.
+
+// chaosFullT/chaosSmallT are the quality pair the degradation loop
+// moves between: the small type drops the bulk payload field.
+var (
+	chaosFullT = idl.Struct("ChaosFull",
+		idl.F("id", idl.Int()),
+		idl.F("name", idl.StringT()),
+		idl.F("data", idl.List(idl.Float())),
+	)
+	chaosSmallT = idl.Struct("ChaosSmall",
+		idl.F("id", idl.Int()),
+		idl.F("name", idl.StringT()),
+	)
+)
+
+const chaosPolicyText = `
+attribute rtt
+default ChaosFull
+0 25ms ChaosFull
+25ms inf ChaosSmall
+`
+
+// ChaosScenarioNames lists the replayable scenarios, for -faults usage
+// errors and docs.
+func ChaosScenarioNames() []string {
+	all := faultinject.Scenarios()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// RunChaos replays the named fault scenario with the given seed and
+// writes a report: RTT percentiles over successful calls alongside
+// shed / broken-circuit / degraded counts. The injection sequence is
+// deterministic for a (scenario, seed) pair; timing-dependent counts
+// (sheds, breaker trips) vary with scheduling.
+func RunChaos(w io.Writer, scenario string, seed int64, quick bool) error {
+	sc, ok := faultinject.ScenarioByName(scenario)
+	if !ok {
+		return fmt.Errorf("unknown fault scenario %q (have: %s)",
+			scenario, strings.Join(ChaosScenarioNames(), ", "))
+	}
+	plan := sc.Plan(seed)
+
+	types := map[string]*idl.Type{"ChaosFull": chaosFullT, "ChaosSmall": chaosSmallT}
+	policy, err := quality.ParsePolicy(strings.NewReader(chaosPolicyText), types, nil)
+	if err != nil {
+		return fmt.Errorf("chaos policy: %w", err)
+	}
+
+	spec := core.MustServiceSpec("ChaosBench",
+		&core.OpDef{
+			Name:       "get",
+			Params:     []soap.ParamSpec{{Name: "id", Type: idl.Int()}},
+			Result:     chaosFullT,
+			Idempotent: true,
+		},
+	)
+
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MaxInFlight = 2
+	srv.RetryAfterHint = 2 * time.Millisecond
+	payload := make([]idl.Value, 64)
+	for i := range payload {
+		payload[i] = idl.FloatV(float64(i))
+	}
+	manager := quality.NewManager(policy, nil)
+	srv.MustHandle("get", manager.Middleware(func(cctx *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		// A little work per call so concurrent workers can actually
+		// collide with the in-flight bound.
+		time.Sleep(200 * time.Microsecond)
+		return idl.StructV(chaosFullT,
+			params[0].Value,
+			idl.StringV("chaos"),
+			idl.ListV(idl.Float(), payload...),
+		), nil
+	}))
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	breaker := core.NewBreaker(core.BreakerConfig{
+		Window: 16, MinSamples: 8, TripRatio: 0.5,
+		Cooldown: 10 * time.Millisecond,
+	})
+	inner := core.NewClient(spec, &faultinject.Transport{
+		Inner: &core.HTTPTransport{URL: ts.URL, Client: ts.Client()},
+		Plan:  plan,
+	}, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	inner.Policy = &core.CallPolicy{
+		Timeout:     50 * time.Millisecond,
+		MaxRetries:  2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	}
+	inner.Breaker = breaker
+	qc := quality.NewClient(inner, policy)
+
+	calls, workers := 400, 4
+	if quick {
+		calls = 100
+	}
+
+	var (
+		mu        sync.Mutex
+		rtts      []time.Duration
+		okCount   int
+		degraded  int
+		attempts  int
+		fastFails int
+		errClass  = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	perWorker := calls / workers
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i > 0 {
+					// Pace the workers like a real client loop: without
+					// this, a fast-failing breaker finishes the whole run
+					// inside one cooldown and recovery is never observed.
+					time.Sleep(500 * time.Microsecond)
+				}
+				start := time.Now()
+				resp, err := qc.Call(context.Background(), "get", nil, soap.Param{Name: "id", Value: idl.IntV(int64(i))})
+				elapsed := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					errClass[classifyChaosError(err)]++
+					if errors.Is(err, soap.ErrUnavailable) && !soap.IsBusy(err) {
+						fastFails++
+					}
+				} else {
+					okCount++
+					rtts = append(rtts, elapsed)
+					attempts += resp.Stats.Attempts
+					if _, downgraded := resp.Header[core.MsgTypeHeader]; downgraded {
+						degraded++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sstats := srv.Stats()
+	fmt.Fprintf(w, "chaos scenario=%s seed=%d calls=%d workers=%d wire=binary/http\n", sc.Name, seed, perWorker*workers, workers)
+	fmt.Fprintf(w, "%s\n\n", sc.Desc)
+
+	if len(rtts) > 0 {
+		sum := stats.Summarize(stats.Millis(rtts))
+		fmt.Fprintf(w, "rtt over %d successful calls (ms): p50=%.2f p95=%.2f p99=%.2f mean=%.2f\n",
+			okCount, sum.P50, sum.P95, sum.P99, sum.Mean)
+	} else {
+		fmt.Fprintf(w, "no successful calls\n")
+	}
+
+	tbl := stats.NewTable("counter", "value")
+	tbl.AddRow("injected faults", fmt.Sprintf("%d / %d draws", plan.Injected(), plan.Calls()))
+	counts := plan.Counts()
+	kinds := make([]faultinject.Kind, 0, len(counts))
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		tbl.AddRow("  "+kind.String(), fmt.Sprintf("%d", counts[kind]))
+	}
+	tbl.AddRow("transport attempts (ok calls)", fmt.Sprintf("%d", attempts))
+	tbl.AddRow("shed by server", fmt.Sprintf("%d", sstats.Shed))
+	tbl.AddRow("breaker trips", fmt.Sprintf("%d", breaker.Opens()))
+	tbl.AddRow("breaker fast-fails", fmt.Sprintf("%d", breaker.FastFails()))
+	tbl.AddRow("degraded responses", fmt.Sprintf("%d", degraded))
+	tbl.AddRow("failed calls", fmt.Sprintf("%d", perWorker*workers-okCount))
+	for class, n := range errClass {
+		tbl.AddRow("  "+class, fmt.Sprintf("%d", n))
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// classifyChaosError buckets a failed call for the report.
+func classifyChaosError(err error) string {
+	switch {
+	case soap.IsBusy(err):
+		return "busy (shed)"
+	case errors.Is(err, soap.ErrUnavailable):
+		return "unavailable (breaker/drain)"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline exceeded"
+	default:
+		return "transport"
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"soapbinq/internal/soap"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; outcomes feed the failure window.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fast-fail without touching the network until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe calls test whether the
+	// endpoint recovered; one success closes, one failure re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value of each field selects
+// the default noted on it.
+type BreakerConfig struct {
+	// Window is the sliding window of recent attempt outcomes the
+	// failure ratio is computed over. Default 16.
+	Window int
+	// MinSamples is how many outcomes the window must hold before the
+	// ratio can trip the breaker — a single early failure must not open
+	// it. Default Window/2.
+	MinSamples int
+	// TripRatio is the failure fraction at or above which the breaker
+	// opens. Default 0.5.
+	TripRatio float64
+	// Cooldown is how long an open breaker fast-fails before admitting
+	// half-open probes. Default 500ms.
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent trial calls in the half-open
+	// state. Default 1.
+	HalfOpenProbes int
+}
+
+// Breaker is a per-endpoint circuit breaker: closed → (failure-rate
+// over a sliding window) → open → (cooldown) → half-open → closed or
+// back open. A Client with a Breaker consults it before dialing; while
+// open, calls fast-fail with a Server.Unavailable.BreakerOpen fault
+// that matches errors.Is(err, soap.ErrUnavailable), so a failing
+// endpoint costs microseconds instead of a timeout per call.
+//
+// Outcome classification: transport errors, timeouts, and
+// unavailable-family faults (shed, draining) count as failures;
+// application-level faults count as successes (the endpoint answered);
+// cancellations are the caller's choice and count as neither.
+//
+// Safe for concurrent use. Share one Breaker per endpoint across the
+// clients that talk to it.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test hook
+
+	mu        sync.Mutex
+	state     BreakerState
+	outcomes  []bool // ring buffer, true = failure
+	head      int
+	filled    int
+	failures  int
+	openedAt  time.Time
+	probes    int // in-flight half-open probes
+	opens     int
+	fastFails int
+}
+
+// NewBreaker returns a closed breaker with cfg's zero fields defaulted.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = cfg.Window / 2
+	}
+	if cfg.MinSamples > cfg.Window {
+		cfg.MinSamples = cfg.Window
+	}
+	if cfg.TripRatio <= 0 || cfg.TripRatio > 1 {
+		cfg.TripRatio = 0.5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 500 * time.Millisecond
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	return &Breaker{
+		cfg:      cfg,
+		now:      time.Now,
+		outcomes: make([]bool, cfg.Window),
+	}
+}
+
+// Allow reports whether a call may proceed. A nil return admits the
+// call (and, in half-open, reserves a probe slot); otherwise the
+// returned *soap.Fault is the fast-fail the caller should surface. An
+// admitted call must be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probes = 1
+			return nil
+		}
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return nil
+		}
+	}
+	b.fastFails++
+	return soap.BreakerOpenFault(b.cfg.Cooldown - b.now().Sub(b.openedAt))
+}
+
+// Record feeds one admitted call's outcome back into the breaker.
+func (b *Breaker) Record(err error) {
+	failure, countable := breakerOutcome(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !countable {
+			return
+		}
+		if failure {
+			b.trip()
+		} else {
+			// The endpoint recovered: close with a clean window.
+			b.state = BreakerClosed
+			b.resetWindow()
+		}
+	case BreakerClosed:
+		if !countable {
+			return
+		}
+		b.push(failure)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.TripRatio*float64(b.filled) {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A straggler admitted before the trip; the open state already
+		// reflects the endpoint's health.
+	}
+}
+
+// trip opens the breaker (holding b.mu).
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.probes = 0
+	b.resetWindow()
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.head = 0
+	b.filled = 0
+	b.failures = 0
+}
+
+// push slides one outcome into the window (holding b.mu).
+func (b *Breaker) push(failure bool) {
+	if b.filled == len(b.outcomes) {
+		if b.outcomes[b.head] {
+			b.failures--
+		}
+	} else {
+		b.filled++
+	}
+	b.outcomes[b.head] = failure
+	if failure {
+		b.failures++
+	}
+	b.head = (b.head + 1) % len(b.outcomes)
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *Breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// FastFails returns how many calls were refused without an attempt.
+func (b *Breaker) FastFails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fastFails
+}
+
+// breakerOutcome classifies an attempt result for the breaker.
+func breakerOutcome(err error) (failure, countable bool) {
+	if err == nil {
+		return false, true
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller hung up; says nothing about the endpoint.
+		return false, false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, soap.ErrUnavailable) {
+		return true, true
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		// Any other fault is a definitive application answer from a
+		// responsive endpoint.
+		return false, true
+	}
+	return true, true
+}

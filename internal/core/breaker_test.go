@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"soapbinq/internal/soap"
+)
+
+// breakerClock is the manual time source for breaker tests.
+type breakerClock struct{ t time.Time }
+
+func (c *breakerClock) now() time.Time          { return c.t }
+func (c *breakerClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *breakerClock) {
+	b := NewBreaker(cfg)
+	clk := &breakerClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+var errBoom = errors.New("transport exploded")
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.Window != 16 || b.cfg.MinSamples != 8 || b.cfg.TripRatio != 0.5 ||
+		b.cfg.Cooldown != 500*time.Millisecond || b.cfg.HalfOpenProbes != 1 {
+		t.Errorf("defaults not applied: %+v", b.cfg)
+	}
+	b = NewBreaker(BreakerConfig{Window: 4, MinSamples: 100})
+	if b.cfg.MinSamples != 4 {
+		t.Errorf("MinSamples not clamped to Window: %d", b.cfg.MinSamples)
+	}
+}
+
+func TestBreakerTripsAtRatio(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.5})
+	// One early failure must not trip (MinSamples).
+	b.Record(errBoom)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// ok, ok, fail fills the window at 2/4 = ratio 0.5: trips.
+	b.Record(nil)
+	b.Record(nil)
+	b.Record(errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v at 2/4 failures, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Errorf("Opens() = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerStaysClosedBelowRatio(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.5})
+	for i := 0; i < 12; i++ {
+		if i%4 == 0 {
+			b.Record(errBoom) // 1/4 = 0.25 < 0.5
+		} else {
+			b.Record(nil)
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v with 25%% failures, want closed", b.State())
+	}
+}
+
+// TestBreakerWindowSlides verifies old outcomes are evicted: failures
+// far in the past cannot trip a currently healthy breaker.
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.75})
+	b.Record(errBoom)
+	b.Record(errBoom) // 2 failures, below MinSamples
+	for i := 0; i < 4; i++ {
+		b.Record(nil) // slides both failures out
+	}
+	// Two fresh failures: window holds 2/4 = 0.5 < 0.75.
+	b.Record(errBoom)
+	b.Record(errBoom)
+	if b.State() != BreakerClosed {
+		t.Fatal("evicted failures still counted")
+	}
+}
+
+func TestBreakerOpenFastFailsThenHalfOpen(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 2, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second})
+	b.Record(errBoom)
+	b.Record(errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+
+	// Inside the cooldown: fast-fail with the unavailable family and a
+	// retry hint bounded by the remaining cooldown.
+	clk.advance(400 * time.Millisecond)
+	err := b.Allow()
+	if err == nil {
+		t.Fatal("Allow() admitted a call while open")
+	}
+	if !errors.Is(err, soap.ErrUnavailable) {
+		t.Errorf("fast-fail %v does not match soap.ErrUnavailable", err)
+	}
+	if hint, ok := soap.RetryAfterHint(err); !ok || hint != 600*time.Millisecond {
+		t.Errorf("retry hint = %v/%v, want 600ms", hint, ok)
+	}
+	if b.FastFails() != 1 {
+		t.Errorf("FastFails() = %d, want 1", b.FastFails())
+	}
+
+	// Past the cooldown: exactly one probe is admitted.
+	clk.advance(700 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe admitted with HalfOpenProbes=1")
+	}
+}
+
+func TestBreakerHalfOpenSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 2, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second})
+	b.Record(errBoom)
+	b.Record(errBoom)
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	// The window was reset: one old-regime failure must not re-trip.
+	b.Record(errBoom)
+	if b.State() != BreakerClosed {
+		t.Fatal("window not reset on close")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 2, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second})
+	b.Record(errBoom)
+	b.Record(errBoom)
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Errorf("Opens() = %d, want 2", b.Opens())
+	}
+	// The cooldown restarts from the re-trip.
+	if err := b.Allow(); err == nil {
+		t.Fatal("Allow() admitted a call right after re-trip")
+	}
+}
+
+func TestBreakerHalfOpenCancelReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 2, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second})
+	b.Record(errBoom)
+	b.Record(errBoom)
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled probe is uncounted but must release its slot.
+	b.Record(context.Canceled)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want still half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot not released after cancellation: %v", err)
+	}
+}
+
+func TestBreakerOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		failure   bool
+		countable bool
+	}{
+		{"nil", nil, false, true},
+		{"cancel", context.Canceled, false, false},
+		{"cancel fault", soap.ContextFault(context.Canceled), false, false},
+		{"deadline", context.DeadlineExceeded, true, true},
+		{"deadline fault", soap.ContextFault(context.DeadlineExceeded), true, true},
+		{"busy fault", soap.BusyFault(time.Millisecond), true, true},
+		{"drain fault", &soap.Fault{Code: soap.FaultCodeUnavailable}, true, true},
+		{"breaker fault", soap.BreakerOpenFault(time.Second), true, true},
+		{"app fault", &soap.Fault{Code: soap.FaultCodeServer, String: "kaboom"}, false, true},
+		{"client fault", &soap.Fault{Code: soap.FaultCodeClient}, false, true},
+		{"transport", errBoom, true, true},
+		{"eof", io.ErrUnexpectedEOF, true, true},
+	}
+	for _, c := range cases {
+		failure, countable := breakerOutcome(c.err)
+		if failure != c.failure || countable != c.countable {
+			t.Errorf("%s: breakerOutcome = (%v, %v), want (%v, %v)",
+				c.name, failure, countable, c.failure, c.countable)
+		}
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open",
+		BreakerHalfOpen: "half-open", BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"soapbinq/internal/idl"
@@ -100,9 +101,28 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireR
 	// Fault responses use 500 but still carry a parseable envelope; other
 	// statuses are transport-level failures.
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
-		return nil, fmt.Errorf("core: http status %s", resp.Status)
+		serr := &StatusError{Code: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				serr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, serr
 	}
 	return &WireResponse{ContentType: resp.Header.Get("Content-Type"), Body: body}, nil
+}
+
+// StatusError is a non-SOAP HTTP response surfaced by HTTPTransport —
+// typically a 503 from an overloaded or fault-injected front end. 5xx
+// statuses are retriable under a CallPolicy; a Retry-After header (in
+// seconds, per HTTP) is honored in place of the computed backoff.
+type StatusError struct {
+	Code       int
+	RetryAfter time.Duration // parsed Retry-After hint; 0 when absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("core: http status %d", e.Code)
 }
 
 // CallStats records where one invocation spent its time and bytes — the
@@ -157,6 +177,12 @@ type Client struct {
 	// Policy bounds and hardens calls: per-call timeout, retry budget
 	// with backoff for idempotent operations. Nil disables both.
 	Policy *CallPolicy
+
+	// Breaker, when set, is consulted before each transport attempt:
+	// while open, calls fast-fail with a Server.Unavailable.BreakerOpen
+	// fault instead of dialing a known-bad endpoint. Share one Breaker
+	// per endpoint across clients.
+	Breaker *Breaker
 }
 
 // NewClient builds a client for spec over the given transport and wire
@@ -254,28 +280,110 @@ func (c *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param
 	return c.Call(context.Background(), op, hdr, params...)
 }
 
-// roundTrip drives the transport, re-sending per the client's policy.
-// Only transport-level failures are retried — a fault is a definitive
-// answer, and a done context is final.
+// roundTrip drives the transport, re-sending per the client's policy
+// and consulting the circuit breaker (when configured) before every
+// attempt. Transport-level failures are retried within the policy
+// budget; a fault is a definitive answer and a done context is final —
+// with one exception: a served Server.Busy fault means the request was
+// shed before processing, so it is retried (honoring the server's
+// Retry-After hint) even for non-idempotent operations.
 func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*WireResponse, int, error) {
-	budget := 0
-	if p := c.Policy; p != nil && p.MaxRetries > 0 && (op.Idempotent || p.RetryNonIdempotent) {
-		budget = p.MaxRetries
+	budget, busyBudget := 0, 0
+	if p := c.Policy; p != nil && p.MaxRetries > 0 {
+		// A shed request was provably not processed; re-sending is safe
+		// for any operation. Other transport failures may have been
+		// processed, so they keep the idempotency gate.
+		busyBudget = p.MaxRetries
+		if op.Idempotent || p.RetryNonIdempotent {
+			budget = p.MaxRetries
+		}
 	}
 	attempts := 0
 	for {
+		if b := c.Breaker; b != nil {
+			if ferr := b.Allow(); ferr != nil {
+				return nil, attempts, ferr
+			}
+		}
 		wresp, err := c.transport.RoundTrip(ctx, req)
 		attempts++
+		var served *soap.Fault
 		if err == nil {
-			return wresp, attempts, nil
+			served = c.sniffFault(wresp)
+		}
+		if b := c.Breaker; b != nil {
+			if served != nil {
+				b.Record(served)
+			} else {
+				b.Record(err)
+			}
+		}
+		if err == nil {
+			if served == nil || served.Code != soap.FaultCodeBusy || attempts > busyBudget {
+				return wresp, attempts, nil
+			}
+			// Shed: sleep per the server's hint (else backoff) and re-send.
+			delay := c.Policy.backoff(attempts)
+			if hint, ok := soap.RetryAfterHint(served); ok {
+				delay = hint
+			}
+			if serr := sleepCtx(ctx, delay); serr != nil {
+				return nil, attempts, serr
+			}
+			continue
 		}
 		if attempts > budget || !retriable(err) {
 			return nil, attempts, err
 		}
-		if serr := sleepCtx(ctx, c.Policy.backoff(attempts)); serr != nil {
+		delay := c.Policy.backoff(attempts)
+		if hint, ok := retryAfterHint(err); ok {
+			delay = hint
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
 			return nil, attempts, serr
 		}
 	}
+}
+
+// sniffFault decodes the fault envelope in wresp, if it is one, so the
+// retry loop and breaker can see served faults (busy, deadline) before
+// the full response decode. Deflate bodies are not inspected — matching
+// isFaultBody, an inflate per response is not worth it.
+func (c *Client) sniffFault(wresp *WireResponse) *soap.Fault {
+	if wresp == nil || !isFaultBody(wresp.ContentType, wresp.Body) {
+		return nil
+	}
+	switch wresp.ContentType {
+	case ContentTypeBinary:
+		env, err := unmarshalBinary(c.codec, wresp.Body)
+		if err != nil || env.Kind != frameFault {
+			return nil
+		}
+		return env.Fault
+	default:
+		// XML: Parse surfaces a fault envelope as its error regardless
+		// of the operation spec.
+		if _, err := soap.Parse(wresp.Body, soap.OpSpec{}); err != nil {
+			var f *soap.Fault
+			if errors.As(err, &f) {
+				return f
+			}
+		}
+		return nil
+	}
+}
+
+// retryAfterHint pulls a retry hint out of either hint carrier: a SOAP
+// fault's Detail field or an HTTP StatusError's Retry-After header.
+func retryAfterHint(err error) (time.Duration, bool) {
+	if d, ok := soap.RetryAfterHint(err); ok {
+		return d, true
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		return se.RetryAfter, true
+	}
+	return 0, false
 }
 
 func (c *Client) encodeRequest(op *OpDef, hdr soap.Header, params []soap.Param) (*WireRequest, error) {

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"io"
 	"math/rand"
+	"net"
+	"syscall"
 	"time"
 
 	"soapbinq/internal/soap"
@@ -75,20 +78,50 @@ func (p *CallPolicy) backoff(n int) time.Duration {
 	return time.Duration(float64(d) * scale)
 }
 
-// retriable reports whether an attempt error is worth re-sending:
-// transport-level failures are; SOAP faults are not (the server already
-// processed the request and gave a definitive answer), and context
-// expiry/cancellation is final by definition.
+// retriable reports whether an attempt error is worth re-sending. The
+// classification is explicit so transport-level failures behave
+// uniformly whether they surface pre-connect or mid-response:
+//
+//   - context expiry/cancellation is final by definition — including
+//     served deadline/cancelled faults, which match the context
+//     sentinels via soap.Fault.Is;
+//   - a served Server.Busy fault is retriable: the request was shed
+//     before processing (roundTrip additionally waives the idempotency
+//     gate for it);
+//   - every other SOAP fault is a definitive answer, not retried;
+//   - HTTP status errors are retriable iff 5xx (server-side trouble);
+//   - connection refusal/reset, broken pipes, truncated responses
+//     (io.ErrUnexpectedEOF / io.EOF), and net.Error timeouts internal
+//     to the transport are all transient: retriable;
+//   - anything else transport-level defaults to retriable.
 func retriable(err error) bool {
-	if err == nil {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return false
 	}
 	var f *soap.Fault
 	if errors.As(err, &f) {
-		return false
+		return f.Code == soap.FaultCodeBusy
 	}
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		return false
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.EOF):
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		// A timeout internal to the transport (not the call's context,
+		// handled above) with budget left is worth another attempt.
+		return true
 	}
 	return true
 }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/workload"
+)
+
+// newBoundedRig builds a client/server pair whose "echo" handler blocks
+// until released, with the given in-flight bound.
+func newBoundedRig(t *testing.T, maxInFlight int) (*Client, *Server, chan struct{}) {
+	t.Helper()
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MaxInFlight = maxInFlight
+	release := make(chan struct{})
+	srv.MustHandle("echo", func(cctx *CallCtx, params []soap.Param) (idl.Value, error) {
+		select {
+		case <-release:
+			return params[0].Value, nil
+		case <-cctx.Context().Done():
+			return idl.Value{}, cctx.Context().Err()
+		}
+	})
+	client := NewClient(testService(), &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), WireBinary)
+	return client, srv, release
+}
+
+func waitInFlight(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.InFlight() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight() = %d, want %d", srv.InFlight(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func echoParam() soap.Param {
+	return soap.Param{Name: "payload", Value: testEchoPayload()}
+}
+
+// TestShedAtInFlightBound fills the in-flight bound and verifies the
+// next request is refused with a hinted Server.Busy fault without ever
+// joining the gauge.
+func TestShedAtInFlightBound(t *testing.T) {
+	client, srv, release := newBoundedRig(t, 1)
+	srv.RetryAfterHint = 7 * time.Millisecond
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Call(context.Background(), "echo", nil, echoParam())
+		done <- err
+	}()
+	waitInFlight(t, srv, 1)
+
+	_, err := client.Call(context.Background(), "echo", nil, echoParam())
+	if !soap.IsBusy(err) {
+		t.Fatalf("overflow call error = %v, want Server.Busy", err)
+	}
+	if !errors.Is(err, soap.ErrUnavailable) {
+		t.Error("busy fault does not match soap.ErrUnavailable")
+	}
+	if hint, ok := soap.RetryAfterHint(err); !ok || hint != 7*time.Millisecond {
+		t.Errorf("retry hint = %v/%v, want 7ms", hint, ok)
+	}
+	if got := srv.InFlight(); got != 1 {
+		t.Errorf("InFlight() = %d after shed, want 1 (shed never joins)", got)
+	}
+	if st := srv.Stats(); st.Shed != 1 || st.Faults < 1 {
+		t.Errorf("stats = %+v, want Shed=1 counted in Faults", st)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("bounded call failed: %v", err)
+	}
+}
+
+// TestShedDefaultHint verifies the default Retry-After when the server
+// configures none.
+func TestShedDefaultHint(t *testing.T) {
+	client, srv, release := newBoundedRig(t, 1)
+	defer close(release)
+
+	go client.Call(context.Background(), "echo", nil, echoParam()) //nolint:errcheck
+	waitInFlight(t, srv, 1)
+
+	_, err := client.Call(context.Background(), "echo", nil, echoParam())
+	if hint, ok := soap.RetryAfterHint(err); !ok || hint != DefaultRetryAfter {
+		t.Errorf("default hint = %v/%v, want %v", hint, ok, DefaultRetryAfter)
+	}
+}
+
+// TestBusyRetryHonorsHint verifies the client retry loop re-sends shed
+// requests — even for operations not declared idempotent — after the
+// server's hint, and succeeds once capacity frees up.
+func TestBusyRetryHonorsHint(t *testing.T) {
+	client, srv, release := newBoundedRig(t, 1)
+	srv.RetryAfterHint = 5 * time.Millisecond
+	client.Policy = &CallPolicy{
+		Timeout:    2 * time.Second,
+		MaxRetries: 10,
+		// Note: no RetryNonIdempotent, and "echo" is not declared
+		// Idempotent — the busy retry path must not need it.
+	}
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := client.Call(context.Background(), "echo", nil, echoParam())
+		blocked <- err
+	}()
+	waitInFlight(t, srv, 1)
+
+	// Free the slot shortly after the second call's first attempt sheds.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+
+	resp, err := client.Call(context.Background(), "echo", nil, echoParam())
+	if err != nil {
+		t.Fatalf("shed call never recovered: %v", err)
+	}
+	if resp.Stats.Attempts < 2 {
+		t.Errorf("Attempts = %d, want >= 2 (at least one shed retry)", resp.Stats.Attempts)
+	}
+	if srv.Stats().Shed == 0 {
+		t.Error("no shed recorded; the test raced past the bound")
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocked call failed: %v", err)
+	}
+}
+
+// TestChaosShutdownDrainsUnderFaults is the drain guarantee under
+// failure: handlers stalled against their deadlines cannot wedge
+// Shutdown past those deadlines, and shed requests — refused before
+// processing — never delay the drain at all.
+func TestChaosShutdownDrainsUnderFaults(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MaxInFlight = 1
+	// A handler that stalls forever; only its call deadline ends it.
+	srv.MustHandle("echo", func(cctx *CallCtx, _ []soap.Param) (idl.Value, error) {
+		<-cctx.Context().Done()
+		return idl.Value{}, cctx.Context().Err()
+	})
+	client := NewClient(testService(), &Loopback{Server: srv}, pbio.NewCodec(pbio.NewRegistry(fs)), WireBinary)
+	client.Policy = &CallPolicy{Timeout: 50 * time.Millisecond}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Stalls until its 50ms budget expires.
+		_, err := client.Call(context.Background(), "echo", nil, echoParam())
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("stalled call error = %v, want DeadlineExceeded", err)
+		}
+	}()
+	waitInFlight(t, srv, 1)
+
+	// Overflow request: shed immediately, provably not in flight.
+	if _, err := client.Call(context.Background(), "echo", nil, echoParam()); !soap.IsBusy(err) {
+		t.Fatalf("overflow error = %v, want busy", err)
+	}
+	if srv.InFlight() != 1 {
+		t.Fatalf("InFlight() = %d, want 1 (shed request joined the gauge)", srv.InFlight())
+	}
+
+	// Drain: must complete once the stalled handler's own deadline
+	// fires (~50ms), well within the shutdown budget.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown returned %v; stalled/shed requests wedged the drain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("drain took %v; should be bounded by the in-flight call's deadline", elapsed)
+	}
+	if srv.InFlight() != 0 {
+		t.Errorf("InFlight() = %d after drain", srv.InFlight())
+	}
+
+	// Post-drain requests are refused as unavailable, not busy.
+	_, err := client.Call(context.Background(), "echo", nil, echoParam())
+	if !errors.Is(err, soap.ErrUnavailable) || soap.IsBusy(err) {
+		t.Errorf("post-drain error = %v, want plain unavailable", err)
+	}
+	wg.Wait()
+}
+
+// testEchoPayload builds the echo parameter value used by the
+// resilience tests.
+func testEchoPayload() idl.Value {
+	return workload.NestedStruct(3, 1)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"soapbinq/internal/soap"
+)
+
+// fakeTimeout is a net.Error whose Timeout() is true but that wraps no
+// context sentinel — a transport-internal timeout.
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "fake i/o timeout" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		// Nothing to retry.
+		{"nil", nil, false},
+
+		// Budget expiry and cancellation are final, plain or wrapped,
+		// local or served back as fault codes.
+		{"deadline", context.DeadlineExceeded, false},
+		{"cancel", context.Canceled, false},
+		{"wrapped deadline", fmt.Errorf("rpc: %w", context.DeadlineExceeded), false},
+		{"wrapped cancel", fmt.Errorf("rpc: %w", context.Canceled), false},
+		{"served deadline fault", soap.ContextFault(context.DeadlineExceeded), false},
+		{"served cancel fault", soap.ContextFault(context.Canceled), false},
+
+		// Served faults are definitive answers — except Busy, which
+		// guarantees the request was never processed.
+		{"client fault", &soap.Fault{Code: soap.FaultCodeClient}, false},
+		{"server fault", &soap.Fault{Code: soap.FaultCodeServer}, false},
+		{"unavailable fault", &soap.Fault{Code: soap.FaultCodeUnavailable}, false},
+		{"breaker fault", soap.BreakerOpenFault(time.Second), false},
+		{"busy fault", soap.BusyFault(time.Millisecond), true},
+		{"wrapped busy fault", fmt.Errorf("call: %w", soap.BusyFault(0)), true},
+
+		// HTTP statuses: server-side trouble retries, client errors don't.
+		{"status 500", &StatusError{Code: 500}, true},
+		{"status 503", &StatusError{Code: 503}, true},
+		{"status 404", &StatusError{Code: 404}, false},
+		{"status 429", &StatusError{Code: 429}, false},
+
+		// Transient transport failures.
+		{"refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"broken pipe", syscall.EPIPE, true},
+		{"truncated frame", io.ErrUnexpectedEOF, true},
+		{"eof", io.EOF, true},
+		{"wrapped eof", fmt.Errorf("core: read response: %w", io.ErrUnexpectedEOF), true},
+		{"net timeout", fakeTimeout{}, true},
+
+		// Unclassified transport-level errors default to retriable (the
+		// transport is the layer that failed, not the application).
+		{"generic", errors.New("network unreachable"), true},
+	}
+	for _, c := range cases {
+		if got := retriable(c.err); got != c.want {
+			t.Errorf("retriable(%s: %v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}

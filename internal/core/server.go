@@ -72,18 +72,36 @@ type Server struct {
 	// MaxRequestBytes bounds HTTP request bodies (default 256 MiB).
 	MaxRequestBytes int64
 
-	mu       sync.RWMutex
-	handlers map[string]HandlerFunc
-	stats    ServerStats
-	draining bool
-	inflight sync.WaitGroup
+	// MaxInFlight bounds concurrently processing requests. When the
+	// gauge is at the bound, new requests are shed immediately with a
+	// Server.Busy fault carrying a Retry-After hint — they never enter
+	// processing and do not count as in flight (so shedding cannot delay
+	// Shutdown's drain). Zero means unbounded. Set before serving.
+	MaxInFlight int
+
+	// RetryAfterHint is the hint embedded in shed-fault details, telling
+	// well-behaved clients how long to back off before re-sending. Zero
+	// selects DefaultRetryAfter. Set before serving.
+	RetryAfterHint time.Duration
+
+	mu        sync.RWMutex
+	handlers  map[string]HandlerFunc
+	stats     ServerStats
+	draining  bool
+	inflightN int // gauge guarded by mu; mirrors the WaitGroup
+	inflight  sync.WaitGroup
 }
+
+// DefaultRetryAfter is the shed-fault retry hint when the server does
+// not configure one.
+const DefaultRetryAfter = 50 * time.Millisecond
 
 // ServerStats counts server traffic, for operational monitoring and the
 // load-oriented assertions in tests and benchmarks.
 type ServerStats struct {
 	Requests int            // envelopes processed (including faults)
 	Faults   int            // fault responses produced
+	Shed     int            // requests refused at the in-flight bound (also counted in Faults)
 	BytesIn  int64          // request envelope bytes
 	BytesOut int64          // response envelope bytes
 	PerOp    map[string]int // successful dispatches per operation
@@ -159,6 +177,14 @@ func (s *Server) XMLHandler(op string, resultType *idl.Type, fn func(ctx *CallCt
 	}
 }
 
+// InFlight returns the number of requests currently processing — shed
+// requests never join the gauge.
+func (s *Server) InFlight() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inflightN
+}
+
 // Stats snapshots the server's traffic counters.
 func (s *Server) Stats() ServerStats {
 	s.mu.RLock()
@@ -210,9 +236,28 @@ func (s *Server) Process(ctx context.Context, contentType, action string, body [
 		s.account("", len(body), len(resp), true)
 		return ct, resp
 	}
+	if s.MaxInFlight > 0 && s.inflightN >= s.MaxInFlight {
+		// Shed before any processing and before joining the in-flight
+		// gauge: a shed request must not delay Shutdown's drain.
+		s.stats.Shed++
+		hint := s.RetryAfterHint
+		if hint <= 0 {
+			hint = DefaultRetryAfter
+		}
+		s.mu.Unlock()
+		ct, resp := s.faultBody(wireOrXML(contentType), "", nil, soap.BusyFault(hint))
+		s.account("", len(body), len(resp), true)
+		return ct, resp
+	}
+	s.inflightN++
 	s.inflight.Add(1)
 	s.mu.Unlock()
-	defer s.inflight.Done()
+	defer func() {
+		s.mu.Lock()
+		s.inflightN--
+		s.mu.Unlock()
+		s.inflight.Done()
+	}()
 
 	ct, resp := s.process(ctx, contentType, action, body)
 	op := action

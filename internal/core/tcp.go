@@ -76,6 +76,13 @@ func ServeTCP(srv *Server, addr string) (*TCPListener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: tcp listen: %w", err)
 	}
+	return ServeTCPListener(srv, ln), nil
+}
+
+// ServeTCPListener dispatches framed envelopes from an already-bound
+// listener — the hook for wrapping the accept path with netem
+// throttling or fault injection before the server sees a connection.
+func ServeTCPListener(srv *Server, ln net.Listener) *TCPListener {
 	//lint:ignore ctxfirst the listener owns this root; Close cancels it for every in-flight request
 	ctx, cancel := context.WithCancel(context.Background())
 	l := &TCPListener{server: srv, ctx: ctx, cancel: cancel, listener: ln, conns: make(map[net.Conn]struct{})}
@@ -102,7 +109,7 @@ func ServeTCP(srv *Server, addr string) (*TCPListener, error) {
 			}()
 		}
 	}()
-	return l, nil
+	return l
 }
 
 // Addr returns the bound address.
@@ -203,18 +210,37 @@ func (t *TCPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireRe
 	t.dropConn()
 	// A done context is final: no reconnect, and the caller sees the
 	// context's own error.
-	if ce := ctx.Err(); ce != nil {
+	if ce := ctxTimeout(ctx, err); ce != nil {
 		return nil, ce
 	}
 	// One reconnect attempt for stale connections.
 	resp, err = t.tryOnce(ctx, code, req)
 	if err != nil {
 		t.dropConn()
-		if ce := ctx.Err(); ce != nil {
+		if ce := ctxTimeout(ctx, err); ce != nil {
 			return nil, ce
 		}
 	}
 	return resp, err
+}
+
+// ctxTimeout attributes a transport failure to the context when the
+// context is what ended the exchange. The connection deadline is derived
+// from ctx, but the poller's timer can fire a hair before the context's
+// own timer flips Err() non-nil — without this, a raw "i/o timeout"
+// escapes as a retriable transport error when the call's budget is what
+// actually expired.
+func ctxTimeout(ctx context.Context, err error) error {
+	if ce := ctx.Err(); ce != nil {
+		return ce
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			return context.DeadlineExceeded
+		}
+	}
+	return nil
 }
 
 // dropConn closes and forgets the connection (holding t.mu).

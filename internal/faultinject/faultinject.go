@@ -1,0 +1,219 @@
+// Package faultinject is a deterministic, seedable fault-injection
+// layer for the SOAP-binQ transport stack. It wraps the client side of
+// an exchange (core.Transport) and the server side (the net.Listener
+// accept path, or an http.Handler) and injects the failure modes a
+// production RPC stack meets: connection refusal and reset, stalled
+// I/O past the deadline, truncated and bit-flipped envelope frames,
+// HTTP 5xx bursts, and duplicate delivery.
+//
+// Every injection is drawn from a Plan — either a scripted sequence
+// (exact, per call) or a seeded probabilistic mix. Decisions depend
+// only on the draw sequence number and the seed, never on wall-clock
+// time or goroutine scheduling, so the same scenario and seed
+// reproduce the identical injection sequence under -race. The Plan
+// records each injection in an event log for determinism assertions
+// and chaos-run reports.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// None: the call proceeds untouched.
+	None Kind = iota
+	// Refuse fails before any I/O, like a connection refused at dial.
+	Refuse
+	// Reset drops the exchange after the request is delivered, like a
+	// TCP reset mid-response.
+	Reset
+	// Stall blocks the exchange until the caller's deadline or the
+	// connection is torn down — the "hung peer" failure mode.
+	Stall
+	// Truncate delivers only a prefix of the response frame.
+	Truncate
+	// FlipBit delivers the response with a single bit flipped.
+	FlipBit
+	// Status503 answers with an HTTP 503 (overload burst) instead of a
+	// SOAP envelope.
+	Status503
+	// Duplicate delivers the request twice (at-least-once delivery).
+	Duplicate
+
+	kindCount = iota
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Refuse:
+		return "refuse"
+	case Reset:
+		return "reset"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	case FlipBit:
+		return "flipbit"
+	case Status503:
+		return "status503"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event records one injection decision: the 1-based draw sequence
+// number and the fault injected. None draws are not logged.
+type Event struct {
+	Call int
+	Kind Kind
+}
+
+// decision is one draw's outcome; arg parameterizes the fault (e.g.
+// which bit FlipBit flips) and is drawn from the same seeded stream.
+type decision struct {
+	kind Kind
+	arg  uint64
+}
+
+// Plan is a deterministic injection schedule. Draws are serialized
+// under a mutex and numbered; the decision for draw N depends only on
+// N, the script, and the seed — concurrent callers may interleave
+// arbitrarily, but the logged (call, kind) sequence is always the same.
+type Plan struct {
+	mu     sync.Mutex
+	script []Kind
+	rng    *rand.Rand
+	probs  []prob
+	calls  int
+	counts [kindCount]int
+	events []Event
+}
+
+// prob is one entry of a probabilistic mix, ordered by kind so map
+// iteration order cannot leak into the draw sequence.
+type prob struct {
+	kind Kind
+	p    float64
+}
+
+// Script returns a Plan that injects exactly kinds, in order, one per
+// draw, then nothing. Use it when a test needs an exact sequence.
+func Script(kinds ...Kind) *Plan {
+	return &Plan{script: kinds, rng: rand.New(rand.NewSource(1))}
+}
+
+// Seeded returns a probabilistic Plan: each draw picks at most one
+// fault, where each kind's probability is its share of the unit
+// interval (entries are considered in kind order; probabilities should
+// sum to at most 1, the remainder is None).
+func Seeded(seed int64, probs map[Kind]float64) *Plan {
+	ordered := make([]prob, 0, len(probs))
+	for k, p := range probs {
+		if p > 0 {
+			ordered = append(ordered, prob{kind: k, p: p})
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].kind < ordered[j].kind })
+	return &Plan{rng: rand.New(rand.NewSource(seed)), probs: ordered}
+}
+
+// draw produces the next decision.
+func (p *Plan) draw() decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	// The arg is drawn unconditionally so the rng stream position is a
+	// pure function of the draw number, whatever kinds come out.
+	d := decision{arg: p.rng.Uint64()}
+	switch {
+	case p.calls <= len(p.script):
+		d.kind = p.script[p.calls-1]
+	case len(p.probs) > 0:
+		x := p.rng.Float64()
+		acc := 0.0
+		for _, pr := range p.probs {
+			acc += pr.p
+			if x < acc {
+				d.kind = pr.kind
+				break
+			}
+		}
+	}
+	if d.kind > None && d.kind < kindCount {
+		p.counts[d.kind]++
+		p.events = append(p.events, Event{Call: p.calls, Kind: d.kind})
+	}
+	return d
+}
+
+// Calls returns how many draws the plan has served.
+func (p *Plan) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// Injected returns how many draws injected a fault.
+func (p *Plan) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Events returns a copy of the injection log in draw order.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Counts returns per-kind injection totals (None excluded).
+func (p *Plan) Counts() map[Kind]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Kind]int)
+	for k, n := range p.counts {
+		if n > 0 {
+			out[Kind(k)] = n
+		}
+	}
+	return out
+}
+
+// TruncateFrame is the truncation the injector applies: the first half
+// of the frame (at least one byte is always removed from a non-empty
+// frame). Exported so fuzz corpora can be built from exactly the
+// shapes the injector delivers.
+func TruncateFrame(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	return data[:len(data)/2]
+}
+
+// FlipBitInFrame returns a copy of data with bit (arg mod len·8)
+// flipped — the injector's single-bit corruption. Empty frames pass
+// through.
+func FlipBitInFrame(data []byte, arg uint64) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	bit := arg % (uint64(len(data)) * 8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}

@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		None: "none", Refuse: "refuse", Reset: "reset", Stall: "stall",
+		Truncate: "truncate", FlipBit: "flipbit", Status503: "status503",
+		Duplicate: "duplicate", Kind(99): "kind(99)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, s)
+		}
+	}
+}
+
+func TestScriptDrawsExactSequence(t *testing.T) {
+	p := Script(Refuse, None, Reset)
+	got := []Kind{p.draw().kind, p.draw().kind, p.draw().kind, p.draw().kind, p.draw().kind}
+	want := []Kind{Refuse, None, Reset, None, None} // exhausted script injects nothing
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d = %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if p.Calls() != 5 {
+		t.Errorf("Calls() = %d, want 5", p.Calls())
+	}
+	if p.Injected() != 2 {
+		t.Errorf("Injected() = %d, want 2", p.Injected())
+	}
+	events := p.Events()
+	wantEvents := []Event{{Call: 1, Kind: Refuse}, {Call: 3, Kind: Reset}}
+	if len(events) != len(wantEvents) {
+		t.Fatalf("Events() = %v, want %v", events, wantEvents)
+	}
+	for i, e := range wantEvents {
+		if events[i] != e {
+			t.Errorf("event %d = %v, want %v", i, events[i], e)
+		}
+	}
+	counts := p.Counts()
+	if counts[Refuse] != 1 || counts[Reset] != 1 || len(counts) != 2 {
+		t.Errorf("Counts() = %v", counts)
+	}
+}
+
+// TestSeededDeterminism is the reproducibility contract: the same
+// scenario and seed produce the identical injection log whether the
+// plan is drawn from one goroutine or from many racing ones.
+func TestSeededDeterminism(t *testing.T) {
+	const draws = 512 // divisible by the worker count below
+	sc, ok := ScenarioByName("mixed")
+	if !ok {
+		t.Fatal("mixed scenario missing")
+	}
+
+	serial := sc.Plan(42)
+	for i := 0; i < draws; i++ {
+		serial.draw()
+	}
+	if serial.Injected() == 0 {
+		t.Fatal("mixed scenario injected nothing in 512 draws; probabilities broken")
+	}
+
+	concurrent := sc.Plan(42)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < draws/workers; i++ {
+				concurrent.draw()
+			}
+		}()
+	}
+	wg.Wait()
+
+	se, ce := serial.Events(), concurrent.Events()
+	if len(se) != len(ce) {
+		t.Fatalf("serial injected %d, concurrent %d", len(se), len(ce))
+	}
+	for i := range se {
+		if se[i] != ce[i] {
+			t.Fatalf("event %d: serial %v, concurrent %v", i, se[i], ce[i])
+		}
+	}
+}
+
+func TestSeededDifferentSeedsDiffer(t *testing.T) {
+	sc, _ := ScenarioByName("mixed")
+	a, b := sc.Plan(1), sc.Plan(2)
+	for i := 0; i < 300; i++ {
+		a.draw()
+		b.draw()
+	}
+	ae, be := a.Events(), b.Events()
+	same := len(ae) == len(be)
+	if same {
+		for i := range ae {
+			if ae[i] != be[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical injection logs")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	all := Scenarios()
+	if len(all) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Desc == "" || len(s.Probs) == 0 {
+			t.Errorf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		total := 0.0
+		for _, p := range s.Probs {
+			total += p
+		}
+		if total > 1 {
+			t.Errorf("scenario %q probabilities sum to %v > 1", s.Name, total)
+		}
+		if got, ok := ScenarioByName(s.Name); !ok || got.Name != s.Name {
+			t.Errorf("ScenarioByName(%q) lookup failed", s.Name)
+		}
+	}
+	if _, ok := ScenarioByName("no-such-scenario"); ok {
+		t.Error("ScenarioByName accepted an unknown name")
+	}
+}
+
+func TestTruncateFrame(t *testing.T) {
+	cases := []struct{ in, want []byte }{
+		{nil, nil},
+		{[]byte{}, []byte{}},
+		{[]byte{1}, []byte{}},            // at least one byte removed
+		{[]byte{1, 2}, []byte{1}},        //
+		{[]byte{1, 2, 3, 4}, []byte{1, 2}},
+	}
+	for _, c := range cases {
+		if got := TruncateFrame(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("TruncateFrame(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFlipBitInFrame(t *testing.T) {
+	if got := FlipBitInFrame(nil, 7); got != nil {
+		t.Errorf("empty frame should pass through, got %v", got)
+	}
+
+	in := []byte{0x00, 0x00, 0x00}
+	out := FlipBitInFrame(in, 9) // bit 9 = byte 1, bit 1
+	if !bytes.Equal(in, []byte{0x00, 0x00, 0x00}) {
+		t.Error("input mutated")
+	}
+	if want := []byte{0x00, 0x02, 0x00}; !bytes.Equal(out, want) {
+		t.Errorf("FlipBitInFrame = %v, want %v", out, want)
+	}
+
+	// An arg beyond the bit count wraps instead of panicking.
+	out = FlipBitInFrame([]byte{0x00}, 8)
+	if want := []byte{0x01}; !bytes.Equal(out, want) {
+		t.Errorf("wrapped arg: got %v, want %v", out, want)
+	}
+
+	// Exactly one bit differs, whatever the arg.
+	for arg := uint64(0); arg < 64; arg += 7 {
+		out := FlipBitInFrame([]byte{0xA5, 0x5A}, arg)
+		diff := 0
+		for i := range out {
+			x := out[i] ^ []byte{0xA5, 0x5A}[i]
+			for ; x != 0; x &= x - 1 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("arg %d flipped %d bits, want exactly 1", arg, diff)
+		}
+	}
+}

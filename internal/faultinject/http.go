@@ -1,0 +1,40 @@
+package faultinject
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler wraps an http.Handler with plan-driven HTTP-level faults,
+// the front-end failure modes a SOAP endpoint sits behind. One
+// decision is drawn per request:
+//
+//   - Status503 answers 503 Service Unavailable with a Retry-After
+//     header (rounded up to whole seconds, per HTTP) instead of
+//     invoking the handler;
+//   - Stall holds the response until the request's context is done
+//     (client disconnect or deadline), then gives up on it.
+//
+// Byte-level faults (Refuse, Reset, Truncate, FlipBit) belong on the
+// Listener; draws of those kinds — and Duplicate — pass through to the
+// inner handler untouched.
+func Handler(plan *Plan, retryAfter time.Duration, inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := plan.draw()
+		switch d.kind {
+		case Status503:
+			if retryAfter > 0 {
+				secs := int(math.Ceil(retryAfter.Seconds()))
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			http.Error(w, "faultinject: overload burst", http.StatusServiceUnavailable)
+			return
+		case Stall:
+			<-r.Context().Done()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}

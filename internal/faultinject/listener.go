@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"syscall"
+)
+
+// Listener wraps a net.Listener with plan-driven connection faults, so
+// real-socket servers (core.ServeTCPListener, net/http) can be exercised
+// against byte-level failures. One decision is drawn per accepted
+// connection:
+//
+//   - Refuse closes the connection immediately (the peer sees the dial
+//     succeed and the connection die before a byte arrives);
+//   - Reset kills the connection when the server writes its response;
+//   - Stall blocks the response write until the connection is torn
+//     down — the peer's deadline is what ends the exchange;
+//   - Truncate writes half the response, then kills the connection;
+//   - FlipBit corrupts one bit of the response bytes.
+//
+// Status503 and Duplicate have no byte-level meaning and pass through.
+type Listener struct {
+	net.Listener
+	Plan *Plan
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		d := l.Plan.draw()
+		switch d.kind {
+		case Refuse:
+			conn.Close()
+			continue
+		case Reset, Stall, Truncate, FlipBit:
+			return newFaultConn(conn, d), nil
+		default:
+			return conn, nil
+		}
+	}
+}
+
+// faultConn applies one write-side fault to a connection. The faults
+// target the response path (the server's write) because that is where
+// a SOAP exchange's failure is visible to the client.
+type faultConn struct {
+	net.Conn
+	kind Kind
+	arg  uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	writeMu   sync.Mutex
+	faulted   bool
+}
+
+func newFaultConn(c net.Conn, d decision) *faultConn {
+	return &faultConn{Conn: c, kind: d.kind, arg: d.arg, closed: make(chan struct{})}
+}
+
+// Close implements net.Conn; it also releases any stalled Write.
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// Write implements net.Conn, applying the connection's fault to the
+// first write (the response frame); subsequent writes on a connection
+// whose fault already fired fail like a dead socket.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.faulted {
+		return 0, syscall.EPIPE
+	}
+	switch c.kind {
+	case Reset:
+		c.faulted = true
+		c.Close()
+		return 0, syscall.ECONNRESET
+	case Stall:
+		c.faulted = true
+		// Hold the response until the connection is torn down (listener
+		// close or peer-driven close); the client's deadline governs.
+		<-c.closed
+		return 0, syscall.EPIPE
+	case Truncate:
+		c.faulted = true
+		half := TruncateFrame(p)
+		n, err := c.Conn.Write(half)
+		c.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, syscall.ECONNRESET
+	case FlipBit:
+		// Corrupt every write of this connection deterministically; the
+		// first corrupted frame is what the client chokes on.
+		return c.Conn.Write(FlipBitInFrame(p, c.arg))
+	default:
+		return c.Conn.Write(p)
+	}
+}

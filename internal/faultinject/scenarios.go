@@ -1,0 +1,76 @@
+package faultinject
+
+// Scenario names a reproducible fault mix, for `soapbench -faults` and
+// the chaos suite. The same scenario name and seed always reproduce
+// the identical injection sequence.
+type Scenario struct {
+	Name  string
+	Desc  string
+	Probs map[Kind]float64
+}
+
+// Plan instantiates the scenario's seeded probabilistic plan.
+func (s Scenario) Plan(seed int64) *Plan {
+	return Seeded(seed, s.Probs)
+}
+
+// scenarios is the named-scenario registry. Probabilities are chosen
+// so a few hundred calls meet every configured fault several times
+// without drowning out the success path.
+var scenarios = []Scenario{
+	{
+		Name:  "resets",
+		Desc:  "connection refusals at dial and resets mid-response",
+		Probs: map[Kind]float64{Refuse: 0.08, Reset: 0.08},
+	},
+	{
+		Name:  "stalls",
+		Desc:  "responses stalled past the call deadline",
+		Probs: map[Kind]float64{Stall: 0.12},
+	},
+	{
+		Name:  "corrupt",
+		Desc:  "truncated and bit-flipped envelope frames",
+		Probs: map[Kind]float64{Truncate: 0.08, FlipBit: 0.08},
+	},
+	{
+		Name:  "overload",
+		Desc:  "HTTP 503 bursts with Retry-After hints",
+		Probs: map[Kind]float64{Status503: 0.2},
+	},
+	{
+		Name:  "dups",
+		Desc:  "duplicate request delivery",
+		Probs: map[Kind]float64{Duplicate: 0.1},
+	},
+	{
+		Name:  "outage",
+		Desc:  "sustained refusals/resets: trips the breaker, saturates fault pressure",
+		Probs: map[Kind]float64{Refuse: 0.45, Reset: 0.45},
+	},
+	{
+		Name: "mixed",
+		Desc: "a little of everything",
+		Probs: map[Kind]float64{
+			Refuse: 0.03, Reset: 0.03, Stall: 0.03,
+			Truncate: 0.02, FlipBit: 0.02, Status503: 0.04, Duplicate: 0.03,
+		},
+	},
+}
+
+// Scenarios lists the registry in declaration order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// ScenarioByName looks a scenario up by name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

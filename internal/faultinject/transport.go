@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"syscall"
+
+	"soapbinq/internal/core"
+)
+
+// Transport wraps an inner core.Transport with plan-driven fault
+// injection on the client side of the exchange. One decision is drawn
+// per RoundTrip:
+//
+//   - Refuse surfaces ECONNREFUSED before the inner transport runs;
+//   - Status503 surfaces a core.StatusError (an HTTP overload answer)
+//     before the inner transport runs;
+//   - Stall blocks until ctx is done, then returns its error;
+//   - Reset lets the inner round trip complete (the server processes
+//     the request) but surfaces ECONNRESET — the mid-response reset;
+//   - Truncate / FlipBit corrupt the response frame in flight;
+//   - Duplicate performs the inner round trip twice — the server sees
+//     the request two times — and delivers the second response.
+type Transport struct {
+	Inner core.Transport
+	Plan  *Plan
+}
+
+var _ core.Transport = (*Transport)(nil)
+
+// RoundTrip implements core.Transport.
+func (t *Transport) RoundTrip(ctx context.Context, req *core.WireRequest) (*core.WireResponse, error) {
+	d := t.Plan.draw()
+	switch d.kind {
+	case Refuse:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case Status503:
+		return nil, &core.StatusError{Code: http.StatusServiceUnavailable}
+	case Stall:
+		if ctx.Done() == nil {
+			// No budget to stall against; surface a transport timeout
+			// rather than blocking forever.
+			return nil, stallError{}
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	resp, err := t.Inner.RoundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	switch d.kind {
+	case Reset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Truncate:
+		return &core.WireResponse{ContentType: resp.ContentType, Body: TruncateFrame(resp.Body)}, nil
+	case FlipBit:
+		return &core.WireResponse{ContentType: resp.ContentType, Body: FlipBitInFrame(resp.Body, d.arg)}, nil
+	case Duplicate:
+		resp2, err2 := t.Inner.RoundTrip(ctx, req)
+		if err2 != nil {
+			// The duplicate failed; the first delivery stands.
+			return resp, nil
+		}
+		return resp2, nil
+	}
+	return resp, nil
+}
+
+// stallError is the net.Error-shaped timeout surfaced when a stall is
+// injected under a context with no deadline.
+type stallError struct{}
+
+func (stallError) Error() string   { return "faultinject: stalled read" }
+func (stallError) Timeout() bool   { return true }
+func (stallError) Temporary() bool { return true }

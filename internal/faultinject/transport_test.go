@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+)
+
+// stubTransport answers every round trip with a fixed body and counts
+// the calls that reach it.
+type stubTransport struct {
+	calls int
+	body  []byte
+}
+
+func (s *stubTransport) RoundTrip(_ context.Context, _ *core.WireRequest) (*core.WireResponse, error) {
+	s.calls++
+	return &core.WireResponse{ContentType: core.ContentTypeBinary, Body: append([]byte{}, s.body...)}, nil
+}
+
+func newStubRig(kinds ...Kind) (*Transport, *stubTransport) {
+	inner := &stubTransport{body: []byte{0xDE, 0xAD, 0xBE, 0xEF}}
+	return &Transport{Inner: inner, Plan: Script(kinds...)}, inner
+}
+
+func TestTransportRefuse(t *testing.T) {
+	tr, inner := newStubRig(Refuse)
+	_, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want ECONNREFUSED", err)
+	}
+	if inner.calls != 0 {
+		t.Errorf("refusal reached the inner transport (%d calls)", inner.calls)
+	}
+}
+
+func TestTransportStatus503(t *testing.T) {
+	tr, inner := newStubRig(Status503)
+	_, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	var se *core.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if inner.calls != 0 {
+		t.Errorf("503 burst reached the inner transport (%d calls)", inner.calls)
+	}
+}
+
+func TestTransportStallHonorsContext(t *testing.T) {
+	tr, inner := newStubRig(Stall)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.RoundTrip(ctx, &core.WireRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("stall took %v; not bounded by the deadline", elapsed)
+	}
+	if inner.calls != 0 {
+		t.Errorf("stall reached the inner transport (%d calls)", inner.calls)
+	}
+}
+
+func TestTransportStallWithoutDeadline(t *testing.T) {
+	tr, _ := newStubRig(Stall)
+	_, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a net.Error timeout", err)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	tr, inner := newStubRig(Reset)
+	_, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want ECONNRESET", err)
+	}
+	// A reset fires after delivery: the server processed the request.
+	if inner.calls != 1 {
+		t.Errorf("inner calls = %d, want 1", inner.calls)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	tr, inner := newStubRig(Truncate)
+	resp, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TruncateFrame(inner.body); !bytes.Equal(resp.Body, want) {
+		t.Errorf("body = %v, want truncated %v", resp.Body, want)
+	}
+}
+
+func TestTransportFlipBit(t *testing.T) {
+	tr, inner := newStubRig(FlipBit)
+	resp, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(resp.Body, inner.body) {
+		t.Fatal("body not corrupted")
+	}
+	diff := 0
+	for i := range resp.Body {
+		x := resp.Body[i] ^ inner.body[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestTransportDuplicate(t *testing.T) {
+	tr, inner := newStubRig(Duplicate)
+	resp, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 2 {
+		t.Errorf("inner calls = %d, want 2 (at-least-once delivery)", inner.calls)
+	}
+	if !bytes.Equal(resp.Body, inner.body) {
+		t.Errorf("duplicate should deliver an intact response, got %v", resp.Body)
+	}
+}
+
+func TestTransportClean(t *testing.T) {
+	tr, inner := newStubRig() // empty script: no injections
+	resp, err := tr.RoundTrip(context.Background(), &core.WireRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 1 || !bytes.Equal(resp.Body, inner.body) {
+		t.Errorf("clean pass-through broken: calls=%d body=%v", inner.calls, resp.Body)
+	}
+}

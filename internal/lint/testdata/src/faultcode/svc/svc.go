@@ -3,7 +3,11 @@
 // values computed elsewhere) are not.
 package svc
 
-import "soapbinq/internal/soap"
+import (
+	"time"
+
+	"soapbinq/internal/soap"
+)
 
 // BadLit sets the code from an ad-hoc string in a keyed literal.
 func BadLit() *soap.Fault {
@@ -33,4 +37,25 @@ func GoodAssign(f *soap.Fault) {
 // GoodComputed copies a code computed elsewhere; only literals are ad hoc.
 func GoodComputed(f *soap.Fault, code string) {
 	f.Code = code
+}
+
+// BadResilienceLit hand-rolls the load-shedding code instead of using
+// the declared constant (or the BusyFault constructor).
+func BadResilienceLit() *soap.Fault {
+	return &soap.Fault{Code: "Server.Busy", String: "shed"} // want "ad-hoc fault code"
+}
+
+// GoodResilienceConsts uses the declared resilience fault codes.
+func GoodResilienceConsts(f *soap.Fault) {
+	f.Code = soap.FaultCodeBusy
+	f.Code = soap.FaultCodeBreakerOpen
+}
+
+// GoodResilienceCtors builds resilience faults through their
+// constructors, which own the code and the retry-after detail.
+func GoodResilienceCtors() []*soap.Fault {
+	return []*soap.Fault{
+		soap.BusyFault(5 * time.Millisecond),
+		soap.BreakerOpenFault(250 * time.Millisecond),
+	}
 }

@@ -1,0 +1,20 @@
+package netem
+
+import (
+	"net"
+
+	"soapbinq/internal/faultinject"
+)
+
+// Chaos composes real-socket link emulation with fault injection:
+// connections accepted from ln are paced to the link profile's
+// downstream rate and latency, then subjected to the plan's faults.
+// The fault layer sits outermost so an injected reset or truncation
+// still pays the throttled link's transmission time for whatever bytes
+// it does deliver — faults on a slow link, the paper's worst case.
+func Chaos(ln net.Listener, link LinkProfile, plan *faultinject.Plan) net.Listener {
+	return &faultinject.Listener{
+		Listener: &ThrottledListener{Listener: ln, Bps: link.DownBps, Latency: link.Latency},
+		Plan:     plan,
+	}
+}

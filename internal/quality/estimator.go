@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"soapbinq/internal/soap"
 )
 
 // DefaultAlpha is the exponential-averaging weight most RTT estimators
@@ -13,7 +15,9 @@ import (
 const DefaultAlpha = 0.875
 
 // Estimator maintains a smoothed round-trip-time estimate from per-request
-// samples. It is safe for concurrent use.
+// samples, plus a fault-pressure level that penalizes the estimate the
+// selector sees (Effective) when calls keep failing. It is safe for
+// concurrent use.
 type Estimator struct {
 	mu       sync.Mutex
 	alpha    float64
@@ -21,7 +25,19 @@ type Estimator struct {
 	primed   bool
 	samples  int
 	excluded int
+	pressure int
 }
+
+// Fault-pressure bounds. Each pressure unit doubles the effective
+// estimate; the cap keeps recovery quick (at most maxFaultPressure
+// successful calls back to the true estimate) while a saturated
+// penalty of 2^6 = 64× — with at least penaltyFloor as the base, so
+// the penalty bites even on links too fast to have primed an estimate —
+// is enough to push any sane policy to its smallest message type.
+const (
+	maxFaultPressure = 6
+	penaltyFloor     = time.Millisecond
+)
 
 // NewEstimator returns an estimator with the given weight; alpha outside
 // (0,1) falls back to DefaultAlpha.
@@ -47,6 +63,11 @@ func (e *Estimator) Observe(sample time.Duration) time.Duration {
 		e.current = time.Duration(e.alpha*float64(e.current) + (1-e.alpha)*float64(sample))
 	}
 	e.samples++
+	if e.pressure > 0 {
+		// A successful call releases one unit of fault pressure: the
+		// climb back to full quality mirrors the paper's RTT recovery.
+		e.pressure--
+	}
 	return e.current
 }
 
@@ -70,8 +91,14 @@ func (e *Estimator) Samples() int {
 // folding them in would drag the estimate toward whatever timeout the
 // application happened to configure, destabilizing the adaptation loop.
 // Other failures (connection refused, faults) carry no RTT signal at
-// all. Either way the estimate is untouched; Excluded counts them for
-// observability.
+// all. Either way the estimate itself is untouched; Excluded counts
+// them for observability.
+//
+// Failures that signal trouble reaching the endpoint (PressureError)
+// additionally raise the fault-pressure level, inflating Effective so
+// the selector degrades toward smaller message types while the
+// endpoint struggles. Definitive application faults do not: the
+// endpoint answered, the link is fine.
 func (e *Estimator) ObserveFailure(err error) {
 	if err == nil {
 		return
@@ -79,6 +106,68 @@ func (e *Estimator) ObserveFailure(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.excluded++
+	if PressureError(err) && e.pressure < maxFaultPressure {
+		e.pressure++
+	}
+}
+
+// Pressure returns the current fault-pressure level (0 = healthy).
+func (e *Estimator) Pressure() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pressure
+}
+
+// Relax releases one unit of fault pressure. It is the success signal
+// for estimators that never fold RTT samples — the server side, whose
+// estimate arrives via Set — where Observe's built-in decay never runs.
+func (e *Estimator) Relax() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pressure > 0 {
+		e.pressure--
+	}
+}
+
+// Effective returns the estimate the quality selector should consult:
+// the smoothed RTT doubled once per fault-pressure unit (with at least
+// penaltyFloor as the base, so repeated failures degrade quality even
+// before any sample primed the estimate). With zero pressure it equals
+// Estimate.
+func (e *Estimator) Effective() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pressure == 0 {
+		return e.current
+	}
+	base := e.current
+	if base < penaltyFloor {
+		base = penaltyFloor
+	}
+	return base << uint(e.pressure)
+}
+
+// PressureError reports whether err signals fault pressure on the
+// path to the endpoint: deadline expiry (local or served), the
+// unavailable family (shed, draining, breaker fast-fail), and
+// transport-level failures all do. Cancellations are the caller's
+// choice, and any other served fault is a definitive answer from a
+// responsive endpoint — neither raises pressure.
+func PressureError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, soap.ErrUnavailable) {
+		return true
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		return false
+	}
+	return true
 }
 
 // Excluded returns how many failed calls were withheld from the

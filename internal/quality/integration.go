@@ -120,7 +120,9 @@ func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	sendTime := time.Now()
 	hdr[ClientIDHeader] = q.id
 	hdr[TimestampHeader] = strconv.FormatInt(sendTime.UnixNano(), 10)
-	if est := q.Estimator.Estimate(); est > 0 {
+	// Piggyback the fault-penalized estimate: under fault pressure the
+	// server must degrade with the client, not against a stale smooth RTT.
+	if est := q.Estimator.Effective(); est > 0 {
 		hdr[RTTHeader] = strconv.FormatInt(int64(est), 10)
 	}
 
@@ -138,6 +140,8 @@ func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	if err != nil {
 		// A timed-out or cancelled sample is censored, not a
 		// measurement; count the exclusion instead of folding it in.
+		// Failures reaching the endpoint also raise fault pressure,
+		// degrading subsequent selections (see Estimator.Effective).
 		q.Estimator.ObserveFailure(err)
 		return nil, err
 	}
@@ -237,10 +241,15 @@ func (m *Manager) Middleware(inner core.HandlerFunc) core.HandlerFunc {
 		prepStart := time.Now()
 		full, err := inner(ctx, params)
 		if err != nil {
+			// Handler failures (deadline expiry under load, unavailable
+			// backends) raise this client's fault pressure so the next
+			// selection degrades; successes below release it.
+			serverEst.ObserveFailure(err)
 			return idl.Value{}, err
 		}
+		serverEst.Relax()
 
-		typeName := sel.Select(serverEst.Estimate())
+		typeName := sel.Select(serverEst.Effective())
 		out := full
 		target, ok := policy.Types[typeName]
 		if ok && full.Type != nil && !full.Type.Equal(target) {

@@ -1,0 +1,146 @@
+package quality
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"soapbinq/internal/soap"
+)
+
+var errNet = errors.New("connection refused")
+
+func TestPressureRisesAndCaps(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	if e.Pressure() != 0 {
+		t.Fatalf("fresh estimator pressure = %d", e.Pressure())
+	}
+	for i := 0; i < 20; i++ {
+		e.ObserveFailure(errNet)
+	}
+	if got := e.Pressure(); got != maxFaultPressure {
+		t.Errorf("pressure = %d after 20 failures, want capped at %d", got, maxFaultPressure)
+	}
+	if got := e.Excluded(); got != 20 {
+		t.Errorf("Excluded() = %d, want 20 (every failure counted)", got)
+	}
+}
+
+func TestPressureDecaysOnSuccess(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	e.ObserveFailure(errNet)
+	e.ObserveFailure(errNet)
+	e.Observe(time.Millisecond)
+	if got := e.Pressure(); got != 1 {
+		t.Errorf("pressure = %d after one success, want 1", got)
+	}
+	e.Observe(time.Millisecond)
+	e.Observe(time.Millisecond) // below zero must clamp
+	if got := e.Pressure(); got != 0 {
+		t.Errorf("pressure = %d, want 0", got)
+	}
+}
+
+// TestPressureRelax covers the server-side decay path: estimates that
+// arrive via Set never run Observe, so Relax is the success signal.
+func TestPressureRelax(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	e.ObserveFailure(errNet)
+	e.Set(4 * time.Millisecond) // Set must NOT decay pressure
+	if got := e.Pressure(); got != 1 {
+		t.Errorf("pressure = %d after Set, want 1 (Set is not a success signal)", got)
+	}
+	e.Relax()
+	if got := e.Pressure(); got != 0 {
+		t.Errorf("pressure = %d after Relax, want 0", got)
+	}
+	e.Relax() // idempotent at zero
+	if got := e.Pressure(); got != 0 {
+		t.Errorf("pressure = %d, want 0", got)
+	}
+}
+
+func TestEffectivePenalty(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+
+	// No pressure: Effective == Estimate, even unprimed.
+	if got := e.Effective(); got != 0 {
+		t.Errorf("unprimed Effective() = %v, want 0", got)
+	}
+
+	// Unprimed but under pressure: the floor ensures the penalty bites.
+	e.ObserveFailure(errNet)
+	e.ObserveFailure(errNet)
+	if got, want := e.Effective(), penaltyFloor<<2; got != want {
+		t.Errorf("unprimed Effective() under pressure 2 = %v, want %v", got, want)
+	}
+
+	// Primed: each pressure unit doubles the estimate.
+	e2 := NewEstimator(DefaultAlpha)
+	e2.Set(4 * time.Millisecond)
+	e2.ObserveFailure(errNet)
+	e2.ObserveFailure(errNet)
+	e2.ObserveFailure(errNet)
+	if got, want := e2.Effective(), 32*time.Millisecond; got != want {
+		t.Errorf("Effective() = %v, want %v (4ms << 3)", got, want)
+	}
+	if got := e2.Estimate(); got != 4*time.Millisecond {
+		t.Errorf("Estimate() = %v, want 4ms untouched by pressure", got)
+	}
+
+	// Saturated penalty from the floor still reaches a large value.
+	e3 := NewEstimator(DefaultAlpha)
+	for i := 0; i < 10; i++ {
+		e3.ObserveFailure(errNet)
+	}
+	if got, want := e3.Effective(), penaltyFloor<<maxFaultPressure; got != want {
+		t.Errorf("saturated Effective() = %v, want %v", got, want)
+	}
+}
+
+func TestPressureErrorClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"cancel", context.Canceled, false},
+		{"cancel fault", soap.ContextFault(context.Canceled), false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped deadline", fmt.Errorf("call: %w", context.DeadlineExceeded), true},
+		{"deadline fault", soap.ContextFault(context.DeadlineExceeded), true},
+		{"busy fault", soap.BusyFault(time.Millisecond), true},
+		{"breaker fault", soap.BreakerOpenFault(time.Second), true},
+		{"drain fault", &soap.Fault{Code: soap.FaultCodeUnavailable}, true},
+		{"app fault", &soap.Fault{Code: soap.FaultCodeServer, String: "kaboom"}, false},
+		{"client fault", &soap.Fault{Code: soap.FaultCodeClient}, false},
+		{"transport", errNet, true},
+		{"truncated", io.ErrUnexpectedEOF, true},
+	}
+	for _, c := range cases {
+		if got := PressureError(c.err); got != c.want {
+			t.Errorf("PressureError(%s: %v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestPressureDoesNotShiftEstimate pins the censoring property: fault
+// pressure penalizes Effective but never pollutes the smoothed RTT.
+func TestPressureDoesNotShiftEstimate(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	e.Observe(2 * time.Millisecond)
+	before := e.Estimate()
+	for i := 0; i < 5; i++ {
+		e.ObserveFailure(context.DeadlineExceeded)
+	}
+	if got := e.Estimate(); got != before {
+		t.Errorf("Estimate() moved from %v to %v on failures", before, got)
+	}
+	if e.Samples() != 1 {
+		t.Errorf("Samples() = %d, want 1", e.Samples())
+	}
+}

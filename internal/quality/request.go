@@ -63,7 +63,7 @@ func (q *Client) adaptRequest(op string, params []soap.Param) ([]soap.Param, str
 	if !ok {
 		return params, "", nil
 	}
-	typeName := rule.selector.Select(q.Estimator.Estimate())
+	typeName := rule.selector.Select(q.Estimator.Effective())
 	target, ok := rule.Policy.Types[typeName]
 	if !ok {
 		return params, "", nil

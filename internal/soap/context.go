@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -79,13 +80,20 @@ func ContextFault(err error) *Fault {
 // Is makes faults carrying the deadline/cancellation codes match
 // errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
 // context.Canceled), so callers can handle timeouts uniformly whether the
-// failure surfaced locally or as a served fault.
+// failure surfaced locally or as a served fault. Faults in the
+// unavailable family — draining (Server.Unavailable and its dotted
+// subcodes, e.g. the breaker's fast-fail) and shedding (Server.Busy) —
+// match ErrUnavailable the same way.
 func (f *Fault) Is(target error) bool {
 	switch target {
 	case context.DeadlineExceeded:
 		return f.Code == FaultCodeDeadlineExceeded
 	case context.Canceled:
 		return f.Code == FaultCodeCancelled
+	case ErrUnavailable:
+		return f.Code == FaultCodeUnavailable ||
+			f.Code == FaultCodeBusy ||
+			strings.HasPrefix(f.Code, FaultCodeUnavailable+".")
 	default:
 		return false
 	}

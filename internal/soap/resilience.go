@@ -1,0 +1,84 @@
+package soap
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// Fault codes for the resilience layer (load shedding and circuit
+// breaking). Like the context codes, they are dotted refinements of the
+// SOAP 1.1 Server code; both are part of the "unavailable" family that
+// matches errors.Is(err, ErrUnavailable).
+const (
+	// FaultCodeBusy reports a server shedding load: the in-flight bound
+	// was hit and the request was refused *before* any processing, so
+	// re-sending is safe regardless of idempotency. The fault's Detail
+	// carries a retry-after hint (see RetryAfterHint).
+	FaultCodeBusy = "Server.Busy"
+	// FaultCodeBreakerOpen is the client-side fast-fail produced by an
+	// open circuit breaker: the endpoint has been failing and the call
+	// was abandoned without touching the network.
+	FaultCodeBreakerOpen = "Server.Unavailable.BreakerOpen"
+)
+
+// ErrUnavailable is the sentinel for the whole unavailable family —
+// draining servers, shed (busy) requests, and breaker fast-fails all
+// match errors.Is(err, soap.ErrUnavailable), letting callers treat
+// "the service cannot take this call right now" uniformly without
+// switching on fault codes.
+var ErrUnavailable = errors.New("soap: service unavailable")
+
+// retryAfterPrefix tags the retry hint inside a fault's Detail field.
+// Riding in Detail means the hint crosses both wire formats unchanged:
+// XML and binary fault frames already carry Detail verbatim.
+const retryAfterPrefix = "retry-after="
+
+// BusyFault builds the load-shedding fault, embedding retryAfter as a
+// hint in the Detail field when positive.
+func BusyFault(retryAfter time.Duration) *Fault {
+	f := &Fault{Code: FaultCodeBusy, String: "server at capacity, request shed"}
+	if retryAfter > 0 {
+		f.Detail = retryAfterPrefix + retryAfter.String()
+	}
+	return f
+}
+
+// BreakerOpenFault builds a circuit breaker's fast-fail fault,
+// embedding the remaining cooldown as a retry hint when positive.
+func BreakerOpenFault(remaining time.Duration) *Fault {
+	f := &Fault{Code: FaultCodeBreakerOpen, String: "circuit breaker open: endpoint failing"}
+	if remaining > 0 {
+		f.Detail = retryAfterPrefix + remaining.String()
+	}
+	return f
+}
+
+// RetryAfterHint extracts the server's retry hint from a fault carried
+// anywhere in err's chain. ok is false when there is no fault or no
+// parseable hint; the hint fields are whitespace-separated within
+// Detail, so unrelated detail content coexists with it.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var f *Fault
+	if !errors.As(err, &f) || f == nil {
+		return 0, false
+	}
+	for _, field := range strings.Fields(f.Detail) {
+		rest, found := strings.CutPrefix(field, retryAfterPrefix)
+		if !found {
+			continue
+		}
+		if d, perr := time.ParseDuration(rest); perr == nil && d >= 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// IsBusy reports whether err is (or wraps) a load-shed fault — the one
+// fault that is always safe to retry, since the server provably did not
+// process the request.
+func IsBusy(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f != nil && f.Code == FaultCodeBusy
+}

@@ -1,0 +1,81 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBusyFaultShape(t *testing.T) {
+	f := BusyFault(7 * time.Millisecond)
+	if f.Code != FaultCodeBusy {
+		t.Errorf("code = %q", f.Code)
+	}
+	if hint, ok := RetryAfterHint(f); !ok || hint != 7*time.Millisecond {
+		t.Errorf("hint = %v/%v, want 7ms", hint, ok)
+	}
+	if !IsBusy(f) || !errors.Is(f, ErrUnavailable) {
+		t.Error("busy fault must match IsBusy and ErrUnavailable")
+	}
+	// Zero hint: no Detail, no hint extracted.
+	if _, ok := RetryAfterHint(BusyFault(0)); ok {
+		t.Error("zero retry-after produced a hint")
+	}
+}
+
+func TestBreakerOpenFaultShape(t *testing.T) {
+	f := BreakerOpenFault(250 * time.Millisecond)
+	if f.Code != FaultCodeBreakerOpen {
+		t.Errorf("code = %q", f.Code)
+	}
+	if !errors.Is(f, ErrUnavailable) {
+		t.Error("breaker fault must match ErrUnavailable")
+	}
+	if IsBusy(f) {
+		t.Error("breaker fault must not read as busy (busy waives idempotency)")
+	}
+	if hint, ok := RetryAfterHint(f); !ok || hint != 250*time.Millisecond {
+		t.Errorf("hint = %v/%v, want 250ms", hint, ok)
+	}
+}
+
+func TestUnavailableFamilyMatching(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"plain unavailable", &Fault{Code: FaultCodeUnavailable}, true},
+		{"busy", &Fault{Code: FaultCodeBusy}, true},
+		{"breaker refinement", &Fault{Code: FaultCodeBreakerOpen}, true},
+		{"other refinement", &Fault{Code: FaultCodeUnavailable + ".Draining"}, true},
+		{"server", &Fault{Code: FaultCodeServer}, false},
+		{"client", &Fault{Code: FaultCodeClient}, false},
+		{"wrapped busy", fmt.Errorf("call: %w", BusyFault(0)), true},
+	}
+	for _, c := range cases {
+		if got := errors.Is(c.err, ErrUnavailable); got != c.want {
+			t.Errorf("%s: Is(ErrUnavailable) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHintParsing(t *testing.T) {
+	// The hint survives alongside other detail text.
+	f := &Fault{Code: FaultCodeBusy, Detail: "queue=overflow retry-after=30ms shard=2"}
+	if hint, ok := RetryAfterHint(f); !ok || hint != 30*time.Millisecond {
+		t.Errorf("hint = %v/%v, want 30ms", hint, ok)
+	}
+	// Malformed durations and non-fault errors yield no hint.
+	for _, err := range []error{
+		&Fault{Code: FaultCodeBusy, Detail: "retry-after=soon"},
+		&Fault{Code: FaultCodeBusy},
+		errors.New("not a fault"),
+		nil,
+	} {
+		if _, ok := RetryAfterHint(err); ok {
+			t.Errorf("RetryAfterHint(%v) produced a hint", err)
+		}
+	}
+}
