@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race chaos bench lint fuzz-smoke
+.PHONY: check build vet test race chaos bench bench-paper bench-compare lint fuzz-smoke
 
 # The tier-1 gate: everything must build, vet clean, pass the full
 # suite under the race detector (the context/cancellation paths are
@@ -41,6 +41,19 @@ fuzz-smoke:
 	$(GO) test ./internal/xmlenc -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/soap -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
-# Regenerate every table/figure of the paper's evaluation (quick pass).
+# Measure the zero-allocation wire hot path (codec plans, pooled
+# buffers and value slabs, multiplexed TCP pool) with -benchmem
+# semantics and record BENCH_pr4.json: ns/op, B/op, allocs/op for the
+# codec and the pooled echo round trip, plus throughput and p50/p99 RTT
+# at 1/8/64 concurrent callers over real TCP.
 bench:
+	$(GO) run ./cmd/soapbench -hotpath -benchout BENCH_pr4.json
+
+# Re-measure and check against the recorded BENCH_pr4.json; fails on
+# allocation regressions (timing columns are advisory).
+bench-compare:
+	$(GO) run ./cmd/soapbench -hotpath -quick -compare -benchout BENCH_pr4.json
+
+# Regenerate every table/figure of the paper's evaluation (quick pass).
+bench-paper:
 	$(GO) run ./cmd/soapbench -all -quick

@@ -248,3 +248,76 @@ func benchLoopbackCall(b *testing.B, wire core.WireFormat) {
 		}
 	}
 }
+
+// ---- hot-path regression benchmarks (PR 4) ----
+//
+// CI runs these with -bench Hotpath -benchmem -benchtime=100x as a
+// smoke gate; `make bench` produces the full BENCH_pr4.json report via
+// the same measurements in internal/bench/hotpath.go.
+
+// BenchmarkHotpathEncodeReused is the compiled-plan encode into a reused
+// buffer: 0 B/op, 0 allocs/op at steady state.
+func BenchmarkHotpathEncodeReused(b *testing.B) {
+	enc, _ := newBenchCodec()
+	v := workload.IntArray(1024)
+	wire, err := enc.Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, len(wire)+64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.AppendMarshal(buf[:0], v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathDecodeReused is the compiled-plan decode into a reused
+// value tree: 0 B/op, 0 allocs/op at steady state.
+func BenchmarkHotpathDecodeReused(b *testing.B) {
+	enc, dec := newBenchCodec()
+	v := workload.IntArray(1024)
+	wire, err := enc.Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var into Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.UnmarshalInto(&into, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathLoopbackEchoReleased is the complete pooled
+// invocation: request and response buffers from bufpool, decoded value
+// slabs returned to the pool via Response.Release.
+func BenchmarkHotpathLoopbackEchoReleased(b *testing.B) {
+	fs := NewMemFormatServer()
+	spec := MustServiceSpec("HB",
+		&OpDef{
+			Name:   "echo",
+			Params: []ParamSpec{{Name: "v", Type: workload.IntArrayType()}},
+			Result: workload.IntArrayType(),
+		},
+	)
+	srv := NewEndpoint(fs).NewServer(spec)
+	srv.MustHandle("echo", func(_ *CallCtx, params []Param) (Value, error) {
+		return params[0].Value, nil
+	})
+	client := NewEndpoint(fs).NewClient(spec, &Loopback{Server: srv}, core.WireBinary)
+	v := workload.IntArray(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Call(context.Background(), "echo", nil, Param{Name: "v", Value: v})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Release()
+	}
+}

@@ -23,12 +23,23 @@
 //
 // The same scenario and seed always reproduce the identical fault
 // injection sequence.
+//
+// Hot-path mode measures the zero-allocation wire path (codec reuse,
+// pooled buffers, multiplexed TCP pool) and records BENCH_pr4.json;
+// -compare replays the suite against a recorded report and fails on
+// allocation regressions:
+//
+//	soapbench -hotpath                      # measure, write BENCH_pr4.json
+//	soapbench -hotpath -quick -compare      # CI regression gate
+//	soapbench -hotpath -cpuprofile cpu.out  # with pprof profiles
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"soapbinq/internal/bench"
 	"soapbinq/internal/core"
@@ -51,7 +62,46 @@ func run() error {
 	retries := flag.Int("retries", 0, "retries on transient transport errors (echo workloads are side-effect free)")
 	faults := flag.String("faults", "", "replay a named fault scenario (\"list\" to enumerate)")
 	seed := flag.Int64("seed", 1, "fault scenario seed (same scenario+seed = same injection sequence)")
+	hotpath := flag.Bool("hotpath", false, "measure the zero-allocation wire path")
+	benchout := flag.String("benchout", "BENCH_pr4.json", "hot-path report path (\"\" = don't write)")
+	compare := flag.Bool("compare", false, "with -hotpath: compare against the recorded report instead of rewriting it")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "soapbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "soapbench: memprofile:", err)
+			}
+		}()
+	}
+
+	if *hotpath {
+		if *compare {
+			return bench.CompareHotpath(os.Stdout, *quick, *benchout)
+		}
+		_, err := bench.RunHotpath(os.Stdout, *quick, *benchout)
+		return err
+	}
 
 	if *faults == "list" {
 		for _, s := range faultinject.Scenarios() {
@@ -91,6 +141,6 @@ func run() error {
 		return bench.Run(*exp, os.Stdout, *quick)
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -list, -exp, -all, -faults is required")
+		return fmt.Errorf("one of -list, -exp, -all, -faults, -hotpath is required")
 	}
 }

@@ -1,0 +1,145 @@
+// Package bufpool provides the size-classed, sync.Pool-backed byte
+// buffers shared by the wire hot path: PBIO encode/decode, binary and XML
+// envelope building, and TCP framing. Reusing buffers keeps steady-state
+// serialization off the garbage collector, which is where the profile of
+// the pre-pooling implementation spent its time under concurrency.
+//
+// # Ownership rules
+//
+// Pooled buffers follow one transfer-of-ownership discipline, documented
+// here once and referenced by the layers that use it:
+//
+//  1. Get returns a buffer owned by the caller. Nobody else holds a
+//     reference to it.
+//  2. Ownership moves with the bytes: a function that returns a pooled
+//     buffer (or stores it into a struct it hands back) transfers
+//     ownership to the receiver. The producer must not touch the buffer
+//     afterwards.
+//  3. Exactly one owner calls Put, after which the buffer must not be
+//     read or written. Put is always optional: a buffer that escapes to
+//     an owner with an unknown lifetime (a test, an application callback)
+//     is simply left to the garbage collector.
+//  4. Anything that must outlive the buffer — strings, decoded values,
+//     response structs — is copied out before Put. The decoders in pbio,
+//     core, and soap copy by construction (string(b) copies; idl.Value
+//     holds no references into the wire buffer).
+//
+// The append idiom is safe with pooled buffers: callers treat the buffer
+// as a prefix-empty append target (b = append(b, ...)) and Put the final
+// slice; if append grew past the pooled capacity the grown slice is
+// pooled instead and the old one is dropped.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// disabled short-circuits the pool; see SetEnabled.
+var disabled atomic.Bool
+
+// SetEnabled turns pooling on (the default) or off globally and returns
+// the previous state. Off, Get allocates fresh buffers and Put discards
+// everything — exactly the pre-pooling allocation behavior. The hot-path
+// benchmark uses this for an apples-to-apples pooled-vs-baseline
+// comparison on identical code paths; it is also a diagnostic lever when
+// hunting a suspected buffer-reuse bug (if a failure disappears with
+// pooling off, some owner is using a buffer after Put).
+func SetEnabled(on bool) bool {
+	return !disabled.Swap(!on)
+}
+
+// Enabled reports whether pooling is on. Sibling pools that follow this
+// package's ownership rules (pbio's value-slab pool) key off the same
+// switch so SetEnabled(false) reproduces the whole pre-pooling
+// allocation profile, not just the byte-buffer part.
+func Enabled() bool {
+	return !disabled.Load()
+}
+
+// Size classes, in bytes. Requests are rounded up to the next class;
+// requests above the largest class are allocated directly and never
+// pooled (Put drops them), so one pathological message cannot pin a
+// 256 MiB buffer in every pool slot.
+var classSizes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// MaxPooled is the largest buffer capacity the pool retains.
+const MaxPooled = 4 << 20
+
+var pools [len(classSizes)]sync.Pool
+
+// boxes recycles the *[]byte headers the class pools store. Putting
+// &local into a sync.Pool heap-allocates the escaping slice header on
+// every call; recycling the boxes (a pointer-to-interface conversion is
+// allocation-free) keeps the put/get cycle itself at zero allocations.
+var boxes sync.Pool
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// when n exceeds every class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a zero-length buffer with capacity at least sizeHint. The
+// caller owns it (ownership rule 1); hand it back with Put when its
+// lifetime is known, or let it go to the GC when it is not.
+func Get(sizeHint int) []byte {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	c := classFor(sizeHint)
+	if c < 0 {
+		return make([]byte, 0, sizeHint)
+	}
+	if disabled.Load() {
+		return make([]byte, 0, classSizes[c])
+	}
+	if box, ok := pools[c].Get().(*[]byte); ok {
+		b := *box
+		*box = nil
+		boxes.Put(box)
+		return b[:0]
+	}
+	return make([]byte, 0, classSizes[c])
+}
+
+// Put returns a buffer to its size class. The slice must not be used
+// afterwards (ownership rule 3). Buffers larger than MaxPooled, and nil,
+// are dropped. The contents are not cleared: the next Get hands out the
+// buffer at zero length, and owners never read past their own appends.
+func Put(b []byte) {
+	if b == nil || disabled.Load() {
+		return
+	}
+	c := putClassFor(cap(b))
+	if c < 0 {
+		return
+	}
+	box, ok := boxes.Get().(*[]byte)
+	if !ok {
+		box = new([]byte)
+	}
+	*box = b[:0]
+	pools[c].Put(box)
+}
+
+// putClassFor returns the class a buffer of capacity c files under: the
+// largest class not exceeding c, so a grown buffer is reused at the class
+// its real capacity serves. Capacities below the smallest class are
+// dropped (too small to be worth a pool slot).
+func putClassFor(c int) int {
+	if c > MaxPooled {
+		return -1
+	}
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -6,17 +6,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/soap"
 	"soapbinq/internal/xmlenc"
 )
 
-// WireRequest is a serialized request handed to a Transport.
+// WireRequest is a serialized request handed to a Transport. Body is
+// only valid for the duration of RoundTrip: the client recycles it into
+// the bufpool once all attempts are done, so a transport must not retain
+// it past return.
 type WireRequest struct {
 	ContentType string
 	Action      string // operation name, for XML requests
@@ -40,6 +45,21 @@ type Transport interface {
 	RoundTrip(ctx context.Context, req *WireRequest) (*WireResponse, error)
 }
 
+// PooledBodyTransport is implemented by transports whose WireResponse
+// bodies come from the bufpool and are handed off to the caller — the
+// raw-TCP transports, whose frame reads land in pooled buffers. The
+// client releases such bodies back to the pool once the response is
+// decoded (every decoder copies strings out of the wire buffer, so
+// nothing aliases it). Transports that return bodies with unknown
+// ownership — net/http, simulators, fault-injecting wrappers — simply
+// don't implement it and their bodies are left to the GC.
+type PooledBodyTransport interface {
+	Transport
+	// PooledResponseBodies reports whether response bodies may be
+	// recycled with bufpool.Put after decode.
+	PooledResponseBodies() bool
+}
+
 // TimedTransport is implemented by transports that know the true duration
 // of the last round trip better than a wall clock does — in particular the
 // netem virtual-clock simulator, where link delay is modeled rather than
@@ -54,10 +74,34 @@ type TimedTransport interface {
 	LastRoundTrip() time.Duration
 }
 
+// defaultHTTPClient backs HTTPTransport when no Client is configured.
+// net/http's DefaultTransport keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so anything beyond 2 concurrent callers
+// against one SOAP endpoint churns TCP connections — each closed and
+// redialed with a fresh handshake. Backend SOAP traffic is exactly the
+// many-callers-one-endpoint shape, so the shared default keeps a full
+// complement of idle connections per host and lets them linger long
+// enough to survive request gaps.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second, // TCP-level keep-alive probes
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64, // match the benchmark's widest fan-in
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+	},
+}
+
 // HTTPTransport posts envelopes to a SOAP endpoint over HTTP.
 type HTTPTransport struct {
 	URL    string
-	Client *http.Client // nil means http.DefaultClient
+	Client *http.Client // nil means a shared keep-alive-tuned client
 
 	// MaxResponseBytes caps how much of a response body is read. Zero or
 	// negative means the default, 256 MiB — the same bound the server
@@ -80,7 +124,7 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *WireRequest) (*WireR
 	}
 	client := t.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultHTTPClient
 	}
 	resp, err := client.Do(hreq)
 	if err != nil {
@@ -147,6 +191,19 @@ type Response struct {
 	Value  idl.Value
 	Header soap.Header
 	Stats  CallStats
+}
+
+// Release hands the response's decoded value tree back to the decoder's
+// slab pool. It is optional — an unreleased response is ordinary garbage
+// — but on the hot path it is where most of a call's allocation goes,
+// so loops that are done with a response should release it. Neither the
+// response's Value nor anything reached through it may be used after
+// Release; callers keeping a piece must copy it out first.
+func (r *Response) Release() {
+	if r == nil {
+		return
+	}
+	pbio.Release(&r.Value)
 }
 
 // TypeResolver maps a quality message-type name (from the response header)
@@ -243,6 +300,11 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	marshalled := time.Now()
 
 	wresp, attempts, err := c.roundTrip(ctx, opDef, req)
+	// All attempts are done; the request buffer (built by marshalBinary or
+	// soap.Marshal into a pooled buffer) goes back to the pool either way.
+	reqBytes := len(req.Body)
+	bufpool.Put(req.Body)
+	req.Body = nil
 	if err != nil {
 		// Budget expiry has one well-defined shape regardless of which
 		// layer noticed first.
@@ -255,9 +317,16 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	}
 	returned := time.Now()
 
-	resp, err := c.decodeResponse(opDef, wresp)
-	if err != nil {
-		return nil, err
+	resp, derr := c.decodeResponse(opDef, wresp)
+	respBytes := len(wresp.Body)
+	if pt, ok := c.transport.(PooledBodyTransport); ok && pt.PooledResponseBodies() {
+		// Decoders copy strings out of the wire buffer, so after decode
+		// (successful or not) nothing references it.
+		bufpool.Put(wresp.Body)
+		wresp.Body = nil
+	}
+	if derr != nil {
+		return nil, derr
 	}
 	done := time.Now()
 
@@ -267,8 +336,8 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 		resp.Stats.RoundTripTime = tt.LastRoundTrip()
 	}
 	resp.Stats.UnmarshalTime = done.Sub(returned)
-	resp.Stats.RequestBytes = len(req.Body)
-	resp.Stats.ResponseBytes = len(wresp.Body)
+	resp.Stats.RequestBytes = reqBytes
+	resp.Stats.ResponseBytes = respBytes
 	resp.Stats.Attempts = attempts
 	return resp, nil
 }
@@ -401,7 +470,10 @@ func (c *Client) encodeRequest(op *OpDef, hdr soap.Header, params []soap.Param) 
 		}
 		ct := ContentTypeXML
 		if c.wire == WireXMLDeflate {
-			if body, err = Deflate(body); err != nil {
+			xml := body
+			body, err = Deflate(xml)
+			bufpool.Put(xml) // compressed copy replaces the XML buffer
+			if err != nil {
 				return nil, err
 			}
 			ct = ContentTypeXMLDeflate

@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"soapbinq/internal/idl"
@@ -103,6 +106,63 @@ func TestHTTPTransportErrors(t *testing.T) {
 	tr2 := &HTTPTransport{URL: ":bad url:"}
 	if _, err := tr2.RoundTrip(context.Background(), &WireRequest{ContentType: ContentTypeBinary}); err == nil {
 		t.Error("bad URL must error")
+	}
+}
+
+// TestHTTPTransportReusesConnections drives sequential and concurrent
+// calls through the default (nil-Client) HTTPTransport and counts TCP
+// connections server-side: keep-alives must hold them far below the
+// call count. With net/http defaults this shape (many callers, one
+// endpoint) would redial constantly; the tuned shared client must not.
+func TestHTTPTransportReusesConnections(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := NewServer(testService(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(_ *CallCtx, params []soap.Param) (idl.Value, error) {
+		return params[0].Value, nil
+	})
+	var conns atomic.Int64
+	hs := httptest.NewUnstartedServer(srv)
+	hs.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	hs.Start()
+	t.Cleanup(hs.Close)
+
+	transport := &HTTPTransport{URL: hs.URL} // nil Client: the tuned shared default
+	client := NewClient(testService(), transport, pbio.NewCodec(pbio.NewRegistry(fs)), WireBinary)
+	payload := workload.NestedStruct(3, 1)
+
+	const sequential = 20
+	for i := 0; i < sequential; i++ {
+		if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := conns.Load(); n != 1 {
+		t.Errorf("%d sequential calls used %d connections, want 1", sequential, n)
+	}
+
+	const callers, rounds = 16, 4
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				if _, err := client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// At most one connection per concurrent caller, all kept alive across
+	// rounds (pool capacity is MaxIdleConnsPerHost=64 > callers).
+	if n := conns.Load(); n > callers+1 {
+		t.Errorf("%d concurrent calls used %d connections, want <= %d", callers*rounds, n, callers+1)
 	}
 }
 

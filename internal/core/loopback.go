@@ -20,4 +20,11 @@ func (l *Loopback) RoundTrip(ctx context.Context, req *WireRequest) (*WireRespon
 	return &WireResponse{ContentType: ct, Body: body}, nil
 }
 
-var _ Transport = (*Loopback)(nil)
+// PooledResponseBodies implements PooledBodyTransport: Process hands its
+// output buffer to the caller, and nothing server-side retains it.
+func (l *Loopback) PooledResponseBodies() bool { return true }
+
+var (
+	_ Transport           = (*Loopback)(nil)
+	_ PooledBodyTransport = (*Loopback)(nil)
+)

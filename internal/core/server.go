@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/soap"
@@ -54,6 +55,12 @@ func (c *CallCtx) SetResponseHeader(k, v string) {
 // single "return" parameter of the response; for void operations return
 // the zero Value. Returning a *soap.Fault (as the error) propagates it
 // verbatim; any other error becomes a Server fault.
+//
+// Param values live in pooled decoder slabs that the server releases
+// once the response is encoded. Returning a param (or a view into one)
+// as the result is fine — encoding happens before the release — but a
+// handler that stores a param value past its own return must copy the
+// tree first.
 type HandlerFunc func(ctx *CallCtx, params []soap.Param) (idl.Value, error)
 
 // Server dispatches SOAP-bin and SOAP-XML requests to registered
@@ -288,6 +295,15 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 	}
 	cctx.Op = op
 	cctx.RequestHeader = hdr
+	// The decoded parameter trees are this call's to release (handlers
+	// that retain a param value past return must copy it). Releasing
+	// waits until the response is fully encoded: the result commonly
+	// aliases a param (echo-style handlers return one).
+	releaseParams := func() {
+		for i := range params {
+			pbio.Release(&params[i].Value)
+		}
+	}
 
 	// Narrow the transport context by the client-propagated budget.
 	if deadline, ok := soap.DecodeDeadline(hdr, cctx.ReceivedAt); ok {
@@ -299,9 +315,11 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 
 	opDef, ok := s.spec.Op(op)
 	if !ok {
+		releaseParams()
 		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown operation %q", op)})
 	}
 	if f := s.checkParams(opDef, params); f != nil {
+		releaseParams()
 		return s.faultBody(wire, op, nil, f)
 	}
 
@@ -309,6 +327,7 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 	h := s.handlers[op]
 	s.mu.RUnlock()
 	if h == nil {
+		releaseParams()
 		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeServer, String: fmt.Sprintf("operation %q not implemented", op)})
 	}
 
@@ -321,12 +340,17 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 		respHdr := cctx.ResponseHeader
 		if f.Code == soap.FaultCodeDeadlineExceeded || f.Code == soap.FaultCodeCancelled {
 			// The abandoned handler goroutine may still be mutating the
-			// response header map; don't touch it.
+			// response header map and reading the params; don't touch
+			// either (the trees go to the GC instead of the pool).
 			respHdr = nil
+		} else {
+			releaseParams()
 		}
 		return s.faultBody(wire, op, respHdr, f)
 	}
-	return s.responseBody(wire, opDef, cctx.ResponseHeader, result)
+	ct, resp := s.responseBody(wire, opDef, cctx.ResponseHeader, result)
+	releaseParams()
+	return ct, resp
 }
 
 // invoke runs the handler under the invocation context. Without a
@@ -529,11 +553,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	action := trimActionQuotes(r.Header.Get(ActionHeader))
 	ct, resp := s.Process(r.Context(), r.Header.Get("Content-Type"), action, body)
+	bufpool.Put(body) // Process copies what it keeps from the request
 	w.Header().Set("Content-Type", ct)
 	if isFaultBody(ct, resp) {
 		w.WriteHeader(http.StatusInternalServerError)
 	}
-	w.Write(resp)
+	w.Write(resp) // ResponseWriter copies into its own buffers
+	bufpool.Put(resp)
 }
 
 // trimActionQuotes strips the quotes SOAP 1.1 clients put around

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -9,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"soapbinq/internal/bufpool"
 )
 
 // Raw TCP transport for SOAP-bin. The paper attributes SOAP-bin's gap
@@ -142,21 +145,46 @@ func (l *TCPListener) serveConn(conn net.Conn) {
 		delete(l.conns, conn)
 		l.mu.Unlock()
 	}()
+	// Protocol sniff: a multiplexed client opens with the "SBQM"
+	// handshake, a legacy client with a frame length. The two cannot
+	// collide — see the protocol note in tcpmux.go.
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	if first == muxMagic {
+		var ver [1]byte
+		if _, err := io.ReadFull(conn, ver[:]); err != nil || ver[0] != muxVersion {
+			return
+		}
+		l.serveMux(conn)
+		return
+	}
+	l.serveLegacy(io.MultiReader(bytes.NewReader(first[:]), conn), conn)
+}
+
+// serveLegacy is the one-exchange-at-a-time framed loop; r carries any
+// bytes the protocol sniff already consumed.
+func (l *TCPListener) serveLegacy(r io.Reader, conn net.Conn) {
 	for {
-		code, action, body, err := readTCPRequest(conn)
+		code, action, body, err := readTCPRequest(r)
 		if err != nil {
 			return
 		}
 		ct, err := codeToWire(code)
 		if err != nil {
+			bufpool.Put(body)
 			return
 		}
 		respCT, respBody := l.server.Process(l.ctx, ct, action, body)
+		bufpool.Put(body) // Process copies what it keeps; the frame buffer is free
 		respCode, err := wireToCode(respCT)
 		if err != nil {
 			return
 		}
-		if err := writeTCPFrame(conn, respCode, respBody); err != nil {
+		werr := writeTCPFrame(conn, respCode, respBody)
+		bufpool.Put(respBody)
+		if werr != nil {
 			return
 		}
 	}
@@ -300,7 +328,14 @@ func (t *TCPTransport) tryOnce(ctx context.Context, code byte, req *WireRequest)
 	return &WireResponse{ContentType: ct, Body: body}, nil
 }
 
-var _ Transport = (*TCPTransport)(nil)
+// PooledResponseBodies implements PooledBodyTransport: response bodies
+// come from readTCPFrame's pooled buffers and are owned by the caller.
+func (t *TCPTransport) PooledResponseBodies() bool { return true }
+
+var (
+	_ Transport           = (*TCPTransport)(nil)
+	_ PooledBodyTransport = (*TCPTransport)(nil)
+)
 
 // Framing helpers. Requests embed the action; responses are bare frames.
 
@@ -348,6 +383,10 @@ func writeTCPFrame(w io.Writer, code byte, body []byte) error {
 	return err
 }
 
+// readTCPFrame reads one frame into a pooled buffer; the returned body
+// (and hence its backing buffer) is owned by the caller.
+//
+//soaplint:hotpath
 func readTCPFrame(r io.Reader) (byte, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -357,8 +396,9 @@ func readTCPFrame(r io.Reader) (byte, []byte, error) {
 	if n == 0 || n > maxTCPFrame {
 		return 0, nil, fmt.Errorf("core: bad tcp frame length %d", n)
 	}
-	buf := make([]byte, n)
+	buf := bufpool.Get(int(n))[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
+		bufpool.Put(buf)
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil

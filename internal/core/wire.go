@@ -3,7 +3,9 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
+	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/soap"
@@ -99,6 +101,12 @@ type binEnvelope struct {
 // encoded as framed PBIO messages, so the receiver can decode them from
 // format IDs alone — this is what lets quality management substitute
 // smaller message types per invocation without renegotiating the spec.
+// The returned buffer comes from the bufpool and is owned by the caller
+// (release it with bufpool.Put once the frame is written; see the pool's
+// ownership rules). Parameters are encoded in place with AppendMarshal
+// and a backpatched length prefix — no per-parameter intermediate buffer.
+//
+//soaplint:hotpath
 func marshalBinary(codec *pbio.Codec, kind byte, op string, hdr soap.Header, params []soap.Param) ([]byte, error) {
 	if op == "" {
 		return nil, fmt.Errorf("core: binary envelope without operation")
@@ -106,35 +114,46 @@ func marshalBinary(codec *pbio.Codec, kind byte, op string, hdr soap.Header, par
 	if len(op) > 0xFFFF {
 		return nil, fmt.Errorf("core: operation name too long (%d bytes)", len(op))
 	}
-	buf := make([]byte, 0, 256)
+	buf := bufpool.Get(256)
 	buf = append(buf, kind)
 	buf = appendString16(buf, op)
 	buf = appendHeader(buf, hdr)
 	if len(params) > 0xFFFF {
+		bufpool.Put(buf)
 		return nil, fmt.Errorf("core: too many parameters (%d)", len(params))
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(params)))
 	for _, p := range params {
 		if len(p.Name) > 0xFFFF {
+			bufpool.Put(buf)
 			return nil, fmt.Errorf("core: parameter name too long (%d bytes)", len(p.Name))
 		}
 		buf = appendString16(buf, p.Name)
-		msg, err := codec.Marshal(p.Value)
+		buf = append(buf, 0, 0, 0, 0) // message length backpatched below
+		at := len(buf)
+		out, err := codec.AppendMarshal(buf, p.Value)
 		if err != nil {
+			bufpool.Put(buf)
 			return nil, fmt.Errorf("core: parameter %q: %w", p.Name, err)
 		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
-		buf = append(buf, msg...)
+		buf = out
+		sz := len(buf) - at
+		if sz > math.MaxUint32 {
+			bufpool.Put(buf)
+			return nil, fmt.Errorf("core: parameter %q message too large (%d bytes)", p.Name, sz)
+		}
+		binary.BigEndian.PutUint32(buf[at-4:at], uint32(sz))
 	}
 	return buf, nil
 }
 
-// marshalBinaryFault encodes a fault frame.
+// marshalBinaryFault encodes a fault frame into a pooled buffer the
+// caller owns.
 func marshalBinaryFault(op string, hdr soap.Header, f *soap.Fault) []byte {
 	if op == "" {
 		op = "Fault"
 	}
-	buf := make([]byte, 0, 128)
+	buf := bufpool.Get(128)
 	buf = append(buf, frameFault)
 	buf = appendString16(buf, op)
 	buf = appendHeader(buf, hdr)

@@ -105,6 +105,7 @@ func Analyzers() []*Analyzer {
 		ErrCompare,
 		WireWidth,
 		BodyClose,
+		PooledBuf,
 	}
 }
 

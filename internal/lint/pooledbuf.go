@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PooledBuf keeps ad-hoc buffer allocation out of the wire hot path.
+// Functions annotated with a
+//
+//	//soaplint:hotpath
+//
+// doc-comment line are the per-message encode/decode/framing routines
+// the zero-allocation work pays for; inside them, a fresh
+//
+//   - make([]byte, ...) allocation, or
+//   - bytes.Buffer value (composite literal, var declaration, or new)
+//
+// reintroduces per-call garbage that bufpool.Get / a pooled writer
+// exists to absorb, so it is reported. Unannotated functions are
+// untouched — cold paths may allocate freely. A deliberate allocation
+// on a hot path (e.g. an amortized growth slope) is suppressed with
+// //lint:ignore pooledbuf <reason>.
+var PooledBuf = &Analyzer{
+	Name: "pooledbuf",
+	Doc:  "//soaplint:hotpath functions use pooled buffers, not make([]byte) or bytes.Buffer",
+	Run:  runPooledBuf,
+}
+
+// hotpathMarker is the doc-comment line that opts a function into the
+// check.
+const hotpathMarker = "//soaplint:hotpath"
+
+func runPooledBuf(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn.Doc) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+}
+
+func isHotpath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch callee := ast.Unparen(node.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pass.Info.Uses[callee].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						if len(node.Args) > 0 && isByteSlice(pass.Info.Types[node.Args[0]].Type) {
+							pass.Report(node.Pos(), "make([]byte, ...) in hot path %s; use bufpool.Get", name)
+						}
+					case "new":
+						if len(node.Args) == 1 && isBytesBuffer(pass.Info.Types[node.Args[0]].Type) {
+							pass.Report(node.Pos(), "new(bytes.Buffer) in hot path %s; write into a pooled buffer", name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[node]; ok && isBytesBuffer(tv.Type) {
+				pass.Report(node.Pos(), "bytes.Buffer literal in hot path %s; write into a pooled buffer", name)
+			}
+		case *ast.ValueSpec:
+			// var buf bytes.Buffer — an allocation the moment it escapes
+			// (and it escapes into any writer interface).
+			if node.Type != nil {
+				if tv, ok := pass.Info.Types[node.Type]; ok && isBytesBuffer(tv.Type) {
+					pass.Report(node.Pos(), "bytes.Buffer declared in hot path %s; write into a pooled buffer", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isByteSlice reports whether t is []byte (or a named type over it).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isBytesBuffer reports whether t is bytes.Buffer.
+func isBytesBuffer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer"
+}

@@ -1,0 +1,45 @@
+// Package codec exercises pooledbuf: allocation in //soaplint:hotpath
+// functions is reported; the same allocations in unannotated functions
+// and ignore-suppressed lines are not.
+package codec
+
+import "bytes"
+
+// Encode is a hot-path encoder that allocates every which way.
+//
+//soaplint:hotpath
+func Encode(v int64) []byte {
+	buf := make([]byte, 0, 16) // want "make\(\[\]byte, \.\.\.\) in hot path Encode"
+	var scratch bytes.Buffer   // want "bytes.Buffer declared in hot path Encode"
+	w := &bytes.Buffer{}       // want "bytes.Buffer literal in hot path Encode"
+	nb := new(bytes.Buffer)    // want "new\(bytes.Buffer\) in hot path Encode"
+	scratch.WriteByte(byte(v))
+	w.WriteByte(byte(v))
+	nb.WriteByte(byte(v))
+	return append(buf, scratch.Bytes()...)
+}
+
+// Grow documents a deliberate amortized allocation.
+//
+//soaplint:hotpath
+func Grow(dst []byte, n int) []byte {
+	//lint:ignore pooledbuf amortized growth slope, one reallocation per undersized buffer
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+// Cold is unannotated: cold paths may allocate freely.
+func Cold() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("cold")
+	b := make([]byte, 8)
+	return append(b, buf.Bytes()...)
+}
+
+// Ints is hot but allocates a non-byte slice, which is fine.
+//
+//soaplint:hotpath
+func Ints(n int) []int64 {
+	return make([]int64, n)
+}

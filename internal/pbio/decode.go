@@ -59,13 +59,80 @@ func (c *Codec) Unmarshal(b []byte) (idl.Value, error) {
 	if err != nil {
 		return idl.Value{}, err
 	}
+	if p := f.Plan(); p != nil {
+		var v idl.Value
+		if p.DecodeInto(&v, body, h.BigEndian) == nil {
+			return v, nil
+		}
+		// Malformed under the plan: re-run the dynamic decoder for the
+		// precise diagnostic.
+	}
 	return decodeBody(body, f.Type, h.BigEndian)
+}
+
+// UnmarshalInto decodes a framed PBIO message into v, reusing v's field
+// and element slices when their capacities fit — the zero-allocation path
+// for repeated decodes of the same format. v's previous contents are
+// overwritten (on error they are unspecified); v must not alias a value
+// still in use elsewhere. Decoded strings copy out of b, so b may be a
+// pooled buffer released immediately after the call.
+//
+//soaplint:hotpath
+func (c *Codec) UnmarshalInto(v *idl.Value, b []byte) error {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return err
+	}
+	body := b[headerLen:]
+	if len(body) < h.PayloadLen {
+		return fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(body), h.PayloadLen)
+	}
+	if len(body) > h.PayloadLen {
+		return fmt.Errorf("pbio: %d trailing bytes after payload", len(body)-h.PayloadLen)
+	}
+	f, err := c.reg.Resolve(h.FormatID)
+	if err != nil {
+		return err
+	}
+	return c.decodeInto(v, body, f, h.BigEndian)
 }
 
 // DecodeBody decodes a header-less payload known to be of type t, encoded
 // in the given sender byte order.
 func (c *Codec) DecodeBody(b []byte, t *idl.Type, bigEndian bool) (idl.Value, error) {
 	return decodeBody(b, t, bigEndian)
+}
+
+// DecodeBodyInto decodes a header-less payload of type t into v, reusing
+// v's slices per the UnmarshalInto contract. The type is registered on
+// first use so its compiled plan is available.
+//
+//soaplint:hotpath
+func (c *Codec) DecodeBodyInto(v *idl.Value, b []byte, t *idl.Type, bigEndian bool) error {
+	f, err := c.reg.RegisterType(t)
+	if err != nil {
+		return err
+	}
+	return c.decodeInto(v, b, f, bigEndian)
+}
+
+// decodeInto runs the format's compiled plan into v, falling back to the
+// dynamic decoder for uncompilable types and for the exact diagnostic on
+// malformed payloads.
+//
+//soaplint:hotpath
+func (c *Codec) decodeInto(v *idl.Value, b []byte, f *Format, big bool) error {
+	if p := f.Plan(); p != nil {
+		if p.DecodeInto(v, b, big) == nil {
+			return nil
+		}
+	}
+	out, err := decodeBody(b, f.Type, big)
+	if err != nil {
+		return err
+	}
+	*v = out
+	return nil
 }
 
 func decodeBody(b []byte, t *idl.Type, big bool) (idl.Value, error) {
@@ -144,7 +211,7 @@ func (d *decoder) value(t *idl.Type) (idl.Value, error) {
 		if min := minEncodedSize(t.Elem); min > 0 && n > (len(d.buf)-d.pos)/min {
 			return idl.Value{}, fmt.Errorf("%w: list count %d exceeds remaining %d bytes", ErrTruncated, n, len(d.buf)-d.pos)
 		}
-		elems := make([]idl.Value, n)
+		elems := getValues(n)
 		for i := 0; i < n; i++ {
 			e, err := d.value(t.Elem)
 			if err != nil {
@@ -154,7 +221,7 @@ func (d *decoder) value(t *idl.Type) (idl.Value, error) {
 		}
 		return idl.Value{Type: t, List: elems}, nil
 	case idl.KindStruct:
-		fields := make([]idl.Value, len(t.Fields))
+		fields := getValues(len(t.Fields))
 		for i, f := range t.Fields {
 			fv, err := d.value(f.Type)
 			if err != nil {

@@ -98,7 +98,7 @@ func (c *Codec) AppendMarshal(dst []byte, v idl.Value) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, f.ID)
 	dst = append(dst, 0, 0, 0, 0) // payload length backpatched below
 	bodyStart := len(dst)
-	dst, err = c.appendValue(dst, v)
+	dst, err = c.encodeValue(dst, &v, f)
 	if err != nil {
 		return nil, err
 	}
@@ -113,13 +113,38 @@ func (c *Codec) AppendMarshal(dst []byte, v idl.Value) ([]byte, error) {
 // EncodeBody encodes just the payload (no header) of a value, used where an
 // outer protocol already carries the format identity.
 func (c *Codec) EncodeBody(v idl.Value) ([]byte, error) {
+	return c.AppendEncodeBody(nil, v)
+}
+
+// AppendEncodeBody is EncodeBody appending to dst, for pooled buffers on
+// hot paths.
+//
+//soaplint:hotpath
+func (c *Codec) AppendEncodeBody(dst []byte, v idl.Value) ([]byte, error) {
 	if v.Type == nil {
 		return nil, fmt.Errorf("pbio: encode untyped value")
 	}
-	if _, err := c.reg.RegisterType(v.Type); err != nil {
+	f, err := c.reg.RegisterType(v.Type)
+	if err != nil {
 		return nil, err
 	}
-	return c.appendValue(nil, v)
+	return c.encodeValue(dst, &v, f)
+}
+
+// encodeValue appends v's payload via the format's compiled plan when one
+// exists. Types beyond the plan machine, and values that do not match
+// their plan, run the dynamic walk — the latter purely to reproduce the
+// exact diagnostic the dynamic encoder would have given.
+//
+//soaplint:hotpath
+func (c *Codec) encodeValue(dst []byte, v *idl.Value, f *Format) ([]byte, error) {
+	if p := f.Plan(); p != nil {
+		out, err := p.AppendEncode(dst, v, c.big)
+		if err == nil {
+			return out, nil
+		}
+	}
+	return c.appendValue(dst, *v)
 }
 
 func (c *Codec) appendValue(dst []byte, v idl.Value) ([]byte, error) {

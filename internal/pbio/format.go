@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"soapbinq/internal/idl"
 )
@@ -32,6 +33,21 @@ type Format struct {
 	ID   uint64
 	Name string
 	Type *idl.Type
+
+	// plan is the compiled codec plan, built once on first use (NewFormat
+	// seeds it eagerly; the lazy path covers hand-built Formats). nil when
+	// the type does not compile — codecs then use the dynamic walk.
+	planOnce sync.Once
+	plan     *Plan
+}
+
+// Plan returns the format's compiled codec plan, or nil when the type is
+// outside what plans express (the dynamic codec handles those).
+func (f *Format) Plan() *Plan {
+	f.planOnce.Do(func() {
+		f.plan, _ = CompilePlan(f.Type)
+	})
+	return f.plan
 }
 
 // FormatID computes the wire ID for a type from its canonical signature.
@@ -51,7 +67,12 @@ func NewFormat(t *idl.Type) (*Format, error) {
 	if name == "" {
 		name = t.Signature()
 	}
-	return &Format{ID: FormatID(t), Name: name, Type: t}, nil
+	f := &Format{ID: FormatID(t), Name: name, Type: t}
+	// Compile the codec plan at registration time, off the encode/decode
+	// hot path (types beyond the plan machine leave plan nil and use the
+	// dynamic codec).
+	f.Plan()
+	return f, nil
 }
 
 // Descriptor codec: formats travel between endpoints and the format server

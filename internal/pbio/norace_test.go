@@ -1,0 +1,5 @@
+//go:build !race
+
+package pbio
+
+const raceEnabled = false

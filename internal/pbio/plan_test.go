@@ -1,0 +1,379 @@
+package pbio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"soapbinq/internal/idl"
+)
+
+// planTestTypes covers every shape the plan machine compiles: scalars,
+// scalar arrays (the echo payloads), strings, nested structs (fixed runs
+// coalescing across struct boundaries), lists of structs (the moldyn
+// frame shape), and lists of lists.
+func planTestTypes() []*idl.Type {
+	atom := idl.Struct("Atom",
+		idl.F("id", idl.Int()),
+		idl.F("element", idl.Char()),
+		idl.F("x", idl.Float()),
+		idl.F("y", idl.Float()),
+		idl.F("z", idl.Float()),
+	)
+	frame := idl.Struct("Frame",
+		idl.F("step", idl.Int()),
+		idl.F("atoms", idl.List(atom)),
+		idl.F("bonds", idl.List(idl.Struct("Bond",
+			idl.F("a", idl.Int()),
+			idl.F("b", idl.Int()),
+		))),
+	)
+	return []*idl.Type{
+		idl.Int(),
+		idl.Float(),
+		idl.Char(),
+		idl.StringT(),
+		idl.List(idl.Int()),
+		idl.List(idl.Float()),
+		idl.List(idl.Char()),
+		idl.List(idl.StringT()),
+		idl.List(idl.List(idl.Int())),
+		atom,
+		frame,
+		idl.Struct("Deep",
+			idl.F("a", idl.Int()),
+			idl.F("inner", idl.Struct("Inner",
+				idl.F("b", idl.Float()),
+				idl.F("c", idl.Char()),
+			)),
+			idl.F("d", idl.Int()),
+		),
+		idl.Struct("Mixed",
+			idl.F("n", idl.Int()),
+			idl.F("name", idl.StringT()),
+			idl.F("xs", idl.List(idl.Float())),
+			idl.F("flag", idl.Char()),
+		),
+	}
+}
+
+// planTestValue builds a deterministic non-trivial value of type t.
+func planTestValue(t *idl.Type, seed int64) idl.Value {
+	switch t.Kind {
+	case idl.KindInt:
+		return idl.IntV(seed*2654435761 + 17)
+	case idl.KindFloat:
+		return idl.FloatV(float64(seed)*1.5 + 0.25)
+	case idl.KindChar:
+		return idl.CharV(byte('a' + seed%26))
+	case idl.KindString:
+		return idl.StringV(strings.Repeat("s", int(seed%7)) + "x")
+	case idl.KindList:
+		n := int(seed%5) + 1
+		elems := make([]idl.Value, n)
+		for i := range elems {
+			elems[i] = planTestValue(t.Elem, seed+int64(i)+1)
+		}
+		return idl.Value{Type: t, List: elems}
+	case idl.KindStruct:
+		fields := make([]idl.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = planTestValue(f.Type, seed+int64(i)*3+1)
+		}
+		return idl.Value{Type: t, Fields: fields}
+	default:
+		panic("unreachable")
+	}
+}
+
+func TestPlanEncodeMatchesDynamic(t *testing.T) {
+	for _, big := range []bool{false, true} {
+		var c *Codec
+		if big {
+			c = NewCodecOrder(NewRegistry(NewMemServer()), binary.BigEndian)
+		} else {
+			c = NewCodec(NewRegistry(NewMemServer()))
+		}
+		for _, typ := range planTestTypes() {
+			for seed := int64(0); seed < 4; seed++ {
+				v := planTestValue(typ, seed)
+				p, err := CompilePlan(typ)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", typ, err)
+				}
+				got, err := p.AppendEncode(nil, &v, big)
+				if err != nil {
+					t.Fatalf("%s: plan encode: %v", typ, err)
+				}
+				want, err := c.appendValue(nil, v)
+				if err != nil {
+					t.Fatalf("%s: dynamic encode: %v", typ, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s (big=%v seed=%d): plan bytes differ from dynamic\n plan:    %x\n dynamic: %x", typ, big, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanDecodeMatchesDynamic(t *testing.T) {
+	for _, big := range []bool{false, true} {
+		for _, typ := range planTestTypes() {
+			for seed := int64(0); seed < 4; seed++ {
+				v := planTestValue(typ, seed)
+				p, err := CompilePlan(typ)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", typ, err)
+				}
+				wire, err := p.AppendEncode(nil, &v, big)
+				if err != nil {
+					t.Fatalf("%s: encode: %v", typ, err)
+				}
+				want, err := decodeBody(wire, typ, big)
+				if err != nil {
+					t.Fatalf("%s: dynamic decode: %v", typ, err)
+				}
+				var got idl.Value
+				if err := p.DecodeInto(&got, wire, big); err != nil {
+					t.Fatalf("%s: plan decode: %v", typ, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("%s (big=%v seed=%d): plan decode differs from dynamic\n plan:    %s\n dynamic: %s", typ, big, seed, got, want)
+				}
+				if !got.Equal(v) {
+					t.Errorf("%s (big=%v seed=%d): round trip lost data", typ, big, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDecodeIntoReuse decodes different payloads into the same value
+// tree, verifying reuse does not leak prior contents.
+func TestPlanDecodeIntoReuse(t *testing.T) {
+	typ := planTestTypes()[10] // Frame: lists of structs
+	p, err := CompilePlan(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var into idl.Value
+	for seed := int64(0); seed < 8; seed++ {
+		v := planTestValue(typ, seed)
+		wire, err := p.AppendEncode(nil, &v, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.DecodeInto(&into, wire, false); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !into.Equal(v) {
+			t.Fatalf("seed %d: reused decode differs:\n got  %s\n want %s", seed, into, v)
+		}
+	}
+}
+
+// TestPlanErrorsMatchDynamic verifies the fallback contract: when a value
+// does not match its type, Marshal produces exactly the diagnostic the
+// dynamic encoder gives, because the codec re-runs it on plan mismatch.
+func TestPlanErrorsMatchDynamic(t *testing.T) {
+	typ := idl.Struct("S", idl.F("a", idl.Int()), idl.F("b", idl.Float()))
+	bad := idl.Value{Type: typ, Fields: []idl.Value{idl.IntV(1), idl.IntV(2)}} // b has wrong kind
+
+	c := NewCodec(NewRegistry(NewMemServer()))
+	_, planErr := c.Marshal(bad)
+	if planErr == nil {
+		t.Fatal("mismatched value marshaled without error")
+	}
+	_, dynErr := c.appendValue(nil, bad)
+	if dynErr == nil {
+		t.Fatal("dynamic encoder accepted mismatched value")
+	}
+	if planErr.Error() != dynErr.Error() {
+		t.Errorf("plan-path error %q differs from dynamic error %q", planErr, dynErr)
+	}
+
+	// Arity mismatch falls back the same way.
+	short := idl.Value{Type: typ, Fields: []idl.Value{idl.IntV(1)}}
+	_, planErr = c.Marshal(short)
+	_, dynErr = c.appendValue(nil, short)
+	if planErr == nil || dynErr == nil || planErr.Error() != dynErr.Error() {
+		t.Errorf("arity mismatch: plan %v, dynamic %v", planErr, dynErr)
+	}
+}
+
+// TestPlanMalformedPayloadFallback verifies malformed payloads surface the
+// dynamic decoder's diagnostics through the plan path.
+func TestPlanMalformedPayloadFallback(t *testing.T) {
+	c := NewCodec(NewRegistry(NewMemServer()))
+	v := idl.ListV(idl.Int(), idl.IntV(1), idl.IntV(2))
+	wire, err := c.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-element and fix up the header length.
+	cut := wire[:len(wire)-3]
+	binary.BigEndian.PutUint32(cut[14:], uint32(len(cut)-headerLen))
+	if _, err := c.Unmarshal(cut); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+
+	// Hostile count: claim 2^31 elements with a near-empty payload.
+	hostile := make([]byte, headerLen+4)
+	copy(hostile, wire[:headerLen])
+	binary.BigEndian.PutUint32(hostile[14:], 4)
+	binary.LittleEndian.PutUint32(hostile[headerLen:], 1<<31)
+	if _, err := c.Unmarshal(hostile); err == nil {
+		t.Fatal("hostile list count decoded")
+	}
+}
+
+func TestPlanFixedSize(t *testing.T) {
+	cases := []struct {
+		typ  *idl.Type
+		size int
+		ok   bool
+	}{
+		{idl.Int(), 8, true},
+		{idl.Float(), 8, true},
+		{idl.Char(), 1, true},
+		{idl.StringT(), 0, false},
+		{idl.List(idl.Int()), 0, false},
+		{idl.Struct("Atom",
+			idl.F("id", idl.Int()),
+			idl.F("element", idl.Char()),
+			idl.F("x", idl.Float()),
+			idl.F("y", idl.Float()),
+			idl.F("z", idl.Float()),
+		), 33, true},
+		{idl.Struct("Mixed", idl.F("a", idl.Int()), idl.F("s", idl.StringT())), 0, false},
+	}
+	for _, tc := range cases {
+		p, err := CompilePlan(tc.typ)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.typ, err)
+		}
+		size, ok := p.FixedSize()
+		if size != tc.size || ok != tc.ok {
+			t.Errorf("%s: FixedSize() = (%d, %v), want (%d, %v)", tc.typ, size, ok, tc.size, tc.ok)
+		}
+	}
+}
+
+// TestPlanRunCoalescing checks the compiler's core claim: a struct of
+// fixed-width fields — including nested structs — compiles to a single
+// opCheck covering the whole payload.
+func TestPlanRunCoalescing(t *testing.T) {
+	typ := idl.Struct("Deep",
+		idl.F("a", idl.Int()),
+		idl.F("inner", idl.Struct("Inner",
+			idl.F("b", idl.Float()),
+			idl.F("c", idl.Char()),
+		)),
+		idl.F("d", idl.Int()),
+	)
+	p, err := CompilePlan(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := 0
+	for _, in := range p.prog {
+		if in.op == opCheck {
+			checks++
+			if in.n != 25 { // 8 + 8 + 1 + 8
+				t.Errorf("opCheck run covers %d bytes, want 25", in.n)
+			}
+		}
+	}
+	if checks != 1 {
+		t.Errorf("fixed-width nested struct compiled to %d runs, want 1 (coalesced across struct boundaries)", checks)
+	}
+}
+
+func TestFormatPlanCompiledAtRegistration(t *testing.T) {
+	f, err := NewFormat(idl.List(idl.Int()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Plan() == nil {
+		t.Fatal("NewFormat left plan nil for a compilable type")
+	}
+	if f.Plan().Type() != f.Type {
+		t.Error("plan compiled for a different type")
+	}
+}
+
+func TestUnmarshalIntoMatchesUnmarshal(t *testing.T) {
+	c := NewCodec(NewRegistry(NewMemServer()))
+	for _, typ := range planTestTypes() {
+		v := planTestValue(typ, 3)
+		wire, err := c.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		want, err := c.Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		var got idl.Value
+		if err := c.UnmarshalInto(&got, wire); err != nil {
+			t.Fatalf("%s: UnmarshalInto: %v", typ, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: UnmarshalInto differs from Unmarshal", typ)
+		}
+	}
+}
+
+func TestDecodeBodyIntoMatchesDecodeBody(t *testing.T) {
+	c := NewCodec(NewRegistry(NewMemServer()))
+	for _, typ := range planTestTypes() {
+		v := planTestValue(typ, 5)
+		body, err := c.EncodeBody(v)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		want, err := c.DecodeBody(body, typ, false)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		var got idl.Value
+		if err := c.DecodeBodyInto(&got, body, typ, false); err != nil {
+			t.Fatalf("%s: DecodeBodyInto: %v", typ, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: DecodeBodyInto differs from DecodeBody", typ)
+		}
+	}
+}
+
+// TestRegistryPointerCache verifies the lock-free pointer-identity path
+// counts hits and survives structurally equal types at other addresses.
+func TestRegistryPointerCache(t *testing.T) {
+	r := NewRegistry(NewMemServer())
+	t1 := idl.Struct("P", idl.F("a", idl.Int()))
+	f1, err := r.RegisterType(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := r.RegisterType(t1) // pointer hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("pointer-identity hit returned a different format")
+	}
+	// Same structure at a different address: signature hit, same format.
+	t2 := idl.Struct("P", idl.F("a", idl.Int()))
+	f3, err := r.RegisterType(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 != f1 {
+		t.Fatal("structurally equal type resolved to a different format")
+	}
+	if hits := r.Stats().CacheHits; hits != 2 {
+		t.Errorf("CacheHits = %d, want 2", hits)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package pbio
+
+// raceEnabled skips allocation gates that depend on sync.Pool retention:
+// the race-mode pool deliberately drops items to shake out lifetime bugs,
+// so pool-hit rates (and thus allocs/op) are meaningless under -race.
+const raceEnabled = true

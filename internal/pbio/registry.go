@@ -3,6 +3,7 @@ package pbio
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"soapbinq/internal/idl"
 )
@@ -18,6 +19,18 @@ type Registry struct {
 	bySig  map[string]*Format
 	byID   map[uint64]*Format
 	stats  RegistryStats
+
+	// byPtr caches Format lookups by type pointer identity. idl.Types are
+	// immutable and shared by construction, so the steady-state encode
+	// path resolves its format with one lock-free load — no Signature()
+	// string build, no allocation. Misses (a structurally equal type at a
+	// different address) fall through to the signature path and are then
+	// cached under the new pointer too.
+	byPtr sync.Map // map[*idl.Type]*Format
+
+	// hits counts cache hits atomically so the pointer-identity path
+	// stays lock-free; Stats() folds it into RegistryStats.CacheHits.
+	hits atomic.Int64
 }
 
 // RegistryStats separates cache hits from server round trips so that the
@@ -43,11 +56,17 @@ func (r *Registry) RegisterType(t *idl.Type) (*Format, error) {
 	if t == nil {
 		return nil, fmt.Errorf("pbio: register nil type")
 	}
+	// Hot path: pointer-identity hit, no signature build, no lock.
+	if f, ok := r.byPtr.Load(t); ok {
+		r.hits.Add(1)
+		return f.(*Format), nil
+	}
 	sig := t.Signature()
 	r.mu.Lock()
 	if f, ok := r.bySig[sig]; ok {
-		r.stats.CacheHits++
 		r.mu.Unlock()
+		r.hits.Add(1)
+		r.byPtr.Store(t, f)
 		return f, nil
 	}
 	r.mu.Unlock()
@@ -63,14 +82,17 @@ func (r *Registry) RegisterType(t *idl.Type) (*Format, error) {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if cached, ok := r.bySig[sig]; ok { // raced with another goroutine
-		r.stats.CacheHits++
+		r.mu.Unlock()
+		r.hits.Add(1)
+		r.byPtr.Store(t, cached)
 		return cached, nil
 	}
 	r.bySig[sig] = registered
 	r.byID[registered.ID] = registered
 	r.stats.Registrations++
+	r.mu.Unlock()
+	r.byPtr.Store(t, registered)
 	return registered, nil
 }
 
@@ -79,8 +101,8 @@ func (r *Registry) RegisterType(t *idl.Type) (*Format, error) {
 func (r *Registry) Resolve(id uint64) (*Format, error) {
 	r.mu.Lock()
 	if f, ok := r.byID[id]; ok {
-		r.stats.CacheHits++
 		r.mu.Unlock()
+		r.hits.Add(1)
 		return f, nil
 	}
 	r.mu.Unlock()
@@ -93,7 +115,7 @@ func (r *Registry) Resolve(id uint64) (*Format, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cached, ok := r.byID[id]; ok {
-		r.stats.CacheHits++
+		r.hits.Add(1)
 		return cached, nil
 	}
 	r.byID[id] = f
@@ -106,5 +128,7 @@ func (r *Registry) Resolve(id uint64) (*Format, error) {
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	snap := r.stats
+	snap.CacheHits = int(r.hits.Load())
+	return snap
 }

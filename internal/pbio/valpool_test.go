@@ -1,0 +1,138 @@
+package pbio
+
+import (
+	"sync"
+	"testing"
+
+	"soapbinq/internal/idl"
+)
+
+// nestedListValue builds a list of structs holding lists — three slab
+// levels deep — so release has real recursion to do.
+func nestedListValue(n int) (idl.Value, *idl.Type) {
+	inner := idl.List(idl.Int())
+	st := idl.Struct("Node", idl.Field{Name: "xs", Type: inner}, idl.Field{Name: "tag", Type: idl.StringT()})
+	outer := idl.List(st)
+	elems := make([]idl.Value, n)
+	for i := range elems {
+		xs := make([]idl.Value, 4)
+		for j := range xs {
+			xs[j] = idl.IntV(int64(i*10 + j))
+		}
+		elems[i] = idl.Value{Type: st, Fields: []idl.Value{
+			{Type: inner, List: xs},
+			idl.StringV("node"),
+		}}
+	}
+	return idl.Value{Type: outer, List: elems}, outer
+}
+
+// isZeroValue reports whether v is field-by-field zero (Value holds
+// slices, so == is unavailable).
+func isZeroValue(v idl.Value) bool {
+	return v.Type == nil && v.Int == 0 && v.Float == 0 && v.Char == 0 &&
+		v.Str == "" && v.List == nil && v.Fields == nil
+}
+
+// TestReleaseZeroes checks the pool invariant Release maintains: the
+// released tree — root, elements, and nested slabs — is fully zero, so
+// the slabs it files carry no stale pointers back into the pool.
+func TestReleaseZeroes(t *testing.T) {
+	v, _ := nestedListValue(8)
+	elems := v.List
+	nested := elems[0].Fields[0].List
+	Release(&v)
+	if !isZeroValue(v) {
+		t.Fatalf("root not zeroed: %+v", v)
+	}
+	for i := range elems {
+		if !isZeroValue(elems[i]) {
+			t.Fatalf("element %d not zeroed: %+v", i, elems[i])
+		}
+	}
+	for i := range nested {
+		if !isZeroValue(nested[i]) {
+			t.Fatalf("nested element %d not zeroed: %+v", i, nested[i])
+		}
+	}
+}
+
+// TestReleaseDecodeRoundTrip releases a decoded tree and decodes again:
+// the values must be identical (reused slabs are indistinguishable from
+// fresh ones) and, steady state, the decode must not allocate slabs.
+func TestReleaseDecodeRoundTrip(t *testing.T) {
+	c := NewCodec(NewRegistry(NewMemServer()))
+	want, _ := nestedListValue(16)
+	wire, err := c.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the pool and the format registry.
+	for i := 0; i < 4; i++ {
+		got, err := c.Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("decode %d: got %v, want %v", i, got, want)
+		}
+		Release(&got)
+	}
+
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items; allocation gate is meaningless")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		got, err := c.Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Release(&got)
+	})
+	// Strings are copied out of the wire buffer by design (16 of them
+	// here); slabs must all come from the pool.
+	if allocs > 20 {
+		t.Fatalf("decode+release allocates %.0f/op; slab pooling not engaged", allocs)
+	}
+}
+
+// TestReleaseNilAndScalars checks the degenerate inputs Release must
+// tolerate: nil, the zero Value, and scalars with no slabs.
+func TestReleaseNilAndScalars(t *testing.T) {
+	Release(nil)
+	var zero idl.Value
+	Release(&zero)
+	s := idl.StringV("keep")
+	Release(&s)
+	if !isZeroValue(s) {
+		t.Fatalf("scalar not zeroed: %+v", s)
+	}
+}
+
+// TestReleaseConcurrent hammers decode+release from many goroutines so
+// the race detector can see the pool's synchronization.
+func TestReleaseConcurrent(t *testing.T) {
+	c := NewCodec(NewRegistry(NewMemServer()))
+	want, _ := nestedListValue(8)
+	wire, err := c.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := c.Unmarshal(wire)
+				if err != nil || !got.Equal(want) {
+					t.Errorf("decode: %v", err)
+					return
+				}
+				Release(&got)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
+	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
 	"soapbinq/internal/xmlenc"
 )
@@ -79,22 +81,48 @@ const (
 	headerClose = `</SOAP-ENV:Header>`
 )
 
-// Marshal renders a message as a SOAP 1.1 envelope.
+// envSizeHints remembers the last rendered envelope size per operation,
+// so steady-state marshalling of a given message type starts from a
+// pooled buffer that already fits and never regrows mid-render. Sizes
+// for the same operation drift a little call to call (different payload
+// contents); the hint only ratchets up, or resets when it is more than
+// 4x oversized, to keep sync.Map stores off the per-call path.
+var envSizeHints sync.Map // op name -> int (last-seen envelope size)
+
+func envSizeHint(op string) int {
+	if h, ok := envSizeHints.Load(op); ok {
+		return h.(int)
+	}
+	return 512
+}
+
+func noteEnvSize(op string, hint, size int) {
+	if size > hint || hint > 4*size {
+		envSizeHints.Store(op, size)
+	}
+}
+
+// Marshal renders a message as a SOAP 1.1 envelope. The returned buffer
+// is pooled: the caller owns it and may release it with bufpool.Put
+// once the envelope has been written to the wire.
+//
+//soaplint:hotpath
 func Marshal(msg *Message) ([]byte, error) {
 	if msg.Op == "" {
 		return nil, fmt.Errorf("soap: message without operation name")
 	}
-	var buf bytes.Buffer
-	buf.Grow(512)
+	hint := envSizeHint(msg.Op)
+	buf := bytes.NewBuffer(bufpool.Get(hint))
 	buf.WriteString(xmlDecl)
 	buf.WriteString(envOpen)
-	writeHeader(&buf, msg.Header)
+	writeHeader(buf, msg.Header)
 	buf.WriteString(bodyOpen)
 	buf.WriteByte('<')
 	buf.WriteString(msg.Op)
 	buf.WriteByte('>')
 	for _, p := range msg.Params {
-		if err := xmlenc.Encode(&buf, p.Name, p.Value); err != nil {
+		if err := xmlenc.Encode(buf, p.Name, p.Value); err != nil {
+			bufpool.Put(buf.Bytes())
 			return nil, fmt.Errorf("soap: parameter %q: %w", p.Name, err)
 		}
 	}
@@ -103,7 +131,9 @@ func Marshal(msg *Message) ([]byte, error) {
 	buf.WriteByte('>')
 	buf.WriteString(bodyClose)
 	buf.WriteString(envClose)
-	return buf.Bytes(), nil
+	out := buf.Bytes()
+	noteEnvSize(msg.Op, hint, len(out))
+	return out, nil
 }
 
 func writeHeader(buf *bytes.Buffer, h Header) {
@@ -135,20 +165,21 @@ func sortedKeys(h Header) []string {
 	return keys
 }
 
-// MarshalFault renders a SOAP fault envelope.
+// MarshalFault renders a SOAP fault envelope into a pooled buffer the
+// caller owns.
 func MarshalFault(f *Fault) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := bytes.NewBuffer(bufpool.Get(256))
 	buf.WriteString(xmlDecl)
 	buf.WriteString(envOpen)
 	buf.WriteString(bodyOpen)
 	buf.WriteString(`<SOAP-ENV:Fault><faultcode>`)
-	xml.EscapeText(&buf, []byte(f.Code))
+	xml.EscapeText(buf, []byte(f.Code))
 	buf.WriteString(`</faultcode><faultstring>`)
-	xml.EscapeText(&buf, []byte(f.String))
+	xml.EscapeText(buf, []byte(f.String))
 	buf.WriteString(`</faultstring>`)
 	if f.Detail != "" {
 		buf.WriteString(`<detail>`)
-		xml.EscapeText(&buf, []byte(f.Detail))
+		xml.EscapeText(buf, []byte(f.Detail))
 		buf.WriteString(`</detail>`)
 	}
 	buf.WriteString(`</SOAP-ENV:Fault>`)
