@@ -1,13 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race chaos bench bench-paper bench-compare lint fuzz-smoke
+.PHONY: check build vet test race chaos bench bench-paper bench-compare lint fuzz-smoke obs-smoke
 
 # The tier-1 gate: everything must build, vet clean, pass the full
 # suite under the race detector (the context/cancellation paths are
 # concurrency-heavy; -race is not optional here), survive the seeded
-# chaos suite, and lint clean under the repo's own analyzer suite.
-check: build vet race chaos lint
+# chaos suite, lint clean under the repo's own analyzer suite, and
+# expose the observability surface end to end.
+check: build vet race chaos lint obs-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +34,13 @@ chaos:
 # response-body hygiene. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/soaplint ./...
+
+# Observability smoke: an instrumented echo rig with the debug mux
+# attached, driven and then scraped the way an operator would — every
+# expected metric family must appear in /metrics and /debug/quality
+# must return client/server spans correlated by trace ID.
+obs-smoke:
+	$(GO) run ./cmd/soapbench -obssmoke
 
 # Short fuzz pass over the three untrusted-input parsers. FUZZTIME=10s
 # keeps it CI-sized; raise it locally for a real hunt.

@@ -32,6 +32,16 @@
 //	soapbench -hotpath                      # measure, write BENCH_pr4.json
 //	soapbench -hotpath -quick -compare      # CI regression gate
 //	soapbench -hotpath -cpuprofile cpu.out  # with pprof profiles
+//
+// Observability: -obs addr serves the debug mux (/metrics,
+// /debug/quality, /debug/pprof) on addr for the duration of any run,
+// with invocation tracing enabled — watch a chaos replay live through
+// an operator's eyes. -obssmoke runs the self-contained observability
+// smoke test (an instrumented echo rig scraped end to end) and exits
+// non-zero if any expected metric family or correlated span is missing:
+//
+//	soapbench -faults mixed -obs localhost:8090
+//	soapbench -obssmoke
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"soapbinq/internal/bench"
 	"soapbinq/internal/core"
 	"soapbinq/internal/faultinject"
+	"soapbinq/internal/obs"
 )
 
 func main() {
@@ -67,7 +78,21 @@ func run() error {
 	compare := flag.Bool("compare", false, "with -hotpath: compare against the recorded report instead of rewriting it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit")
+	obsAddr := flag.String("obs", "", "serve the observability debug mux (/metrics, /debug/quality, /debug/pprof) on this address for the run")
+	obssmoke := flag.Bool("obssmoke", false, "run the observability smoke test (instrumented rig, scraped end to end)")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		ln, err := obs.Serve(*obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "soapbench: observability at http://%s/metrics and /debug/quality\n", ln.Addr())
+	}
+	if *obssmoke {
+		return bench.RunObsSmoke(os.Stdout)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

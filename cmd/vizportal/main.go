@@ -6,7 +6,13 @@
 // Usage:
 //
 //	vizportal [-addr :8083] [-atoms 220] [-interval 100ms]
-//	          [-formatserver host:port]
+//	          [-formatserver host:port] [-debug]
+//
+// -debug enables invocation tracing and mounts the observability
+// endpoints on the portal address: Prometheus text at /metrics, live
+// quality JSON at /debug/quality, pprof under /debug/pprof/, and an
+// HTML quality panel at /quality. The pprof endpoints expose process
+// internals — only pass -debug on an operator-reachable address.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"soapbinq/internal/core"
 	"soapbinq/internal/echo"
 	"soapbinq/internal/moldyn"
+	"soapbinq/internal/obs"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/viz"
 )
@@ -35,6 +42,7 @@ func run() error {
 	interval := flag.Duration("interval", 100*time.Millisecond, "bond-server publish interval")
 	formatServer := flag.String("formatserver", "", "TCP format server address (default: in-process)")
 	remote := flag.String("remote", "", "subscribe to a remote ECho bridge (bondserver -bridge) instead of the built-in source")
+	debug := flag.Bool("debug", false, "enable tracing and serve /metrics, /debug/quality, /debug/pprof, and the /quality panel")
 	flag.Parse()
 
 	mem := pbio.NewMemServer()
@@ -101,6 +109,14 @@ func run() error {
 	mux.Handle("/soap", srv)
 	if mem != nil {
 		mux.Handle("/formats", pbio.NewHTTPHandler(mem))
+	}
+	if *debug {
+		obs.SetEnabled(true)
+		h := obs.Handler()
+		mux.Handle("/metrics", h)
+		mux.Handle("/debug/", h)
+		mux.HandleFunc("/quality", serveQualityPanel)
+		fmt.Printf("vizportal: observability at /metrics, /debug/quality, /debug/pprof/, panel at /quality\n")
 	}
 
 	fmt.Printf("vizportal: publishing every %v on %s (SOAP at /soap; 'describe' op serves WSDL)\n", *interval, *addr)

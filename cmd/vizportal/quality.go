@@ -1,0 +1,99 @@
+package main
+
+import "net/http"
+
+// serveQualityPanel renders the operator's quality panel: a
+// self-contained page that polls /debug/quality (same origin, mounted
+// by -debug) and shows the decision-event ring, recent invocation
+// spans, and the registered live-state sources. It is a monitoring
+// view, deliberately dependency-free — curl the JSON endpoint for
+// anything scriptable.
+func serveQualityPanel(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(qualityPanelHTML))
+}
+
+const qualityPanelHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>SOAP-binQ quality panel</title>
+<style>
+  body { font: 13px/1.45 system-ui, sans-serif; margin: 1.5em; color: #222; }
+  h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.4em; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 2px 10px 2px 0; border-bottom: 1px solid #eee;
+           font-variant-numeric: tabular-nums; }
+  th { color: #666; font-weight: 600; }
+  .degrade { color: #b00; } .restore { color: #070; }
+  .shed, .breaker { color: #b50; } .err { color: #b00; }
+  pre { background: #f7f7f7; padding: 8px; overflow-x: auto; }
+  #status { color: #666; }
+</style>
+</head>
+<body>
+<h1>SOAP-binQ quality panel <span id="status"></span></h1>
+<h2>Decision events (newest first)</h2>
+<table id="events"><thead><tr>
+  <th>time</th><th>kind</th><th>side</th><th>op</th><th>from&rarr;to</th>
+  <th>estimate</th><th>pressure</th><th>trace</th><th>detail</th>
+</tr></thead><tbody></tbody></table>
+<h2>Recent invocations (newest first)</h2>
+<table id="spans"><thead><tr>
+  <th>trace</th><th>side</th><th>op</th><th>total</th><th>stages</th>
+  <th>encoding</th><th>msg type</th><th>attempts</th><th>error</th>
+</tr></thead><tbody></tbody></table>
+<h2>Live quality state</h2>
+<pre id="sources"></pre>
+<script>
+function ms(ns) { return ns ? (ns / 1e6).toFixed(2) + 'ms' : ''; }
+function stageText(st) {
+  if (!st) return '';
+  return Object.keys(st).map(k => k + '=' + ms(st[k])).join(' ');
+}
+function cell(tr, text, cls) {
+  const td = document.createElement('td');
+  td.textContent = text == null ? '' : text;
+  if (cls) td.className = cls;
+  tr.appendChild(td);
+}
+async function refresh() {
+  try {
+    const r = await fetch('/debug/quality');
+    const d = await r.json();
+    document.getElementById('status').textContent =
+      '(' + (d.enabled ? 'tracing on' : 'tracing off') + ', ' + d.time + ')';
+    const ev = document.querySelector('#events tbody');
+    ev.replaceChildren();
+    (d.events || []).slice().reverse().slice(0, 50).forEach(e => {
+      const tr = document.createElement('tr');
+      cell(tr, e.time.replace(/^.*T/, '').replace(/\..*$/, ''));
+      cell(tr, e.kind, e.kind);
+      cell(tr, e.side); cell(tr, e.op);
+      cell(tr, (e.from || '') + (e.to ? '→' + e.to : ''));
+      cell(tr, ms(e.estimate_ns)); cell(tr, e.pressure);
+      cell(tr, e.trace); cell(tr, e.detail);
+      ev.appendChild(tr);
+    });
+    const sp = document.querySelector('#spans tbody');
+    sp.replaceChildren();
+    (d.spans || []).slice().reverse().slice(0, 50).forEach(s => {
+      const tr = document.createElement('tr');
+      cell(tr, s.trace); cell(tr, s.side); cell(tr, s.op);
+      cell(tr, ms(s.total_ns)); cell(tr, stageText(s.stages_ns));
+      cell(tr, s.encoding); cell(tr, s.msg_type); cell(tr, s.attempts);
+      cell(tr, s.error, s.error ? 'err' : '');
+      sp.appendChild(tr);
+    });
+    document.getElementById('sources').textContent =
+      JSON.stringify(d.sources || {}, null, 2);
+  } catch (err) {
+    document.getElementById('status').textContent = '(fetch failed: ' + err + ')';
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/obs"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/quality"
+	"soapbinq/internal/soap"
+)
+
+// Observability smoke test (soapbench -obssmoke, wired into `make
+// check` as obs-smoke): stand up a quality-managed echo rig with the
+// debug mux attached, drive real traffic through it, then scrape
+// /metrics and /debug/quality the way an operator's Prometheus and
+// browser would, asserting that the series and correlated spans the
+// OPERATIONS.md runbooks depend on actually appear.
+
+// obsSmokeFamilies are the metric families the scrape must expose —
+// one per instrumented subsystem, so a wiring regression in any layer
+// fails the gate.
+var obsSmokeFamilies = []string{
+	"soapbinq_client_requests_total",
+	"soapbinq_wire_rtt_ns",
+	"soapbinq_server_requests_total",
+	"soapbinq_server_inflight_count",
+	"soapbinq_quality_estimate_ns",
+	"soapbinq_quality_degradations_total",
+	"soapbinq_resilience_sheds_total",
+	"soapbinq_resilience_breaker_transitions_total",
+	"soapbinq_pool_buffer_gets_total",
+	"soapbinq_pool_slab_gets_total",
+	"soapbinq_tcp_dials_total",
+}
+
+// RunObsSmoke builds the rig, drives calls, and scrapes the debug
+// endpoints, returning an error on any missing family or uncorrelated
+// trace. The debug listener binds an ephemeral localhost port.
+func RunObsSmoke(w io.Writer) error {
+	ln, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("obs listener: %w", err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The chaos rig's quality pair: full and reduced message types under
+	// an RTT policy, served over a real localhost socket.
+	types := map[string]*idl.Type{"ChaosFull": chaosFullT, "ChaosSmall": chaosSmallT}
+	policy, err := quality.ParsePolicy(strings.NewReader(chaosPolicyText), types, nil)
+	if err != nil {
+		return fmt.Errorf("smoke policy: %w", err)
+	}
+	spec := core.MustServiceSpec("ObsSmoke",
+		&core.OpDef{
+			Name:       "get",
+			Params:     []soap.ParamSpec{{Name: "id", Type: idl.Int()}},
+			Result:     chaosFullT,
+			Idempotent: true,
+		},
+	)
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+	manager := quality.NewManager(policy, nil)
+	manager.RegisterDebug("obssmoke")
+	defer manager.UnregisterDebug("obssmoke")
+	srv.MustHandle("get", manager.Middleware(func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		return idl.StructV(chaosFullT,
+			params[0].Value,
+			idl.StringV("smoke"),
+			idl.ListV(idl.Float(), idl.FloatV(1), idl.FloatV(2)),
+		), nil
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	inner := core.NewClient(spec, &core.HTTPTransport{URL: ts.URL, Client: ts.Client()},
+		pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+	qc := quality.NewClient(inner, policy)
+	for i := 0; i < 50; i++ {
+		if _, err := qc.Call(context.Background(), "get", nil,
+			soap.Param{Name: "id", Value: idl.IntV(int64(i))}); err != nil {
+			return fmt.Errorf("smoke call %d: %w", i, err)
+		}
+	}
+
+	// Scrape /metrics as Prometheus would and check every family.
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, fam := range obsSmokeFamilies {
+		if !strings.Contains(body, "\n"+fam) && !strings.HasPrefix(body, fam) {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics scrape missing families: %s", strings.Join(missing, ", "))
+	}
+
+	// Fetch /debug/quality and check the pieces the runbooks read:
+	// the registered source, finished spans on both sides, and at least
+	// one client/server pair sharing a trace ID.
+	dbgBody, err := httpGet(base + "/debug/quality")
+	if err != nil {
+		return err
+	}
+	var dbg obs.QualityDebug
+	if err := json.Unmarshal([]byte(dbgBody), &dbg); err != nil {
+		return fmt.Errorf("debug/quality decode: %w", err)
+	}
+	if !dbg.Enabled {
+		return fmt.Errorf("debug/quality reports instrumentation disabled")
+	}
+	if _, ok := dbg.Sources["obssmoke"]; !ok {
+		return fmt.Errorf("debug/quality missing registered quality source")
+	}
+	sides := map[string]map[string]bool{} // trace -> set of sides
+	for _, sp := range dbg.Spans {
+		if sides[sp.Trace] == nil {
+			sides[sp.Trace] = map[string]bool{}
+		}
+		sides[sp.Trace][sp.Side] = true
+	}
+	correlated := 0
+	for _, s := range sides {
+		if s["client"] && s["server"] {
+			correlated++
+		}
+	}
+	if correlated == 0 {
+		return fmt.Errorf("no trace with both client and server spans (%d spans total)", len(dbg.Spans))
+	}
+
+	fmt.Fprintf(w, "obs-smoke: %d metric families present, %d spans (%d correlated traces), %d events, %d sources\n",
+		len(obsSmokeFamilies), len(dbg.Spans), correlated, len(dbg.Events), len(dbg.Sources))
+	return nil
+}
+
+// httpGet fetches a debug endpoint with a short budget.
+func httpGet(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("get %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}

@@ -92,6 +92,7 @@ func Get(sizeHint int) []byte {
 	if sizeHint < 0 {
 		sizeHint = 0
 	}
+	bufGets.Inc()
 	c := classFor(sizeHint)
 	if c < 0 {
 		return make([]byte, 0, sizeHint)
@@ -103,6 +104,7 @@ func Get(sizeHint int) []byte {
 		b := *box
 		*box = nil
 		boxes.Put(box)
+		bufHits.Inc()
 		return b[:0]
 	}
 	return make([]byte, 0, classSizes[c])
@@ -113,11 +115,17 @@ func Get(sizeHint int) []byte {
 // are dropped. The contents are not cleared: the next Get hands out the
 // buffer at zero length, and owners never read past their own appends.
 func Put(b []byte) {
-	if b == nil || disabled.Load() {
+	if b == nil {
+		return
+	}
+	bufPuts.Inc()
+	if disabled.Load() {
+		bufDrops.Inc()
 		return
 	}
 	c := putClassFor(cap(b))
 	if c < 0 {
+		bufDrops.Inc()
 		return
 	}
 	box, ok := boxes.Get().(*[]byte)

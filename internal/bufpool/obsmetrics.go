@@ -1,0 +1,19 @@
+package bufpool
+
+import "soapbinq/internal/obs"
+
+// Pool traffic counters. Always on: each is one or two atomic ops per
+// Get/Put and never allocates, so the hot path's zero-allocation
+// contract holds with instrumentation compiled in. The hit ratio
+// (hits/gets) is the series to watch — a regression there shows up as
+// GC pressure long before it shows up in latency (see OPERATIONS.md).
+var (
+	bufGets = obs.NewCounter("soapbinq_pool_buffer_gets_total",
+		"byte-buffer requests served by the pool (all classes)")
+	bufHits = obs.NewCounter("soapbinq_pool_buffer_hits_total",
+		"byte-buffer requests satisfied by a pooled buffer")
+	bufPuts = obs.NewCounter("soapbinq_pool_buffer_puts_total",
+		"byte buffers returned to the pool")
+	bufDrops = obs.NewCounter("soapbinq_pool_buffer_drops_total",
+		"returned buffers dropped (oversize, undersize, or pooling off)")
+)

@@ -128,6 +128,7 @@ func (b *Breaker) Allow() error {
 		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = BreakerHalfOpen
 			b.probes = 1
+			noteBreakerTransition(BreakerOpen, BreakerHalfOpen)
 			return nil
 		}
 	case BreakerHalfOpen:
@@ -137,6 +138,7 @@ func (b *Breaker) Allow() error {
 		}
 	}
 	b.fastFails++
+	resilienceFastFails.Inc()
 	return soap.BreakerOpenFault(b.cfg.Cooldown - b.now().Sub(b.openedAt))
 }
 
@@ -159,6 +161,7 @@ func (b *Breaker) Record(err error) {
 			// The endpoint recovered: close with a clean window.
 			b.state = BreakerClosed
 			b.resetWindow()
+			noteBreakerTransition(BreakerHalfOpen, BreakerClosed)
 		}
 	case BreakerClosed:
 		if !countable {
@@ -177,11 +180,13 @@ func (b *Breaker) Record(err error) {
 
 // trip opens the breaker (holding b.mu).
 func (b *Breaker) trip() {
+	from := b.state
 	b.state = BreakerOpen
 	b.openedAt = b.now()
 	b.opens++
 	b.probes = 0
 	b.resetWindow()
+	noteBreakerTransition(from, BreakerOpen)
 }
 
 func (b *Breaker) resetWindow() {

@@ -13,6 +13,7 @@ import (
 
 	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
+	"soapbinq/internal/obs"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/soap"
 	"soapbinq/internal/xmlenc"
@@ -283,15 +284,50 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 		defer cancel()
 	}
 
-	start := time.Now()
-	// Propagate the remaining budget to the server. The caller's header
-	// map is copied, not mutated.
-	if deadline, ok := ctx.Deadline(); ok {
-		withDeadline := make(soap.Header, len(hdr)+1)
-		for k, v := range hdr {
-			withDeadline[k] = v
+	// Tracing: adopt the caller's span (the quality layer creates one to
+	// annotate its own decisions) or mint our own. Both are nil while
+	// obs tracing is off, and every span method is a no-op on nil, so
+	// the disabled path takes no extra branches beyond this lookup.
+	span := obs.SpanFrom(ctx)
+	ownSpan := false
+	if span == nil {
+		if span = obs.NewSpan("client", op, 0); span != nil {
+			ownSpan = true
 		}
-		hdr = soap.EncodeDeadline(withDeadline, deadline, start)
+	}
+
+	resp, err := c.call(ctx, opDef, hdr, span, params)
+	clientRequests.Inc()
+	if err != nil {
+		clientErrors.Inc()
+		span.Fail(err)
+	}
+	if ownSpan {
+		span.Finish()
+	}
+	return resp, err
+}
+
+// call is Call's encode → round-trip → decode core. The stage timings
+// it already takes for CallStats also feed the wire histograms and the
+// span, so tracing adds no clock reads here.
+func (c *Client) call(ctx context.Context, opDef *OpDef, hdr soap.Header, span *obs.Span, params []soap.Param) (*Response, error) {
+	start := time.Now()
+	// Propagate the remaining budget and the trace ID to the server. The
+	// caller's header map is copied, not mutated.
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline || span != nil {
+		withExtras := make(soap.Header, len(hdr)+2)
+		for k, v := range hdr {
+			withExtras[k] = v
+		}
+		hdr = withExtras
+		if span != nil {
+			hdr[obs.TraceHeader] = obs.FormatTraceID(span.Trace)
+		}
+		if hasDeadline {
+			hdr = soap.EncodeDeadline(hdr, deadline, start)
+		}
 	}
 	req, err := c.encodeRequest(opDef, hdr, params)
 	if err != nil {
@@ -299,7 +335,7 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	}
 	marshalled := time.Now()
 
-	wresp, attempts, err := c.roundTrip(ctx, opDef, req)
+	wresp, attempts, err := c.roundTrip(ctx, opDef, req, span)
 	// All attempts are done; the request buffer (built by marshalBinary or
 	// soap.Marshal into a pooled buffer) goes back to the pool either way.
 	reqBytes := len(req.Body)
@@ -339,6 +375,18 @@ func (c *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	resp.Stats.RequestBytes = reqBytes
 	resp.Stats.ResponseBytes = respBytes
 	resp.Stats.Attempts = attempts
+
+	wireEncodeNS.RecordDuration(resp.Stats.MarshalTime)
+	wireRTTNS.RecordDuration(resp.Stats.RoundTripTime)
+	wireDecodeNS.RecordDuration(resp.Stats.UnmarshalTime)
+	wireRequestBytes.Record(int64(reqBytes))
+	wireResponseBytes.Record(int64(respBytes))
+	if span != nil {
+		span.SetStage(obs.StageEncode, resp.Stats.MarshalTime)
+		span.SetStage(obs.StageWait, resp.Stats.RoundTripTime)
+		span.SetStage(obs.StageDecode, resp.Stats.UnmarshalTime)
+		span.Annotate(c.wire.String(), resp.Header[MsgTypeHeader], 0, attempts)
+	}
 	return resp, nil
 }
 
@@ -356,7 +404,7 @@ func (c *Client) CallBackground(op string, hdr soap.Header, params ...soap.Param
 // with one exception: a served Server.Busy fault means the request was
 // shed before processing, so it is retried (honoring the server's
 // Retry-After hint) even for non-idempotent operations.
-func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*WireResponse, int, error) {
+func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest, span *obs.Span) (*WireResponse, int, error) {
 	budget, busyBudget := 0, 0
 	if p := c.Policy; p != nil && p.MaxRetries > 0 {
 		// A shed request was provably not processed; re-sending is safe
@@ -392,6 +440,7 @@ func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*W
 				return wresp, attempts, nil
 			}
 			// Shed: sleep per the server's hint (else backoff) and re-send.
+			c.noteRetry(op, span, attempts, "busy fault")
 			delay := c.Policy.backoff(attempts)
 			if hint, ok := soap.RetryAfterHint(served); ok {
 				delay = hint
@@ -404,6 +453,7 @@ func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*W
 		if attempts > budget || !retriable(err) {
 			return nil, attempts, err
 		}
+		c.noteRetry(op, span, attempts, err.Error())
 		delay := c.Policy.backoff(attempts)
 		if hint, ok := retryAfterHint(err); ok {
 			delay = hint
@@ -411,6 +461,25 @@ func (c *Client) roundTrip(ctx context.Context, op *OpDef, req *WireRequest) (*W
 		if serr := sleepCtx(ctx, delay); serr != nil {
 			return nil, attempts, serr
 		}
+	}
+}
+
+// noteRetry counts a re-send decision and, when tracing is on, records
+// it in the decision-event ring with the cause and the attempt number.
+func (c *Client) noteRetry(op *OpDef, span *obs.Span, attempt int, cause string) {
+	clientRetries.Inc()
+	if obs.Enabled() {
+		ev := obs.Event{
+			Kind:     obs.EventRetry,
+			Side:     "client",
+			Op:       op.Name,
+			Attempts: attempt,
+			Detail:   cause,
+		}
+		if span != nil {
+			ev.Trace = obs.FormatTraceID(span.Trace)
+		}
+		obs.Emit(ev)
 	}
 }
 

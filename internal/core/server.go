@@ -12,6 +12,7 @@ import (
 
 	"soapbinq/internal/bufpool"
 	"soapbinq/internal/idl"
+	"soapbinq/internal/obs"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/soap"
 	"soapbinq/internal/xmlenc"
@@ -204,8 +205,15 @@ func (s *Server) Stats() ServerStats {
 	return snap
 }
 
-// account records one processed request in the stats.
+// account records one processed request in the stats and the
+// process-wide metrics.
 func (s *Server) account(op string, in, out int, fault bool) {
+	serverRequests.Inc()
+	serverRequestBytes.Record(int64(in))
+	serverResponseBytes.Record(int64(out))
+	if fault {
+		serverFaults.Inc()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
@@ -252,16 +260,23 @@ func (s *Server) Process(ctx context.Context, contentType, action string, body [
 			hint = DefaultRetryAfter
 		}
 		s.mu.Unlock()
+		resilienceSheds.Inc()
+		if obs.Enabled() {
+			obs.Emit(obs.Event{Kind: obs.EventShed, Side: "server", Op: action,
+				Detail: fmt.Sprintf("in-flight bound %d", s.MaxInFlight)})
+		}
 		ct, resp := s.faultBody(wireOrXML(contentType), "", nil, soap.BusyFault(hint))
 		s.account("", len(body), len(resp), true)
 		return ct, resp
 	}
 	s.inflightN++
+	serverInflight.Set(int64(s.inflightN))
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		s.inflightN--
+		serverInflight.Set(int64(s.inflightN))
 		s.mu.Unlock()
 		s.inflight.Done()
 	}()
@@ -295,6 +310,21 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 	}
 	cctx.Op = op
 	cctx.RequestHeader = hdr
+
+	// Server half of the invocation trace: correlate via the client's
+	// trace header when present, else mint an ID. Nil while tracing is
+	// off; every use below is nil-safe, and the clock reads feeding the
+	// server stage histograms are skipped with it.
+	var span *obs.Span
+	if obs.Enabled() {
+		trace, _ := obs.ParseTraceID(hdr[obs.TraceHeader])
+		span = obs.NewSpan("server", op, trace)
+		decodeDur := time.Since(cctx.ReceivedAt)
+		span.SetStage(obs.StageDecode, decodeDur)
+		serverDecodeNS.RecordDuration(decodeDur)
+		defer span.Finish()
+	}
+
 	// The decoded parameter trees are this call's to release (handlers
 	// that retain a param value past return must copy it). Releasing
 	// waits until the response is fully encoded: the result commonly
@@ -311,15 +341,21 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
+	// Middleware (quality selection events) correlates its decisions to
+	// this invocation by reading the span's trace ID from the context.
+	ctx = obs.WithSpan(ctx, span)
 	cctx.ctx = ctx
 
 	opDef, ok := s.spec.Op(op)
 	if !ok {
 		releaseParams()
-		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown operation %q", op)})
+		f := &soap.Fault{Code: soap.FaultCodeClient, String: fmt.Sprintf("unknown operation %q", op)}
+		span.Fail(f)
+		return s.faultBody(wire, op, nil, f)
 	}
 	if f := s.checkParams(opDef, params); f != nil {
 		releaseParams()
+		span.Fail(f)
 		return s.faultBody(wire, op, nil, f)
 	}
 
@@ -328,15 +364,27 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 	s.mu.RUnlock()
 	if h == nil {
 		releaseParams()
-		return s.faultBody(wire, op, nil, &soap.Fault{Code: soap.FaultCodeServer, String: fmt.Sprintf("operation %q not implemented", op)})
+		f := &soap.Fault{Code: soap.FaultCodeServer, String: fmt.Sprintf("operation %q not implemented", op)}
+		span.Fail(f)
+		return s.faultBody(wire, op, nil, f)
 	}
 
+	var handlerStart time.Time
+	if span != nil {
+		handlerStart = time.Now()
+	}
 	result, err := s.invoke(ctx, h, cctx, params)
+	if span != nil {
+		d := time.Since(handlerStart)
+		span.SetStage(obs.StageHandler, d)
+		serverHandlerNS.RecordDuration(d)
+	}
 	if err != nil {
 		var f *soap.Fault
 		if !errors.As(err, &f) {
 			f = &soap.Fault{Code: soap.FaultCodeServer, String: err.Error()}
 		}
+		span.Fail(f)
 		respHdr := cctx.ResponseHeader
 		if f.Code == soap.FaultCodeDeadlineExceeded || f.Code == soap.FaultCodeCancelled {
 			// The abandoned handler goroutine may still be mutating the
@@ -348,7 +396,20 @@ func (s *Server) process(ctx context.Context, contentType, action string, body [
 		}
 		return s.faultBody(wire, op, respHdr, f)
 	}
+	var encodeStart time.Time
+	if span != nil {
+		encodeStart = time.Now()
+	}
 	ct, resp := s.responseBody(wire, opDef, cctx.ResponseHeader, result)
+	if span != nil {
+		d := time.Since(encodeStart)
+		span.SetStage(obs.StageEncode, d)
+		serverEncodeNS.RecordDuration(d)
+		// Safe to read the response header here: the handler completed on
+		// this goroutine's path (abandoned handlers exit via the fault
+		// branch above and never reach this read).
+		span.Annotate(wire.String(), cctx.ResponseHeader[MsgTypeHeader], 0, 0)
+	}
 	releaseParams()
 	return ct, resp
 }

@@ -286,6 +286,7 @@ func (t *TCPTransport) tryOnce(ctx context.Context, code byte, req *WireRequest)
 		if err != nil {
 			return nil, fmt.Errorf("core: tcp dial: %w", err)
 		}
+		tcpDials.Inc()
 		t.conn = conn
 	}
 	conn := t.conn

@@ -103,6 +103,8 @@ func dialMux(ctx context.Context, addr string) (*muxConn, error) {
 		return nil, fmt.Errorf("core: mux handshake: %w", err)
 	}
 	conn.SetWriteDeadline(time.Time{})
+	tcpDials.Inc()
+	muxConns.Add(1)
 	m := &muxConn{conn: conn, pending: make(map[uint64]chan muxReply)}
 	go m.readLoop()
 	return m, nil
@@ -137,6 +139,8 @@ func (m *muxConn) fail(err error) {
 	m.mu.Lock()
 	if m.dead == nil {
 		m.dead = err
+		muxConns.Add(-1)
+		muxConnFailures.Inc()
 	}
 	waiters := m.pending
 	m.pending = make(map[uint64]chan muxReply)
@@ -170,7 +174,11 @@ func (m *muxConn) call(ctx context.Context, code byte, action string, body []byt
 	m.pending[id] = ch
 	m.mu.Unlock()
 	m.inflight.Add(1)
-	defer m.inflight.Add(-1)
+	muxInflight.Add(1)
+	defer func() {
+		m.inflight.Add(-1)
+		muxInflight.Add(-1)
+	}()
 
 	if err := m.writeRequest(ctx, id, code, action, body); err != nil {
 		// A partial frame corrupts the outbound stream for everyone:

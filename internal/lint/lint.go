@@ -106,6 +106,7 @@ func Analyzers() []*Analyzer {
 		WireWidth,
 		BodyClose,
 		PooledBuf,
+		MetricName,
 	}
 }
 

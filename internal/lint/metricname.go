@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the metric-naming contract on obs registrations:
+// every series is soapbinq_<subsystem>_<name>_<unit>, and the unit
+// suffix matches the instrument kind (counters count events and end in
+// _total; histograms and gauges carry an explicit unit). The registry
+// panics on malformed names at first use, but only on the code path
+// that registers them — the analyzer catches the name at lint time,
+// before a rarely-exercised series panics in production.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names follow soapbinq_<subsystem>_<name>_<unit> with kind-appropriate units",
+	Run:  runMetricName,
+}
+
+// metricNamePattern is the shape every series name must have: the
+// soapbinq_ prefix, then subsystem, name, and unit segments (at least
+// three), all lowercase alphanumerics.
+var metricNamePattern = regexp.MustCompile(`^soapbinq_[a-z][a-z0-9]*(_[a-z][a-z0-9]*){2,}$`)
+
+// metricUnitSuffixes maps each obs constructor to its admissible unit
+// suffixes.
+var metricUnitSuffixes = map[string][]string{
+	"NewCounter":   {"_total"},
+	"NewHistogram": {"_ns", "_bytes"},
+	"NewGauge":     {"_ns", "_bytes", "_count", "_ratio", "_state"},
+}
+
+func runMetricName(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !isObsConstructor(fn) {
+				return true
+			}
+			suffixes, ok := metricUnitSuffixes[fn.Name()]
+			if !ok {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Report(arg.Pos(), "obs.%s name must be a constant string so the series name is auditable", fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNamePattern.MatchString(name) {
+				pass.Report(arg.Pos(), "metric name %q does not match soapbinq_<subsystem>_<name>_<unit>", name)
+				return true
+			}
+			for _, suf := range suffixes {
+				if strings.HasSuffix(name, suf) {
+					return true
+				}
+			}
+			pass.Report(arg.Pos(), "metric name %q needs a %s unit suffix (%s)",
+				name, strings.TrimPrefix(fn.Name(), "New"), strings.Join(suffixes, ", "))
+			return true
+		})
+	}
+}
+
+// isObsConstructor reports whether fn is a package-level function of
+// the obs package. Registry methods are excluded: the package-level
+// constructors forward their (parameter) name to them, and every
+// registration outside obs goes through the package-level helpers.
+// Matching by package-path suffix keeps the analyzer independent of
+// the module path.
+func isObsConstructor(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}

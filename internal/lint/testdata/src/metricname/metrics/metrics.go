@@ -1,0 +1,30 @@
+// Package metrics is the metricname golden fixture: names missing the
+// soapbinq_ prefix, the subsystem segment, or the kind's unit suffix
+// are reported; conforming registrations are not.
+package metrics
+
+import "soapbinq/internal/obs"
+
+const histName = "soapbinq_fixture_latency_ns"
+
+var (
+	goodCounter = obs.NewCounter("soapbinq_fixture_requests_total", "fixture requests")
+	goodGauge   = obs.NewGauge("soapbinq_fixture_inflight_count", "fixture in-flight")
+	goodHist    = obs.NewHistogram(histName, "fixture latency") // constant-folded names are auditable
+	goodLabeled = obs.NewCounter("soapbinq_fixture_events_total", "fixture events", obs.L("kind", "demo"))
+
+	badPrefix  = obs.NewCounter("fixture_requests_total", "missing prefix")            // want "does not match"
+	badShape   = obs.NewCounter("soapbinq_requests_total", "missing subsystem")        // want "does not match"
+	badCase    = obs.NewCounter("soapbinq_Fixture_requests_total", "uppercase")        // want "does not match"
+	badCounter = obs.NewCounter("soapbinq_fixture_requests_count", "wrong unit")       // want "needs a Counter unit suffix"
+	badGauge   = obs.NewGauge("soapbinq_fixture_inflight_total", "counter-ish gauge")  // want "needs a Gauge unit suffix"
+	badHist    = obs.NewHistogram("soapbinq_fixture_latency_seconds", "seconds unit")  // want "needs a Histogram unit suffix"
+)
+
+// dynamicName builds a series name at run time, which the registry can
+// only validate on the code path that reaches it.
+func dynamicName(suffix string) *obs.Counter {
+	return obs.NewCounter("soapbinq_fixture_"+suffix, "dynamic") // want "must be a constant string"
+}
+
+var _ = []any{goodCounter, goodGauge, goodHist, goodLabeled, badPrefix, badShape, badCase, badCounter, badGauge, badHist}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Quality sources feed the "sources" section of /debug/quality: each
+// is a named function returning a JSON-marshalable snapshot of live
+// quality state (estimator snapshots, selector positions, breaker
+// states). The quality and core layers register these at setup time;
+// re-registering a name replaces the previous source.
+var (
+	sourcesMu sync.Mutex
+	sources   = map[string]func() any{}
+)
+
+// RegisterQualitySource installs (or replaces) a named live-state
+// source served under /debug/quality. fn is called on every request
+// and must be safe for concurrent use; keep it cheap — it runs inside
+// the scrape.
+func RegisterQualitySource(name string, fn func() any) {
+	if name == "" || fn == nil {
+		return
+	}
+	sourcesMu.Lock()
+	sources[name] = fn
+	sourcesMu.Unlock()
+}
+
+// UnregisterQualitySource removes a named source (for tests and
+// torn-down endpoints).
+func UnregisterQualitySource(name string) {
+	sourcesMu.Lock()
+	delete(sources, name)
+	sourcesMu.Unlock()
+}
+
+// QualityDebug is the /debug/quality response shape: live per-endpoint
+// state from the registered sources, the decision-event ring, and the
+// finished-span ring — events and spans carry matching hex trace IDs,
+// which is how the two halves of one invocation (and the decisions
+// taken during it) correlate.
+type QualityDebug struct {
+	Time    time.Time      `json:"time"`
+	Enabled bool           `json:"enabled"`
+	Sources map[string]any `json:"sources,omitempty"`
+	Events  []Event        `json:"events"`
+	Spans   []SpanView     `json:"spans"`
+}
+
+// qualityDebugSnapshot assembles the /debug/quality payload.
+func qualityDebugSnapshot() QualityDebug {
+	sourcesMu.Lock()
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	fns := make(map[string]func() any, len(sources))
+	for n, fn := range sources {
+		fns[n] = fn
+	}
+	sourcesMu.Unlock()
+	sort.Strings(names)
+
+	d := QualityDebug{Time: time.Now(), Enabled: Enabled(), Events: Events()}
+	if len(names) > 0 {
+		d.Sources = make(map[string]any, len(names))
+		for _, n := range names {
+			d.Sources[n] = fns[n]()
+		}
+	}
+	finished := Spans()
+	d.Spans = make([]SpanView, len(finished))
+	for i := range finished {
+		d.Spans[i] = finished[i].View()
+	}
+	return d
+}
+
+// Handler returns the debug mux: Prometheus text at /metrics, the live
+// quality JSON at /debug/quality, and net/http/pprof under
+// /debug/pprof/. Mount it on an operator-only listener — the pprof
+// endpoints expose heap contents and must never face the public
+// network; nothing in this package serves it unless asked
+// (soapbench -obs, vizportal -debug, or an application calling Serve).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		defaultRegistry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/quality", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(qualityDebugSnapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug mux on addr (e.g. "localhost:8090") and
+// returns the bound listener — Addr() gives the resolved port when
+// addr used :0. The HTTP server runs until the listener is closed;
+// serving errors after Close are discarded. Serving also flips
+// SetEnabled(true): asking for the debug endpoint is opting into
+// instrumentation.
+func Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	SetEnabled(true)
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln) //nolint — lifetime is the listener's; Close unblocks it
+	return ln, nil
+}

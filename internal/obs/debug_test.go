@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// debugMuxCounter seeds the default registry so /metrics has at least
+// one family to serve in this test binary (the instrumented layers are
+// not imported here).
+var debugMuxCounter = NewCounter("soapbinq_test_debugmux_total", "test seed")
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	debugMuxCounter.Inc()
+	withEnabled(t, func() {
+		RegisterQualitySource("test/endpoint", func() any {
+			return map[string]any{"estimate_ns": 123456, "pressure": 1}
+		})
+		defer UnregisterQualitySource("test/endpoint")
+		Emit(Event{Kind: EventBreaker, From: "closed", To: "open", Op: "echo"})
+
+		ts := httptest.NewServer(Handler())
+		defer ts.Close()
+
+		// /metrics serves the Prometheus text format.
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("metrics content type %q", ct)
+		}
+		if !strings.Contains(string(body), "# TYPE") {
+			t.Errorf("metrics body has no families:\n%s", body)
+		}
+
+		// /debug/quality serves sources + events + spans as JSON.
+		resp, err = http.Get(ts.URL + "/debug/quality")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dq QualityDebug
+		if err := json.NewDecoder(resp.Body).Decode(&dq); err != nil {
+			t.Fatal(err)
+		}
+		if !dq.Enabled {
+			t.Error("enabled flag not reported")
+		}
+		if _, ok := dq.Sources["test/endpoint"]; !ok {
+			t.Errorf("registered source missing: %v", dq.Sources)
+		}
+		foundBreaker := false
+		for _, e := range dq.Events {
+			if e.Kind == EventBreaker && e.To == "open" {
+				foundBreaker = true
+			}
+		}
+		if !foundBreaker {
+			t.Error("emitted breaker event not served")
+		}
+
+		// pprof index answers.
+		resp, err = http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof index status %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestServeBindsAndFlipsEnabled(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	ln, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if !Enabled() {
+		t.Fatal("Serve must enable instrumentation")
+	}
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,45 @@
+// Package obs is the observability layer of the quality loop: a
+// stdlib-only metrics registry (counters, gauges, log-bucket
+// histograms), a per-invocation trace-span model, a ring buffer of
+// quality/resilience decision events, and an opt-in debug HTTP mux
+// exposing all of it (Prometheus text at /metrics, live quality state
+// at /debug/quality, net/http/pprof at /debug/pprof/).
+//
+// The paper's argument is a feedback loop — per-invocation RTT
+// measurement drives encoding selection and downsampling so response
+// times stay inside a policy band — and a feedback loop you cannot see
+// is a feedback loop you cannot trust. This package makes every
+// decision the loop takes (degrade, switch encoding, shed, trip the
+// breaker, retry) visible at run time, continuously, without a bench
+// harness.
+//
+// # Cost discipline
+//
+// Instrumentation lives on the wire hot path, so its cost model is
+// explicit:
+//
+//   - Metric handles (Counter, Gauge, Histogram) are created once, at
+//     package init, and held in package-level vars. Recording through a
+//     handle is one or two atomic operations and never allocates,
+//     whether observability is enabled or not.
+//   - Everything that costs more than an atomic — reading the clock for
+//     stage timings, building spans, appending decision events — is
+//     gated on Enabled(), a single atomic load. Disabled (the default),
+//     the hot path is allocation-identical to the uninstrumented code;
+//     the gates in the repo root's obs_test.go enforce this.
+//   - Counters are striped across padded cells to keep concurrent
+//     writers off each other's cache lines; reading sums the cells.
+//
+// # Naming convention
+//
+// Every metric is named soapbinq_<subsystem>_<name>_<unit>: the
+// soapbinq_ prefix, a subsystem segment (quality, resilience, wire,
+// server, pool, ...), one or more name segments, and a unit suffix —
+// _total for counters, _ns / _bytes for histograms, and _ns, _bytes,
+// _count, _ratio or _state for gauges. The soaplint metricname
+// analyzer enforces this convention at compile time. Durations are
+// always nanoseconds (Go's native time.Duration unit); sizes are
+// always bytes.
+//
+// All types in this package are safe for concurrent use.
+package obs

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies a quality/resilience decision event.
+type EventKind string
+
+// The decision-event taxonomy. Every entry in /debug/quality's events
+// list carries exactly one of these kinds; OPERATIONS.md documents how
+// to read each during an incident.
+const (
+	// EventDegrade: the quality selector substituted a smaller message
+	// type (From = declared/previous type, To = chosen type).
+	EventDegrade EventKind = "degrade"
+	// EventRestore: the selector moved back to a larger type after a
+	// degradation (the recovery edge of the loop).
+	EventRestore EventKind = "restore"
+	// EventShed: the server refused a request at the in-flight bound.
+	EventShed EventKind = "shed"
+	// EventBreaker: a circuit-breaker state transition (From/To are
+	// state names: closed, open, half-open).
+	EventBreaker EventKind = "breaker"
+	// EventRetry: the client re-sent an attempt under its policy
+	// (Detail says why: transport error, busy fault, status).
+	EventRetry EventKind = "retry"
+	// EventPressure: an estimator's fault-pressure level changed
+	// (Pressure is the new level; rising pressure doubles the effective
+	// estimate the selector sees).
+	EventPressure EventKind = "pressure"
+	// EventPolicySwap: a Manager.SetPolicy replaced the quality policy
+	// at run time.
+	EventPolicySwap EventKind = "policy-swap"
+)
+
+// Event is one decision the quality/resilience loop took, with enough
+// context to correlate it to an invocation (Trace), a client
+// (ClientID), and an operation. Estimate is the effective RTT estimate
+// at decision time in nanoseconds; Pressure the fault-pressure level.
+type Event struct {
+	Seq      uint64        `json:"seq"`
+	Time     time.Time     `json:"time"`
+	Kind     EventKind     `json:"kind"`
+	Side     string        `json:"side,omitempty"` // "client" or "server"
+	Op       string        `json:"op,omitempty"`
+	Trace    string        `json:"trace,omitempty"` // hex, matches SpanView.Trace
+	ClientID string        `json:"client_id,omitempty"`
+	From     string        `json:"from,omitempty"` // type/state before
+	To       string        `json:"to,omitempty"`   // type/state after
+	Estimate time.Duration `json:"estimate_ns,omitempty"`
+	Pressure int           `json:"pressure,omitempty"`
+	Attempts int           `json:"attempts,omitempty"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// eventRingSize bounds the decision-event ring. 512 events outlast any
+// degradation storm long enough to see its onset.
+const eventRingSize = 512
+
+// EventRing retains the last eventRingSize events. The process-wide
+// ring behind Emit/Events is what /debug/quality serves; fresh rings
+// exist for tests.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  [eventRingSize]Event
+	next uint64
+}
+
+var events EventRing
+
+// Emit appends an event to the process-wide ring when instrumentation
+// is enabled; disabled, it is a single atomic load and returns
+// immediately (call sites may still guard with Enabled() to skip
+// building the Event). The Seq and Time fields are filled here.
+func Emit(e Event) {
+	if !Enabled() {
+		return
+	}
+	events.Add(e)
+}
+
+// Add appends an event, stamping Seq (a process-unique, monotonically
+// increasing number — gaps never occur) and Time when unset.
+func (r *EventRing) Add(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%eventRingSize] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first. The slice is a
+// copy; callers may retain it.
+func (r *EventRing) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	count := uint64(eventRingSize)
+	if n < count {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%eventRingSize])
+	}
+	return out
+}
+
+// Events returns the most recent decision events, oldest first.
+func Events() []Event { return events.Snapshot() }

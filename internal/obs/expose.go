@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family, series sorted by name then label set, histograms expanded
+// into cumulative _bucket lines plus _sum and _count. All values are
+// integers (counts, nanoseconds, bytes), so no float formatting is
+// involved and the output is deterministic for a given state — the
+// golden test relies on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	snap := make([]*series, len(r.series))
+	copy(snap, r.series)
+	r.mu.Unlock()
+
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].name != snap[j].name {
+			return snap[i].name < snap[j].name
+		}
+		return labelString(snap[i].labels) < labelString(snap[j].labels)
+	})
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range snap {
+		if s.name != lastFamily {
+			bw.WriteString("# HELP ")
+			bw.WriteString(s.name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.help)
+			bw.WriteString("\n# TYPE ")
+			bw.WriteString(s.name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.kind.String())
+			bw.WriteByte('\n')
+			lastFamily = s.name
+		}
+		switch h := s.handle.(type) {
+		case *Counter:
+			writeSample(bw, s.name, labelString(s.labels), h.Value())
+		case *Gauge:
+			bw.WriteString(s.name)
+			bw.WriteString(labelString(s.labels))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(h.Value(), 10))
+			bw.WriteByte('\n')
+		case *Histogram:
+			writeHistogram(bw, s, h)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line for a uint64 value.
+func writeSample(bw *bufio.Writer, name, labels string, v uint64) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(v, 10))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative bucket series, sum, and count.
+// Empty buckets above the highest populated one are collapsed into the
+// +Inf line to keep scrapes compact; the cumulative counts stay exact.
+func writeHistogram(bw *bufio.Writer, s *series, h *Histogram) {
+	counts := h.snapshotBuckets()
+	highest := 0
+	var total uint64
+	for i, c := range counts {
+		total += c
+		if c > 0 {
+			highest = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= highest && i < numBuckets-1; i++ {
+		cum += counts[i]
+		le := strconv.FormatInt(BucketUpper(i), 10)
+		writeSample(bw, s.name+"_bucket", labelString(s.labels, L("le", le)), cum)
+	}
+	writeSample(bw, s.name+"_bucket", labelString(s.labels, L("le", "+Inf")), total)
+	writeSample(bw, s.name+"_sum", labelString(s.labels), h.Sum())
+	writeSample(bw, s.name+"_count", labelString(s.labels), total)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the exposition format byte for byte: HELP
+// and TYPE once per family, series sorted by name then labels,
+// histograms as cumulative buckets with exact power-of-two upper
+// bounds plus _sum and _count. A scraper compatibility break must show
+// up as a diff here, not in a dashboard.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	reqs := r.NewCounter("soapbinq_test_requests_total", "requests processed")
+	reqs.Add(42)
+	shedA := r.NewCounter("soapbinq_test_sheds_total", "requests shed", L("op", "echo"))
+	shedA.Inc()
+	shedB := r.NewCounter("soapbinq_test_sheds_total", "requests shed", L("op", "get"))
+	shedB.Add(3)
+	inflight := r.NewGauge("soapbinq_test_inflight_count", "in-flight requests")
+	inflight.Set(5)
+	rtt := r.NewHistogram("soapbinq_test_rtt_ns", "round-trip time")
+	rtt.Record(0)
+	rtt.Record(1)
+	rtt.Record(3)
+	rtt.Record(900) // bucket le=1023
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		`# HELP soapbinq_test_inflight_count in-flight requests`,
+		`# TYPE soapbinq_test_inflight_count gauge`,
+		`soapbinq_test_inflight_count 5`,
+		`# HELP soapbinq_test_requests_total requests processed`,
+		`# TYPE soapbinq_test_requests_total counter`,
+		`soapbinq_test_requests_total 42`,
+		`# HELP soapbinq_test_rtt_ns round-trip time`,
+		`# TYPE soapbinq_test_rtt_ns histogram`,
+		`soapbinq_test_rtt_ns_bucket{le="0"} 1`,
+		`soapbinq_test_rtt_ns_bucket{le="1"} 2`,
+		`soapbinq_test_rtt_ns_bucket{le="3"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="7"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="15"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="31"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="63"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="127"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="255"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="511"} 3`,
+		`soapbinq_test_rtt_ns_bucket{le="1023"} 4`,
+		`soapbinq_test_rtt_ns_bucket{le="+Inf"} 4`,
+		`soapbinq_test_rtt_ns_sum 904`,
+		`soapbinq_test_rtt_ns_count 4`,
+		`# HELP soapbinq_test_sheds_total requests shed`,
+		`# TYPE soapbinq_test_sheds_total counter`,
+		`soapbinq_test_sheds_total{op="echo"} 1`,
+		`soapbinq_test_sheds_total{op="get"} 3`,
+	}, "\n") + "\n"
+
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("soapbinq_test_empty_ns", "never recorded")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`soapbinq_test_empty_ns_bucket{le="+Inf"} 0`,
+		`soapbinq_test_empty_ns_sum 0`,
+		`soapbinq_test_empty_ns_count 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labelString([]Label{L("msg", "a\"b\\c\nd")})
+	want := `{msg="a\"b\\c\nd"}`
+	if got != want {
+		t.Errorf("labelString = %s, want %s", got, want)
+	}
+}

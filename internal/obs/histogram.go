@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are fixed log-scale: bucket k holds values v with
+// 2^(k-1) <= v < 2^k (bucket 0 holds v == 0), so bucketing is one
+// bits.Len64 — no search, no configuration, and every histogram in the
+// process lines up for cross-metric comparison. Values are recorded in
+// the metric's unit (nanoseconds for _ns, bytes for _bytes).
+//
+// numBuckets caps the range at 2^40 (about 18 minutes in nanoseconds,
+// a terabyte in bytes); anything larger lands in the overflow bucket,
+// exposed as le="+Inf".
+const (
+	maxBucketExp = 40
+	numBuckets   = maxBucketExp + 2 // 0, 1..maxBucketExp, overflow
+)
+
+// bucketFor maps a value to its bucket index.
+func bucketFor(v uint64) int {
+	b := bits.Len64(v)
+	if b > maxBucketExp {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (the
+// Prometheus le value): 0 for bucket 0, 2^i-1 for the log buckets, and
+// -1 meaning +Inf for the overflow bucket.
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= numBuckets-1:
+		return -1
+	default:
+		return int64(1)<<uint(i) - 1
+	}
+}
+
+// Histogram counts observations in fixed power-of-two buckets and
+// tracks their sum. Record is two or three atomic operations and never
+// allocates; it is safe for concurrent use. Negative values clamp to
+// zero (durations can come out negative under clock steps; a negative
+// byte count is a caller bug that should still not corrupt the sum).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     [numStripes]cell // striped: every Record touches the sum
+}
+
+// Record folds one observation in.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(uint64(v))].Add(1)
+	h.sum[stripe()].v.Add(uint64(v))
+}
+
+// RecordDuration records d in nanoseconds — the unit every _ns
+// histogram uses.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	h.Record(d.Nanoseconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	var s uint64
+	for i := range h.sum {
+		s += h.sum[i].v.Load()
+	}
+	return s
+}
+
+// snapshotBuckets copies the bucket counts (non-cumulative).
+func (h *Histogram) snapshotBuckets() [numBuckets]uint64 {
+	var out [numBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts, attributing each bucket its upper bound — a conservative
+// (over-)estimate, which is the right bias for latency monitoring.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	counts := h.snapshotBuckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			if up := BucketUpper(i); up >= 0 {
+				return up
+			}
+			return int64(1) << maxBucketExp
+		}
+	}
+	return 0
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates the parts of instrumentation that cost more than an
+// atomic operation: clock reads for stage timings, span construction,
+// decision-event appends. Counters and gauges are always on — they are
+// single atomic operations and never allocate — so scrapes see traffic
+// totals even when tracing is off.
+var enabled atomic.Bool
+
+// SetEnabled turns the clock-and-span half of instrumentation on or off
+// and returns the previous state. Off (the default), the hot path takes
+// no timestamps, builds no spans, and appends no events: it is
+// allocation-identical to the uninstrumented code (the repo root's
+// obs_alloc_test.go gates this). On, each invocation costs a handful of
+// clock reads and one span, which is what "near-free" means here.
+func SetEnabled(on bool) bool {
+	return enabled.Swap(on)
+}
+
+// Enabled reports whether timing/span instrumentation is on. Call sites
+// that need more than a counter bump guard with it; the load is one
+// atomic read.
+func Enabled() bool {
+	return enabled.Load()
+}
+
+// numStripes is how many padded cells a striped counter spreads its
+// writers over. Eight cells cover the benchmark's widest fan-in without
+// making Value() reads expensive.
+const numStripes = 8
+
+// cell is one counter stripe, padded to a cache line so adjacent
+// stripes never false-share.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripe picks a cell for this call. rand/v2's global generator reads
+// per-thread runtime state — no lock, no allocation — so concurrent
+// writers scatter across cells instead of serializing on one line.
+func stripe() int {
+	return int(rand.Uint32N(numStripes))
+}
+
+// Counter is a monotonically increasing count, striped across padded
+// cells. Add and Inc are allocation-free and safe for concurrent use;
+// Value sums the stripes (reads may be slightly behind concurrent
+// writers, which is fine for monitoring).
+type Counter struct {
+	cells [numStripes]cell
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.cells[stripe()].v.Add(1) }
+
+// Add adds n (callers never pass negative deltas; counters only go up).
+func (c *Counter) Add(n uint64) { c.cells[stripe()].v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a value that can go up and down (in-flight requests, pooled
+// connections, breaker state). Set/Add/Value are single atomics.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Label is one constant name/value pair attached to a metric series at
+// registration time. There is no per-call labeling: series are
+// pre-resolved into handles so the hot path never formats strings.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the concrete handle types in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered metric handle plus its identity.
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label // sorted by key
+	handle any     // *Counter, *Gauge, or *Histogram
+}
+
+// labelString renders the sorted label set as {k="v",...}, or "" when
+// unlabeled. extra (the histogram "le" label) is appended last.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry holds metric series and renders them in Prometheus text
+// format. The package-level Default registry is where the instrumented
+// layers register at init; fresh registries exist for tests.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// defaultRegistry backs the package-level registration functions.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry served at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// metricNameRe is the soapbinq_<subsystem>_<name>_<unit> convention:
+// prefix, subsystem segment, at least one name segment, and a unit
+// suffix checked separately per kind. The soaplint metricname analyzer
+// enforces the same shape statically at every registration call site.
+var metricNameRe = regexp.MustCompile(`^soapbinq_[a-z][a-z0-9]*(_[a-z][a-z0-9]*)+_[a-z]+$`)
+
+// unitSuffixes lists the unit suffix each metric kind may carry.
+var unitSuffixes = map[metricKind][]string{
+	kindCounter:   {"_total"},
+	kindHistogram: {"_ns", "_bytes"},
+	kindGauge:     {"_ns", "_bytes", "_count", "_ratio", "_state"},
+}
+
+// checkName panics on a name violating the convention — registration
+// happens at package init, so a bad name is a build-time programmer
+// error, caught by the first test that imports the package.
+func checkName(name string, kind metricKind) {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric %q does not match soapbinq_<subsystem>_<name>_<unit>", name))
+	}
+	for _, suf := range unitSuffixes[kind] {
+		if strings.HasSuffix(name, suf) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("obs: %s %q must end in one of %v", kind, name, unitSuffixes[kind]))
+}
+
+// register validates and files one series, panicking on an exact
+// duplicate (same name, kind, and label set).
+func (r *Registry) register(s *series) {
+	checkName(s.name, s.kind)
+	sort.Slice(s.labels, func(i, j int) bool { return s.labels[i].Key < s.labels[j].Key })
+	key := s.name + labelString(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.series {
+		if have.name+labelString(have.labels) == key {
+			panic(fmt.Sprintf("obs: duplicate metric series %s", key))
+		}
+		if have.name == s.name && have.kind != s.kind {
+			panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", s.name, have.kind, s.kind))
+		}
+	}
+	r.series = append(r.series, s)
+}
+
+// NewCounter registers a counter series and returns its handle.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&series{name: name, help: help, kind: kindCounter, labels: labels, handle: c})
+	return c
+}
+
+// NewGauge registers a gauge series and returns its handle.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&series{name: name, help: help, kind: kindGauge, labels: labels, handle: g})
+	return g
+}
+
+// NewHistogram registers a histogram series and returns its handle.
+func (r *Registry) NewHistogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.register(&series{name: name, help: help, kind: kindHistogram, labels: labels, handle: h})
+	return h
+}
+
+// NewCounter registers a counter in the Default registry. The
+// instrumented layers call this from package-level var initializers, so
+// every handle exists before any traffic flows.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return defaultRegistry.NewCounter(name, help, labels...)
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return defaultRegistry.NewGauge(name, help, labels...)
+}
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string, labels ...Label) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, labels...)
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStripes(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(24)
+	if got := c.Value(); got != 1024 {
+		t.Fatalf("Value() = %d, want 1024", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Add(10)
+	if got := g.Value(); got != 14 {
+		t.Fatalf("Value() = %d, want 14", got)
+	}
+}
+
+// TestRegistryConcurrency is the N-writers / one-scraper race test: 8
+// goroutines hammer a counter, a gauge, and a histogram while a scraper
+// renders the registry continuously. Run under -race (make check does),
+// this is the registry's thread-safety proof; the final totals check
+// that no increment was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("soapbinq_test_writes_total", "writes")
+	g := r.NewGauge("soapbinq_test_level_count", "level")
+	h := r.NewHistogram("soapbinq_test_latency_ns", "latency")
+
+	const writers = 8
+	const perWriter = 10000
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(buf.String(), "soapbinq_test_writes_total") {
+				t.Error("scrape missing counter family")
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Record(int64(seed*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Errorf("gauge = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestMetricNameValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		kind metricKind
+	}{
+		{"requests_total", kindCounter},             // no prefix
+		{"soapbinq_requests_total", kindCounter},    // no subsystem segment
+		{"soapbinq_wire_rtt", kindHistogram},        // no unit
+		{"soapbinq_wire_rtt_seconds", kindHistogram},// wrong unit
+		{"soapbinq_wire_rtt_ns", kindCounter},       // counter must end _total
+		{"soapbinq_server_requests_total", kindGauge}, // gauge can't be _total
+		{"soapbinq_Wire_rtt_ns", kindHistogram},     // uppercase
+	}
+	for _, tc := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("checkName(%q, %v) did not panic", tc.name, tc.kind)
+				}
+			}()
+			checkName(tc.name, tc.kind)
+		}()
+	}
+	good := []struct {
+		name string
+		kind metricKind
+	}{
+		{"soapbinq_quality_degradations_total", kindCounter},
+		{"soapbinq_wire_rtt_ns", kindHistogram},
+		{"soapbinq_wire_request_bytes", kindHistogram},
+		{"soapbinq_server_inflight_count", kindGauge},
+		{"soapbinq_resilience_breaker_state", kindGauge},
+		{"soapbinq_pool_hit_ratio", kindGauge},
+	}
+	for _, tc := range good {
+		checkName(tc.name, tc.kind) // must not panic
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("soapbinq_test_dup_total", "x", L("op", "a"))
+	r.NewCounter("soapbinq_test_dup_total", "x", L("op", "b")) // distinct labels: fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	r.NewCounter("soapbinq_test_dup_total", "x", L("op", "a"))
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(1)
+	h.Record(2)    // bucket le=3
+	h.Record(1000) // bucket le=1023
+	h.Record(-5)   // clamps to 0
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 1003 {
+		t.Fatalf("Sum = %d, want 1003", got)
+	}
+	// Sorted values: 0,0,1,2,1000 — the median is 1, whose bucket's
+	// upper bound is 1.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1 (upper bound of the median bucket)", q)
+	}
+	if q := h.Quantile(1.0); q != 1023 {
+		t.Errorf("p100 = %d, want 1023", q)
+	}
+	var empty Histogram
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(3 * time.Microsecond)
+	if got := h.Sum(); got != 3000 {
+		t.Fatalf("Sum = %d ns, want 3000", got)
+	}
+}
+
+func TestBucketUpperBounds(t *testing.T) {
+	if BucketUpper(0) != 0 {
+		t.Error("bucket 0 should hold only zero")
+	}
+	if got := BucketUpper(10); got != 1023 {
+		t.Errorf("BucketUpper(10) = %d, want 1023", got)
+	}
+	if got := BucketUpper(numBuckets - 1); got != -1 {
+		t.Errorf("overflow bucket upper = %d, want -1 (+Inf)", got)
+	}
+	// bucketFor and BucketUpper must agree: v always lands in a bucket
+	// whose upper bound is >= v.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024, 1 << 39, 1 << 45} {
+		b := bucketFor(v)
+		up := BucketUpper(b)
+		if up >= 0 && uint64(up) < v {
+			t.Errorf("value %d filed under bucket %d with upper %d", v, b, up)
+		}
+		if b > 0 && BucketUpper(b-1) >= 0 && uint64(BucketUpper(b-1)) >= v {
+			t.Errorf("value %d should fit the previous bucket %d", v, b-1)
+		}
+	}
+}

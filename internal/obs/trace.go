@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the envelope header entry carrying the invocation's
+// trace ID (16 hex digits), stamped by the client and echoed into the
+// server's span so the two halves of one invocation correlate in
+// /debug/quality. It rides the SOAP header map like the deadline
+// header does, so it works identically over HTTP, raw TCP, and the
+// multiplexed pool.
+const TraceHeader = "X-SOAPBinQ-Trace"
+
+// Stage names one slot in a span's timing breakdown. Client spans fill
+// Encode/Send/Wait/Decode (Send and Wait merge into Wait on transports
+// that cannot split them, e.g. net/http); server spans fill
+// Read/Decode/Handler/Encode/Write (Read and Write are zero for
+// transports that hand the server whole buffers). All stage durations
+// are nanoseconds on the wire and time.Duration in memory.
+type Stage int
+
+const (
+	// StageEncode is request serialization on the client, response
+	// serialization on the server.
+	StageEncode Stage = iota
+	// StageSend is the request write to the network (TCP transports).
+	StageSend
+	// StageWait is the client's wait for the response — the full
+	// transport round trip when Send cannot be split out.
+	StageWait
+	// StageDecode is response deserialization on the client, request
+	// deserialization on the server.
+	StageDecode
+	// StageRead is the server's request read off the wire.
+	StageRead
+	// StageHandler is the application handler.
+	StageHandler
+	// StageWrite is the server's response write to the wire.
+	StageWrite
+
+	numStages
+)
+
+// stageNames index by Stage for JSON rendering.
+var stageNames = [numStages]string{
+	"encode", "send", "wait", "decode", "read", "handler", "write",
+}
+
+// String returns the lowercase stage name used in JSON and metrics.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Span is one invocation half (client or server side): a trace ID, a
+// per-stage timing breakdown, and the quality/resilience annotations
+// that explain what the loop did to this call. Spans are built only
+// when Enabled() — a nil *Span is the disabled case and every method
+// on it is a safe no-op, so call sites need no second guard.
+//
+// A span is owned by the goroutine driving the invocation until
+// Finish, which publishes an immutable copy to the span ring; the span
+// itself must not be touched after Finish.
+type Span struct {
+	Trace    uint64        // correlation ID shared by both halves
+	Side     string        // "client" or "server"
+	Op       string        // operation name
+	Start    time.Time     // invocation start on this side
+	Total    time.Duration // set by Finish
+	Stages   [numStages]time.Duration
+	Encoding string // wire format name (soap-bin, soap-xml, ...)
+	MsgType  string // quality-substituted message type, "" when full
+	Pressure int    // estimator fault pressure seen by this call
+	Attempts int    // transport attempts (client side)
+	Err      string // final error, "" on success
+}
+
+// NewSpan starts a span when instrumentation is enabled, else returns
+// nil. A zero trace ID mints a fresh random one (the client case);
+// servers pass the ID parsed from the trace header.
+func NewSpan(side, op string, trace uint64) *Span {
+	if !Enabled() {
+		return nil
+	}
+	if trace == 0 {
+		trace = rand.Uint64() | 1 // zero means "no trace"; never mint it
+	}
+	return &Span{Trace: trace, Side: side, Op: op, Start: time.Now()}
+}
+
+// SetStage records one stage's duration. No-op on a nil span.
+func (s *Span) SetStage(st Stage, d time.Duration) {
+	if s == nil || st < 0 || st >= numStages {
+		return
+	}
+	s.Stages[st] = d
+}
+
+// Annotate fills the quality/resilience fields. No-op on a nil span.
+func (s *Span) Annotate(encoding, msgType string, pressure, attempts int) {
+	if s == nil {
+		return
+	}
+	if encoding != "" {
+		s.Encoding = encoding
+	}
+	if msgType != "" {
+		s.MsgType = msgType
+	}
+	if pressure > 0 {
+		s.Pressure = pressure
+	}
+	if attempts > 0 {
+		s.Attempts = attempts
+	}
+}
+
+// Fail records the invocation's final error. No-op on a nil span.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+}
+
+// Finish stamps the total duration and publishes the span to the
+// process-wide span ring. No-op on a nil span.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.Total = time.Since(s.Start)
+	spans.add(*s)
+}
+
+// FormatTraceID renders a trace ID for the TraceHeader entry.
+func FormatTraceID(id uint64) string {
+	return strconv.FormatUint(id, 16)
+}
+
+// ParseTraceID parses a TraceHeader value; ok is false for absent or
+// malformed values (the call simply goes untraced).
+func ParseTraceID(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// spanCtxKey keys the active span in a context.
+type spanCtxKey struct{}
+
+// WithSpan returns ctx carrying the span. Passing a nil span returns
+// ctx unchanged, so the disabled path allocates nothing.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// spanRingSize bounds the finished-span ring: enough to cover an
+// incident's recent history, small enough to page through in a browser.
+const spanRingSize = 256
+
+// spanRing keeps the last spanRingSize finished spans.
+type spanRing struct {
+	mu   sync.Mutex
+	buf  [spanRingSize]Span
+	next uint64 // total spans ever added; buf index is next % size
+}
+
+var spans spanRing
+
+func (r *spanRing) add(s Span) {
+	r.mu.Lock()
+	r.buf[r.next%spanRingSize] = s
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained spans, oldest first.
+func (r *spanRing) snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	count := uint64(spanRingSize)
+	if n < count {
+		count = n
+	}
+	out := make([]Span, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%spanRingSize])
+	}
+	return out
+}
+
+// Spans returns the most recent finished spans, oldest first. The
+// slice is a copy; callers may retain it.
+func Spans() []Span { return spans.snapshot() }
+
+// SpanView is the JSON rendering of a finished span served by
+// /debug/quality: the trace ID in hex (matching the wire header), only
+// the stages that were populated, durations in nanoseconds.
+type SpanView struct {
+	Trace    string           `json:"trace"`
+	Side     string           `json:"side"`
+	Op       string           `json:"op"`
+	Start    time.Time        `json:"start"`
+	TotalNS  int64            `json:"total_ns"`
+	Stages   map[string]int64 `json:"stages_ns,omitempty"`
+	Encoding string           `json:"encoding,omitempty"`
+	MsgType  string           `json:"msg_type,omitempty"`
+	Pressure int              `json:"pressure,omitempty"`
+	Attempts int              `json:"attempts,omitempty"`
+	Err      string           `json:"error,omitempty"`
+}
+
+// View converts a span for JSON serving.
+func (s *Span) View() SpanView {
+	v := SpanView{
+		Trace:    FormatTraceID(s.Trace),
+		Side:     s.Side,
+		Op:       s.Op,
+		Start:    s.Start,
+		TotalNS:  s.Total.Nanoseconds(),
+		Encoding: s.Encoding,
+		MsgType:  s.MsgType,
+		Pressure: s.Pressure,
+		Attempts: s.Attempts,
+		Err:      s.Err,
+	}
+	for i, d := range s.Stages {
+		if d != 0 {
+			if v.Stages == nil {
+				v.Stages = make(map[string]int64, 4)
+			}
+			v.Stages[Stage(i).String()] = d.Nanoseconds()
+		}
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// withEnabled runs fn with instrumentation on, restoring the previous
+// state (other tests may rely on the disabled default).
+func withEnabled(t *testing.T, fn func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	fn()
+}
+
+func TestSpanDisabledIsNil(t *testing.T) {
+	SetEnabled(false)
+	s := NewSpan("client", "echo", 0)
+	if s != nil {
+		t.Fatal("NewSpan should return nil when disabled")
+	}
+	// Every method must be a safe no-op on nil.
+	s.SetStage(StageEncode, time.Millisecond)
+	s.Annotate("soap-bin", "Small", 2, 3)
+	s.Fail(errors.New("x"))
+	s.Finish()
+	if ctx := WithSpan(context.Background(), nil); SpanFrom(ctx) != nil {
+		t.Fatal("nil span must not enter the context")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	withEnabled(t, func() {
+		s := NewSpan("client", "echo", 0)
+		if s == nil {
+			t.Fatal("NewSpan returned nil while enabled")
+		}
+		if s.Trace == 0 {
+			t.Fatal("client span must mint a nonzero trace ID")
+		}
+		ctx := WithSpan(context.Background(), s)
+		if SpanFrom(ctx) != s {
+			t.Fatal("SpanFrom lost the span")
+		}
+		s.SetStage(StageEncode, 5*time.Microsecond)
+		s.SetStage(StageWait, 100*time.Microsecond)
+		s.Annotate("soap-bin", "ImageSmall", 2, 1)
+		s.Finish()
+
+		all := Spans()
+		if len(all) == 0 {
+			t.Fatal("finished span not in ring")
+		}
+		got := all[len(all)-1]
+		if got.Trace != s.Trace || got.Op != "echo" || got.MsgType != "ImageSmall" {
+			t.Fatalf("ring span mismatch: %+v", got)
+		}
+		v := got.View()
+		if v.Trace != FormatTraceID(s.Trace) {
+			t.Errorf("view trace %q != header form %q", v.Trace, FormatTraceID(s.Trace))
+		}
+		if v.Stages["encode"] != 5000 || v.Stages["wait"] != 100000 {
+			t.Errorf("view stages wrong: %v", v.Stages)
+		}
+		if _, present := v.Stages["decode"]; present {
+			t.Error("unset stage must be omitted from the view")
+		}
+	})
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := uint64(0xdeadbeefcafe)
+	got, ok := ParseTraceID(FormatTraceID(id))
+	if !ok || got != id {
+		t.Fatalf("round trip: got %x ok=%v", got, ok)
+	}
+	for _, bad := range []string{"", "zzz", "0", "-1"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestServerSpanCorrelation models the client→server handoff: the
+// server half built from the client's header value carries the same
+// trace ID.
+func TestServerSpanCorrelation(t *testing.T) {
+	withEnabled(t, func() {
+		cs := NewSpan("client", "echo", 0)
+		hdrVal := FormatTraceID(cs.Trace)
+		id, ok := ParseTraceID(hdrVal)
+		if !ok {
+			t.Fatal("header value did not parse")
+		}
+		ss := NewSpan("server", "echo", id)
+		if ss.Trace != cs.Trace {
+			t.Fatalf("server trace %x != client trace %x", ss.Trace, cs.Trace)
+		}
+	})
+}
+
+func TestEventRing(t *testing.T) {
+	var r EventRing
+	for i := 0; i < eventRingSize+10; i++ {
+		r.Add(Event{Kind: EventDegrade, Op: "op"})
+	}
+	got := r.Snapshot()
+	if len(got) != eventRingSize {
+		t.Fatalf("ring holds %d, want %d", len(got), eventRingSize)
+	}
+	if got[0].Seq != 10 || got[len(got)-1].Seq != eventRingSize+9 {
+		t.Fatalf("ring kept wrong window: first seq %d last %d", got[0].Seq, got[len(got)-1].Seq)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatal("sequence numbers must be gapless")
+		}
+	}
+}
+
+func TestEmitGatedByEnabled(t *testing.T) {
+	SetEnabled(false)
+	before := len(Events())
+	Emit(Event{Kind: EventShed})
+	if len(Events()) != before {
+		t.Fatal("Emit while disabled must drop the event")
+	}
+	withEnabled(t, func() {
+		Emit(Event{Kind: EventShed, Op: "echo"})
+		evs := Events()
+		if len(evs) == 0 || evs[len(evs)-1].Kind != EventShed {
+			t.Fatal("Emit while enabled must append")
+		}
+	})
+}

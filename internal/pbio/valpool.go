@@ -47,6 +47,7 @@ func getValues(n int) []idl.Value {
 	if n < 0 {
 		n = 0
 	}
+	slabGets.Inc()
 	c := -1
 	for i, s := range valClassSizes {
 		if n <= s {
@@ -61,6 +62,7 @@ func getValues(n int) []idl.Value {
 		s := *box
 		*box = nil
 		valBoxes.Put(box)
+		slabHits.Inc()
 		return s[:n]
 	}
 	return make([]idl.Value, n, valClassSizes[c])
@@ -84,6 +86,7 @@ func putValues(s []idl.Value) {
 			}
 			*box = s[:0]
 			valPools[i].Put(box)
+			slabPuts.Inc()
 			return
 		}
 	}

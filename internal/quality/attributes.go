@@ -1,9 +1,3 @@
-// Package quality implements SOAP-binQ's continuous quality management:
-// quality files mapping monitored-attribute intervals (RTT in the paper's
-// experiments) to message types, quality handlers that transform parameter
-// data (image resizing, timestep batching), exponential-average RTT
-// estimation with history-based anti-oscillation, and the client/server
-// integration that selects a message type just before each send.
 package quality
 
 import (

@@ -1,0 +1,42 @@
+// Package quality implements SOAP-binQ's continuous quality
+// management: the adaptation loop that trades message fidelity for
+// responsiveness, per invocation, as network conditions change.
+//
+// # The loop
+//
+// A quality file (ParsePolicy) maps monitored-attribute intervals —
+// RTT in the paper's experiments — to message types: the full declared
+// type under good conditions, progressively reduced types as the
+// estimate worsens. The client-side Client timestamps each request,
+// folds the response's RTT sample into an exponential-average
+// Estimator (R = α·R + (1−α)·M, α = 0.875), and piggybacks the
+// estimate on the next request; the server-side Middleware folds that
+// estimate into per-client state and has a Selector pick the message
+// type just before each send. The Selector's dwell count and guard
+// band prevent oscillation at a policy boundary. When the selected
+// type differs from what the handler produced, a registered Handler
+// transforms the value (image resizing, timestep batching) or the
+// trivial field-copy Downgrade drops fields; the substitution is
+// stamped on the response header and the client zero-pads the result
+// back to the declared type so applications never notice.
+//
+// # Failure awareness
+//
+// Failed calls never shift the estimate: timed-out and cancelled
+// samples measure the caller's budget, not the network, and are
+// censored (counted in Excluded). Failures that signal trouble
+// reaching the endpoint instead raise fault pressure, which doubles
+// the Effective estimate per unit so the selector degrades while the
+// endpoint struggles and recovers one unit per success.
+//
+// # Run-time control
+//
+// A Manager holds swappable policy state (SetPolicy) with per-client
+// selectors and estimators; Attributes is the paper's
+// update_attribute() — run-time knobs consumed by quality handlers.
+// Estimator.Snapshot returns one coherent view (estimate, effective,
+// samples, excluded, pressure) for the /debug/quality endpoint, and
+// the package emits degrade/restore/pressure decision events to
+// internal/obs, trace-correlated when tracing is on (see
+// OPERATIONS.md).
+package quality

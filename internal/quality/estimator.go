@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"soapbinq/internal/obs"
 	"soapbinq/internal/soap"
 )
 
@@ -63,10 +64,12 @@ func (e *Estimator) Observe(sample time.Duration) time.Duration {
 		e.current = time.Duration(e.alpha*float64(e.current) + (1-e.alpha)*float64(sample))
 	}
 	e.samples++
+	qualitySampleNS.RecordDuration(sample)
 	if e.pressure > 0 {
 		// A successful call releases one unit of fault pressure: the
 		// climb back to full quality mirrors the paper's RTT recovery.
 		e.pressure--
+		e.notePressure()
 	}
 	return e.current
 }
@@ -106,8 +109,24 @@ func (e *Estimator) ObserveFailure(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.excluded++
+	qualityExcluded.Inc()
 	if PressureError(err) && e.pressure < maxFaultPressure {
 		e.pressure++
+		e.notePressure()
+	}
+}
+
+// notePressure publishes a fault-pressure change to the process gauge
+// and, when tracing is on, the decision-event ring. Called with e.mu
+// held; the obs ring has its own lock and never calls back in.
+func (e *Estimator) notePressure() {
+	qualityPressure.Set(int64(e.pressure))
+	if obs.Enabled() {
+		obs.Emit(obs.Event{
+			Kind:     obs.EventPressure,
+			Pressure: e.pressure,
+			Estimate: e.effectiveLocked(),
+		})
 	}
 }
 
@@ -126,6 +145,7 @@ func (e *Estimator) Relax() {
 	defer e.mu.Unlock()
 	if e.pressure > 0 {
 		e.pressure--
+		e.notePressure()
 	}
 }
 
@@ -137,6 +157,11 @@ func (e *Estimator) Relax() {
 func (e *Estimator) Effective() time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.effectiveLocked()
+}
+
+// effectiveLocked computes Effective with e.mu already held.
+func (e *Estimator) effectiveLocked() time.Duration {
 	if e.pressure == 0 {
 		return e.current
 	}
@@ -176,6 +201,36 @@ func (e *Estimator) Excluded() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.excluded
+}
+
+// EstimatorSnapshot is one coherent view of an estimator: the smoothed
+// and effective estimates plus the sample, exclusion, and pressure
+// counters, all read under a single lock hold. Durations are
+// nanoseconds when JSON-encoded.
+type EstimatorSnapshot struct {
+	Estimate  time.Duration `json:"estimate_ns"`
+	Effective time.Duration `json:"effective_ns"`
+	Samples   int           `json:"samples"`
+	Excluded  int           `json:"excluded"`
+	Pressure  int           `json:"pressure"`
+}
+
+// Snapshot returns an atomically consistent view of the estimator.
+// Calling the individual accessors (Estimate, Samples, Excluded,
+// Pressure) back to back can interleave with a writer and return a torn
+// view — samples from after a failure, pressure from before it — which
+// is exactly the kind of off-by-one that misleads an operator reading
+// /debug/quality during an incident. Snapshot takes the lock once.
+func (e *Estimator) Snapshot() EstimatorSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EstimatorSnapshot{
+		Estimate:  e.current,
+		Effective: e.effectiveLocked(),
+		Samples:   e.samples,
+		Excluded:  e.excluded,
+		Pressure:  e.pressure,
+	}
 }
 
 // IsCensored reports whether err marks a call whose duration reflects a

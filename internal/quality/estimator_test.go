@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEstimatorSnapshotMatchesAccessors checks that a quiescent
+// Snapshot agrees field for field with the individual accessors.
+func TestEstimatorSnapshotMatchesAccessors(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	e.Observe(40 * time.Millisecond)
+	e.Observe(20 * time.Millisecond)
+	e.ObserveFailure(context.DeadlineExceeded) // censored + pressure
+	e.ObserveFailure(context.Canceled)         // censored, no pressure
+
+	snap := e.Snapshot()
+	if snap.Estimate != e.Estimate() {
+		t.Errorf("snapshot estimate %v != accessor %v", snap.Estimate, e.Estimate())
+	}
+	if snap.Effective != e.Effective() {
+		t.Errorf("snapshot effective %v != accessor %v", snap.Effective, e.Effective())
+	}
+	if snap.Samples != 2 || snap.Excluded != 2 || snap.Pressure != 1 {
+		t.Errorf("snapshot = %+v, want samples=2 excluded=2 pressure=1", snap)
+	}
+	// One pressure unit doubles the estimate the selector sees.
+	if want := snap.Estimate << 1; snap.Effective != want {
+		t.Errorf("effective %v, want estimate<<pressure = %v", snap.Effective, want)
+	}
+}
+
+// TestEstimatorSnapshotCoherentUnderRace hammers an estimator from
+// concurrent writers while a reader asserts the cross-field invariants
+// that only hold for a single-lock-hold view: effective must equal the
+// pressure-penalized estimate computed from the *same* pressure value.
+// Reading the accessors back to back instead would tear — pressure from
+// after a failure, effective from before it — which is exactly what
+// Snapshot exists to prevent on /debug/quality.
+func TestEstimatorSnapshotCoherentUnderRace(t *testing.T) {
+	e := NewEstimator(DefaultAlpha)
+	const writers = 4
+	const rounds = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				e.Observe(time.Duration(1+i%7) * time.Millisecond)
+				e.ObserveFailure(context.DeadlineExceeded)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		snap := e.Snapshot()
+		if snap.Pressure < 0 || snap.Pressure > 6 {
+			t.Fatalf("pressure %d outside [0, 6]", snap.Pressure)
+		}
+		var want time.Duration
+		if snap.Pressure == 0 {
+			want = snap.Estimate
+		} else {
+			base := snap.Estimate
+			if base < time.Millisecond {
+				base = time.Millisecond
+			}
+			want = base << uint(snap.Pressure)
+		}
+		if snap.Effective != want {
+			t.Fatalf("torn snapshot: effective %v, want %v from estimate %v pressure %d",
+				snap.Effective, want, snap.Estimate, snap.Pressure)
+		}
+		if snap.Samples < 0 || snap.Excluded < 0 {
+			t.Fatalf("negative counters in snapshot: %+v", snap)
+		}
+		select {
+		case <-done:
+			snap := e.Snapshot()
+			if snap.Samples != writers*rounds || snap.Excluded != writers*rounds {
+				t.Fatalf("final snapshot samples=%d excluded=%d, want both %d",
+					snap.Samples, snap.Excluded, writers*rounds)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"soapbinq/internal/core"
 	"soapbinq/internal/idl"
+	"soapbinq/internal/obs"
 	"soapbinq/internal/soap"
 )
 
@@ -114,8 +115,20 @@ func (q *Client) RTT() time.Duration { return q.Estimator.Estimate() }
 // duration measures the budget, not the network), so a stalled peer
 // cannot skew the adaptation loop.
 func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ...soap.Param) (*core.Response, error) {
+	if ctx == nil {
+		ctx = context.Background() //lint:ignore ctxfirst nil-ctx compatibility fallback for legacy callers
+	}
 	if hdr == nil {
 		hdr = soap.Header{}
+	}
+	// The span (nil while tracing is off) is created here rather than in
+	// core so the quality layer can annotate it with its own decisions;
+	// core.Client.Call finds it in the context and fills the stage
+	// timings and transport annotations.
+	span := obs.NewSpan("client", op, 0)
+	if span != nil {
+		ctx = obs.WithSpan(ctx, span)
+		defer span.Finish()
 	}
 	sendTime := time.Now()
 	hdr[ClientIDHeader] = q.id
@@ -124,6 +137,7 @@ func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 	// server must degrade with the client, not against a stale smooth RTT.
 	if est := q.Estimator.Effective(); est > 0 {
 		hdr[RTTHeader] = strconv.FormatInt(int64(est), 10)
+		qualityEstimate.Set(int64(est))
 	}
 
 	// Client-side request adaptation: select the request message type
@@ -143,6 +157,7 @@ func (q *Client) Call(ctx context.Context, op string, hdr soap.Header, params ..
 		// Failures reaching the endpoint also raise fault pressure,
 		// degrading subsequent selections (see Estimator.Effective).
 		q.Estimator.ObserveFailure(err)
+		span.Annotate("", "", q.Estimator.Pressure(), 0)
 		return nil, err
 	}
 
@@ -249,7 +264,41 @@ func (m *Manager) Middleware(inner core.HandlerFunc) core.HandlerFunc {
 		}
 		serverEst.Relax()
 
-		typeName := sel.Select(serverEst.Effective())
+		before := sel.Current()
+		eff := serverEst.Effective()
+		typeName := sel.Select(eff)
+		qualityEstimate.Set(int64(eff))
+		if typeName != before {
+			// The selector switched types: count the direction and, when
+			// tracing is on, emit a decision event correlated to the
+			// server span's trace ID.
+			degrade := ruleIndex(policy, typeName) > ruleIndex(policy, before)
+			if degrade {
+				qualityDegradations.Inc()
+			} else {
+				qualityRestores.Inc()
+			}
+			if obs.Enabled() {
+				kind := obs.EventRestore
+				if degrade {
+					kind = obs.EventDegrade
+				}
+				ev := obs.Event{
+					Kind:     kind,
+					Side:     "server",
+					Op:       ctx.Op,
+					ClientID: ctx.RequestHeader[ClientIDHeader],
+					From:     before,
+					To:       typeName,
+					Estimate: eff,
+					Pressure: serverEst.Pressure(),
+				}
+				if sp := obs.SpanFrom(ctx.Context()); sp != nil {
+					ev.Trace = obs.FormatTraceID(sp.Trace)
+				}
+				obs.Emit(ev)
+			}
+		}
 		out := full
 		target, ok := policy.Types[typeName]
 		if ok && full.Type != nil && !full.Type.Equal(target) {

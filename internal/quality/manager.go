@@ -3,7 +3,10 @@ package quality
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+
+	"soapbinq/internal/obs"
 )
 
 // Repository is a named quality-handler store — the "code repository" of
@@ -136,6 +139,15 @@ func (m *Manager) SetPolicy(p *Policy) error {
 	m.clients = make(map[string]*clientState)
 	m.clientOrder = nil
 	m.swaps++
+	qualityPolicySwaps.Inc()
+	if obs.Enabled() {
+		obs.Emit(obs.Event{
+			Kind:   obs.EventPolicySwap,
+			Side:   "server",
+			To:     p.DefaultType(),
+			Detail: fmt.Sprintf("%d rules, swap %d", len(p.Rules), m.swaps),
+		})
+	}
 	return nil
 }
 
@@ -179,4 +191,81 @@ func (m *Manager) ClientStates() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.clients)
+}
+
+// SelectorDebug is a selector's live position in a DebugSnapshot.
+type SelectorDebug struct {
+	Current  string `json:"current"`
+	Switches int    `json:"switches"`
+}
+
+// AdaptationDebug pairs one adaptation state's selector position with
+// its estimator snapshot.
+type AdaptationDebug struct {
+	Selector  SelectorDebug     `json:"selector"`
+	Estimator EstimatorSnapshot `json:"estimator"`
+}
+
+// ManagerDebug is the JSON shape Manager.DebugSnapshot returns: the
+// active policy in summary form, the manager-wide adaptation state, and
+// the per-client states keyed by client ID.
+type ManagerDebug struct {
+	PolicySwaps int                        `json:"policy_swaps"`
+	DefaultType string                     `json:"default_type"`
+	Rules       []string                   `json:"rules"`
+	Shared      AdaptationDebug            `json:"shared"`
+	Clients     map[string]AdaptationDebug `json:"clients,omitempty"`
+}
+
+// DebugSnapshot returns the manager's live quality state for the
+// /debug/quality endpoint: policy summary, the shared selector and
+// estimator, and every tracked client's state. Each estimator is read
+// via Snapshot (one lock hold), so no individual state is torn; the
+// states are collected one after another, so the set as a whole is a
+// scrape-time view, not a transaction.
+func (m *Manager) DebugSnapshot() ManagerDebug {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := ManagerDebug{
+		PolicySwaps: m.swaps,
+		DefaultType: m.policy.DefaultType(),
+		Rules:       make([]string, 0, len(m.policy.Rules)),
+		Shared:      adaptationDebug(m.selector, m.serverEst),
+	}
+	for _, r := range m.policy.Rules {
+		hi := r.Hi.String()
+		if r.Hi == MaxInterval {
+			hi = "inf"
+		}
+		d.Rules = append(d.Rules, strings.Join([]string{r.Lo.String(), hi, r.TypeName}, " "))
+	}
+	if len(m.clients) > 0 {
+		d.Clients = make(map[string]AdaptationDebug, len(m.clients))
+		for id, cs := range m.clients {
+			d.Clients[id] = adaptationDebug(cs.sel, cs.est)
+		}
+	}
+	return d
+}
+
+// adaptationDebug snapshots one selector/estimator pair. Selector and
+// Estimator take their own locks; neither ever locks the manager, so
+// calling this under m.mu cannot deadlock.
+func adaptationDebug(sel *Selector, est *Estimator) AdaptationDebug {
+	return AdaptationDebug{
+		Selector:  SelectorDebug{Current: sel.Current(), Switches: sel.Switches()},
+		Estimator: est.Snapshot(),
+	}
+}
+
+// RegisterDebug publishes this manager's live state under the given
+// name in the /debug/quality sources section. Re-registering a name
+// replaces the previous source; UnregisterDebug removes it.
+func (m *Manager) RegisterDebug(name string) {
+	obs.RegisterQualitySource(name, func() any { return m.DebugSnapshot() })
+}
+
+// UnregisterDebug removes a source installed by RegisterDebug.
+func (m *Manager) UnregisterDebug(name string) {
+	obs.UnregisterQualitySource(name)
 }

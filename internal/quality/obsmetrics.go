@@ -1,0 +1,36 @@
+package quality
+
+import "soapbinq/internal/obs"
+
+// Metric handles for the quality loop, registered at package init.
+// Counters and gauges are always on (single atomic operations, never
+// allocating); decision events additionally ride the obs event ring and
+// are only built while obs.Enabled(). OPERATIONS.md documents every
+// series here.
+var (
+	qualityDegradations = obs.NewCounter("soapbinq_quality_degradations_total",
+		"selector switches to a smaller message type")
+	qualityRestores = obs.NewCounter("soapbinq_quality_restores_total",
+		"selector switches back to a larger message type")
+	qualityPolicySwaps = obs.NewCounter("soapbinq_quality_policy_swaps_total",
+		"runtime policy redefinitions (Manager.SetPolicy)")
+	qualityExcluded = obs.NewCounter("soapbinq_quality_excluded_samples_total",
+		"failed calls withheld from RTT estimates (censored or signal-free)")
+	qualityEstimate = obs.NewGauge("soapbinq_quality_estimate_ns",
+		"most recent effective RTT estimate consulted by any selector in this process")
+	qualityPressure = obs.NewGauge("soapbinq_quality_pressure_count",
+		"most recent fault-pressure level of any estimator in this process")
+	qualitySampleNS = obs.NewHistogram("soapbinq_quality_sample_ns",
+		"RTT samples folded into estimators")
+)
+
+// ruleIndex returns name's position in the policy's rule order (larger
+// index = smaller message type), or len(Rules) for an unknown name.
+func ruleIndex(p *Policy, name string) int {
+	for i, r := range p.Rules {
+		if r.TypeName == name {
+			return i
+		}
+	}
+	return len(p.Rules)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"soapbinq/internal/idl"
@@ -226,6 +227,12 @@ func parseBound(s string) (time.Duration, error) {
 // large message again, indefinitely. A selection must survive MinDwell
 // consecutive decisions — and the monitored value must leave a guard band
 // around the rule boundary — before the selector switches.
+//
+// Safe for concurrent use: Select, Current, and Switches serialize on an
+// internal mutex, so concurrent requests sharing one selector (and the
+// /debug/quality endpoint reading it live) see consistent state. The
+// configuration fields (Policy, MinDwell, GuardBand) are set before
+// serving and must not be changed while requests flow.
 type Selector struct {
 	Policy *Policy
 	// MinDwell is how many consecutive contrary decisions are required
@@ -235,6 +242,7 @@ type Selector struct {
 	// would move to a larger message type (default 0.1).
 	GuardBand float64
 
+	mu       sync.Mutex
 	current  string
 	pressure int
 	switches int
@@ -246,14 +254,24 @@ func NewSelector(p *Policy) *Selector {
 }
 
 // Current returns the type selected by the last Select call.
-func (s *Selector) Current() string { return s.current }
+func (s *Selector) Current() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
 
 // Switches counts how many times the selector changed types.
-func (s *Selector) Switches() int { return s.switches }
+func (s *Selector) Switches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.switches
+}
 
 // Select decides the message type for the next send given the current
 // monitored value.
 func (s *Selector) Select(v time.Duration) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	want := s.Policy.Select(v)
 	if want == s.current {
 		s.pressure = 0

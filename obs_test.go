@@ -1,0 +1,307 @@
+package soapbinq
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"soapbinq/internal/workload"
+)
+
+// ---- alloc gate: disabled instrumentation must be free ----
+
+// TestObsDisabledHotpathAllocGate proves the observability layer's cost
+// discipline: with tracing disabled (the default), the always-on atomic
+// counters are the only instrumentation on the hot path, and the PR 4
+// allocation profile must hold exactly — 0 allocs/op for the reused
+// codec paths and the recorded 20 allocs/op ceiling for the pooled
+// loopback round trip. Any regression here means an obs call crept onto
+// the disabled path.
+func TestObsDisabledHotpathAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	prev := ObsSetEnabled(false)
+	defer ObsSetEnabled(prev)
+
+	enc, dec := newBenchCodec()
+	v := workload.IntArray(1024)
+	wire, err := enc.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encode into a reused buffer: the compiled-plan path.
+	buf := make([]byte, 0, len(wire)+64)
+	var encErr error
+	encAllocs := testing.AllocsPerRun(200, func() {
+		_, encErr = enc.AppendMarshal(buf[:0], v)
+	})
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+	if encAllocs != 0 {
+		t.Errorf("encode with obs disabled: %.1f allocs/op, want 0", encAllocs)
+	}
+
+	// Decode into a reused value tree: warm once to build the tree, then
+	// steady state must be allocation-free.
+	var into Value
+	if err := dec.UnmarshalInto(&into, wire); err != nil {
+		t.Fatal(err)
+	}
+	var decErr error
+	decAllocs := testing.AllocsPerRun(200, func() {
+		decErr = dec.UnmarshalInto(&into, wire)
+	})
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if decAllocs != 0 {
+		t.Errorf("decode with obs disabled: %.1f allocs/op, want 0", decAllocs)
+	}
+
+	// The pooled loopback round trip (request/response buffers from
+	// bufpool, value slabs released via Response.Release). The recorded
+	// PR 4 baseline is 20 allocs/op; warm the pools before measuring.
+	fs := NewMemFormatServer()
+	spec := MustServiceSpec("ObsGate",
+		&OpDef{
+			Name:   "echo",
+			Params: []ParamSpec{{Name: "v", Type: workload.IntArrayType()}},
+			Result: workload.IntArrayType(),
+		},
+	)
+	srv := NewEndpoint(fs).NewServer(spec)
+	srv.MustHandle("echo", func(_ *CallCtx, params []Param) (Value, error) {
+		return params[0].Value, nil
+	})
+	client := NewEndpoint(fs).NewClient(spec, &Loopback{Server: srv}, WireBinary)
+	echo := func() {
+		resp, err := client.Call(context.Background(), "echo", nil, Param{Name: "v", Value: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}
+	for i := 0; i < 100; i++ {
+		echo()
+	}
+	const echoBaseline = 20
+	echoAllocs := testing.AllocsPerRun(100, echo)
+	if echoAllocs > echoBaseline {
+		t.Errorf("loopback echo with obs disabled: %.1f allocs/op, want <= %d (PR 4 baseline)",
+			echoAllocs, echoBaseline)
+	}
+}
+
+// ---- end-to-end tracing through the quality loop ----
+
+// TestObsEndToEndTracing enables instrumentation and drives a
+// quality-managed call path over a loopback rig, asserting everything
+// an operator reads during an incident: client and server spans
+// correlated by trace ID, degrade/restore decision events carrying that
+// trace, and the Prometheus families on /metrics plus the span feed on
+// /debug/quality.
+func TestObsEndToEndTracing(t *testing.T) {
+	prev := ObsSetEnabled(true)
+	defer ObsSetEnabled(prev)
+
+	fullT := StructT("ObsFull",
+		F("id", Int()),
+		F("name", String()),
+		F("data", List(Float())),
+	)
+	smallT := StructT("ObsSmall",
+		F("id", Int()),
+		F("name", String()),
+	)
+	types := map[string]*Type{"ObsFull": fullT, "ObsSmall": smallT}
+	policy, err := ParseQualityPolicy(`
+attribute rtt
+default ObsFull
+0 25ms ObsFull
+25ms inf ObsSmall
+`, types, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewMemFormatServer()
+	spec := MustServiceSpec("ObsE2E",
+		&OpDef{
+			Name:       "obsget",
+			Params:     []ParamSpec{{Name: "id", Type: Int()}},
+			Result:     fullT,
+			Idempotent: true,
+		},
+	)
+	srv := NewEndpoint(fs).NewServer(spec)
+	srv.MustHandle("obsget", QualityMiddleware(policy, nil, func(_ *CallCtx, params []Param) (Value, error) {
+		return StructV(fullT,
+			params[0].Value,
+			StringV("trace-me"),
+			ListV(Float(), FloatV(1), FloatV(2)),
+		), nil
+	}))
+	inner := NewEndpoint(fs).NewClient(spec, &Loopback{Server: srv}, WireBinary)
+	qc := NewQualityClient(inner, policy)
+
+	// Phase 1: pin the client's estimate above the policy boundary so the
+	// piggybacked RTT drives the server's selector to the small type
+	// (after its two-decision dwell) — the degradation edge.
+	sawDegraded := false
+	for i := 0; i < 6; i++ {
+		qc.Estimator.Set(200 * time.Millisecond)
+		resp, err := qc.Call(context.Background(), "obsget", nil,
+			Param{Name: "id", Value: IntV(int64(i))})
+		if err != nil {
+			t.Fatalf("degrade-phase call %d: %v", i, err)
+		}
+		if resp.Header[MsgTypeHeader] == "ObsSmall" {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no response carried the degraded message type header")
+	}
+
+	// Phase 2: let the loopback's microsecond samples decay the estimate
+	// below the boundary (minus the guard band) so the selector restores
+	// the full type — the recovery edge.
+	sawRestored := false
+	for i := 0; i < 40; i++ {
+		resp, err := qc.Call(context.Background(), "obsget", nil,
+			Param{Name: "id", Value: IntV(int64(i))})
+		if err != nil {
+			t.Fatalf("restore-phase call %d: %v", i, err)
+		}
+		if resp.Header[MsgTypeHeader] == "" {
+			sawRestored = true
+		}
+	}
+	if !sawRestored {
+		t.Error("estimate never decayed back to the full message type")
+	}
+
+	// Decision events: both edges must appear, and the degrade must be
+	// correlated to an invocation's trace ID.
+	var degrade, restore *ObsEvent
+	for _, ev := range ObsEvents() {
+		if ev.Op != "obsget" {
+			continue
+		}
+		ev := ev
+		switch {
+		case ev.Kind == "degrade" && ev.To == "ObsSmall":
+			degrade = &ev
+		case ev.Kind == "restore" && ev.To == "ObsFull":
+			restore = &ev
+		}
+	}
+	if degrade == nil {
+		t.Fatal("no degrade event recorded for obsget")
+	}
+	if degrade.Trace == "" {
+		t.Error("degrade event not correlated to a trace ID")
+	}
+	if degrade.Estimate < 25*time.Millisecond {
+		t.Errorf("degrade event estimate %v below the policy boundary", degrade.Estimate)
+	}
+	if restore == nil {
+		t.Error("no restore event recorded for obsget")
+	}
+
+	// Spans: at least one trace must have both the client and the server
+	// half, and a server span must carry the substituted message type.
+	sides := map[uint64]map[string]bool{}
+	serverSawSmall := false
+	for _, sp := range ObsSpans() {
+		if sp.Op != "obsget" || sp.Trace == 0 {
+			continue
+		}
+		if sides[sp.Trace] == nil {
+			sides[sp.Trace] = map[string]bool{}
+		}
+		sides[sp.Trace][sp.Side] = true
+		if sp.Side == "server" && sp.MsgType == "ObsSmall" {
+			serverSawSmall = true
+		}
+		if sp.Total <= 0 {
+			t.Errorf("finished span %x has non-positive total %v", sp.Trace, sp.Total)
+		}
+	}
+	correlated := 0
+	for _, s := range sides {
+		if s["client"] && s["server"] {
+			correlated++
+		}
+	}
+	if correlated == 0 {
+		t.Fatalf("no trace with both client and server spans (%d traces seen)", len(sides))
+	}
+	if !serverSawSmall {
+		t.Error("no server span annotated with the degraded message type")
+	}
+
+	// The debug mux, scraped the way Prometheus and a browser would.
+	h := ObsHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	metrics := rec.Body.String()
+	for _, fam := range []string{
+		"soapbinq_client_requests_total",
+		"soapbinq_server_requests_total",
+		"soapbinq_quality_degradations_total",
+		"soapbinq_quality_restores_total",
+		"soapbinq_wire_rtt_ns",
+	} {
+		if !strings.Contains(metrics, "\n"+fam) && !strings.HasPrefix(metrics, fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	if v := metricValue(t, metrics, "soapbinq_quality_degradations_total"); v < 1 {
+		t.Errorf("soapbinq_quality_degradations_total = %g, want >= 1", v)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/quality", nil))
+	var dbg struct {
+		Enabled bool              `json:"enabled"`
+		Spans   []json.RawMessage `json:"spans"`
+		Events  []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dbg); err != nil {
+		t.Fatalf("/debug/quality decode: %v", err)
+	}
+	if !dbg.Enabled {
+		t.Error("/debug/quality reports instrumentation disabled")
+	}
+	if len(dbg.Spans) == 0 || len(dbg.Events) == 0 {
+		t.Errorf("/debug/quality spans=%d events=%d, want both non-empty",
+			len(dbg.Spans), len(dbg.Events))
+	}
+}
+
+// metricValue extracts an unlabeled sample's value from a Prometheus
+// text exposition.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("parse %s sample %q: %v", name, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("no unlabeled sample for %s in exposition", name)
+	return 0
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package soapbinq
+
+// raceEnabled reports whether the race detector instrumented this test
+// binary; allocation-count gates skip under it (instrumentation changes
+// pool and allocation behavior).
+const raceEnabled = false

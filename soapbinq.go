@@ -30,6 +30,7 @@ import (
 	"soapbinq/internal/core"
 	"soapbinq/internal/idl"
 	"soapbinq/internal/netem"
+	"soapbinq/internal/obs"
 	"soapbinq/internal/pbio"
 	"soapbinq/internal/quality"
 	"soapbinq/internal/soap"
@@ -213,6 +214,28 @@ var (
 	GenerateWSDL          = wsdl.Generate
 	GenerateWSDLWithTypes = wsdl.GenerateWithTypes
 	ParseWSDL             = wsdl.Parse
+)
+
+// ---- observability ----
+
+// Observability surface (see OPERATIONS.md): metrics are always on
+// (pure atomics, allocation-free); invocation tracing and decision
+// events are off until ObsSetEnabled(true) or ObsServe, which starts
+// the debug mux — Prometheus text at /metrics, live quality JSON at
+// /debug/quality, pprof under /debug/pprof/. Mount the handler on an
+// operator-only listener; pprof exposes process internals.
+type (
+	ObsSpan  = obs.Span
+	ObsEvent = obs.Event
+)
+
+var (
+	ObsServe      = obs.Serve
+	ObsHandler    = obs.Handler
+	ObsSetEnabled = obs.SetEnabled
+	ObsEnabled    = obs.Enabled
+	ObsSpans      = obs.Spans
+	ObsEvents     = obs.Events
 )
 
 // ---- network emulation ----
