@@ -1,14 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race chaos bench bench-paper bench-compare lint fuzz-smoke obs-smoke
+.PHONY: check build vet test race chaos chaos-front bench bench-paper bench-compare lint fuzz-smoke obs-smoke
 
 # The tier-1 gate: everything must build, vet clean, pass the full
 # suite under the race detector (the context/cancellation paths are
 # concurrency-heavy; -race is not optional here), survive the seeded
-# chaos suite, lint clean under the repo's own analyzer suite, and
-# expose the observability surface end to end.
-check: build vet race chaos lint obs-smoke
+# chaos suite and the router chaos suite, lint clean under the repo's
+# own analyzer suite, and expose the observability surface end to end.
+check: build vet race chaos chaos-front lint obs-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ race:
 # -count=1 defeats the test cache — chaos runs must actually run.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/faultinject ./internal/core ./internal/netem
+
+# Router chaos suite over real sockets: four backends behind soapfront,
+# hundreds of concurrent callers, and the scenario family from the
+# fault model — backend death mid-flight, flap, gray failure
+# (blackhole), drain-under-load, partition. Idempotent callers must see
+# zero non-fault errors through every scenario.
+chaos-front:
+	$(GO) test -race -count=1 -run 'FrontChaos' ./internal/front
 
 # The repo's own stdlib-only analyzer suite (see internal/lint): wire
 # width, bounded reads, context discipline, fault codes, error matching,

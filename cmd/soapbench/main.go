@@ -80,6 +80,8 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit")
 	obsAddr := flag.String("obs", "", "serve the observability debug mux (/metrics, /debug/quality, /debug/pprof) on this address for the run")
 	obssmoke := flag.Bool("obssmoke", false, "run the observability smoke test (instrumented rig, scraped end to end)")
+	frontDemo := flag.Bool("front", false, "run the fault-tolerant router demo: ramp callers through soapfront across 4 backends with a mid-ramp backend kill")
+	frontCallers := flag.Int("frontcallers", 1024, "peak concurrent callers for -front")
 	flag.Parse()
 
 	if *obsAddr != "" {
@@ -92,6 +94,9 @@ func run() error {
 	}
 	if *obssmoke {
 		return bench.RunObsSmoke(os.Stdout)
+	}
+	if *frontDemo {
+		return bench.RunFront(os.Stdout, *frontCallers, *quick)
 	}
 
 	if *cpuprofile != "" {

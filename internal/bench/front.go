@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/front"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/stats"
+)
+
+// Front mode: the fault-tolerant router demo. A four-backend fleet
+// behind one soapfront, a caller ramp from 64 up to the requested
+// peak, and a backend killed mid-ramp and restarted before the final
+// phase — the report shows what the callers saw (RTT percentiles,
+// errors) and what the router did about it (failovers, per-backend
+// lifecycle, recovery to full quality).
+
+// frontBenchSpec declares the routed echo service: idempotent, so the
+// router may fail calls over on transport errors.
+func frontBenchSpec() *core.ServiceSpec {
+	return core.MustServiceSpec("FrontBench",
+		&core.OpDef{
+			Name:       "get",
+			Params:     []soap.ParamSpec{{Name: "id", Type: idl.Int()}},
+			Result:     chaosFullT,
+			Idempotent: true,
+		},
+	)
+}
+
+// frontPhase is one rung of the caller ramp.
+type frontPhase struct {
+	callers int
+	kill    bool // kill one backend halfway through this phase
+}
+
+// RunFront builds the rig, runs the ramp, and writes the report. peak
+// bounds the final phase's caller count (floored to 64); quick shrinks
+// the ramp and the phase duration for CI-sized runs.
+func RunFront(w io.Writer, peak int, quick bool) error {
+	if peak < 64 {
+		peak = 64
+	}
+	phases := []frontPhase{{64, false}, {256, true}, {peak, false}}
+	phaseLen := 900 * time.Millisecond
+	if quick {
+		phases = []frontPhase{{64, false}, {128, true}}
+		phaseLen = 300 * time.Millisecond
+	}
+
+	spec := frontBenchSpec()
+	fs := pbio.NewMemServer()
+	payload := make([]idl.Value, 64)
+	for i := range payload {
+		payload[i] = idl.FloatV(float64(i))
+	}
+
+	const backendCount = 4
+	type backendRig struct {
+		name    string
+		addr    string
+		srv     *core.Server
+		ln      *core.TCPListener
+		handled atomic.Int64
+	}
+	rigs := make([]*backendRig, backendCount)
+	for i := range rigs {
+		rig := &backendRig{name: fmt.Sprintf("b%d", i)}
+		rig.srv = core.NewServer(spec, pbio.NewCodec(pbio.NewRegistry(fs)))
+		rig.srv.MustHandle("get", func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+			rig.handled.Add(1)
+			time.Sleep(200 * time.Microsecond)
+			return idl.StructV(chaosFullT,
+				params[0].Value,
+				idl.StringV("front"),
+				idl.ListV(idl.Float(), payload...),
+			), nil
+		})
+		ln, err := core.ServeTCP(rig.srv, "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", rig.name, err)
+		}
+		defer ln.Close()
+		rig.ln, rig.addr = ln, ln.Addr()
+		rigs[i] = rig
+	}
+
+	f := front.New(front.Config{
+		Spec:           spec,
+		PoolConns:      8,
+		MaxFailover:    3,
+		ForwardTimeout: 2 * time.Second,
+		ProbeInterval:  50 * time.Millisecond,
+		FailThreshold:  3,
+		RetryBudget:    float64(peak),
+	})
+	defer f.Close()
+	for _, rig := range rigs {
+		if err := f.Join(rig.name, rig.addr); err != nil {
+			return err
+		}
+	}
+	f.Start()
+	fln, err := core.ServeTCP(f, "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("front listener: %w", err)
+	}
+	defer fln.Close()
+
+	tr := core.NewTCPPoolTransport(fln.Addr(), 16)
+	defer tr.Close()
+	client := core.NewClient(spec, tr, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+
+	fmt.Fprintf(w, "front router: %d backends, ramp %s, one backend killed mid-ramp, wire=binary/tcp-mux\n\n",
+		backendCount, describeRamp(phases))
+
+	victim := rigs[0]
+	for _, ph := range phases {
+		var (
+			mu       sync.Mutex
+			rtts     []time.Duration
+			errCount int
+			errClass = map[string]int{}
+		)
+		var calls atomic.Int64
+		deadline := time.Now().Add(phaseLen)
+		var killOnce sync.Once
+		var wg sync.WaitGroup
+		for wk := 0; wk < ph.callers; wk++ {
+			wg.Add(1)
+			go func(id int64) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					start := time.Now()
+					_, err := client.Call(context.Background(), "get", nil,
+						soap.Param{Name: "id", Value: idl.IntV(id)})
+					elapsed := time.Since(start)
+					calls.Add(1)
+					mu.Lock()
+					if err != nil {
+						errCount++
+						errClass[classifyChaosError(err)]++
+					} else {
+						rtts = append(rtts, elapsed)
+					}
+					mu.Unlock()
+				}
+			}(int64(wk))
+		}
+		if ph.kill {
+			time.AfterFunc(phaseLen/2, func() {
+				killOnce.Do(func() { victim.ln.Close() })
+			})
+		}
+		wg.Wait()
+		killOnce.Do(func() {}) // phase over; don't fire into the next one
+
+		label := fmt.Sprintf("%4d callers", ph.callers)
+		if ph.kill {
+			label += fmt.Sprintf(" (%s killed mid-phase)", victim.name)
+		}
+		if len(rtts) > 0 {
+			sum := stats.Summarize(stats.Millis(rtts))
+			fmt.Fprintf(w, "%s: %6d calls, %d errors, rtt ms p50=%.2f p95=%.2f p99=%.2f\n",
+				label, calls.Load(), errCount, sum.P50, sum.P95, sum.P99)
+		} else {
+			fmt.Fprintf(w, "%s: %6d calls, %d errors, no successes\n", label, calls.Load(), errCount)
+		}
+		for class, n := range errClass {
+			fmt.Fprintf(w, "              %s: %d\n", class, n)
+		}
+
+		if ph.kill {
+			// Bring the backend home and wait for the router's probes to
+			// return it to full quality before the final phase.
+			ln, err := core.ServeTCP(victim.srv, victim.addr)
+			if err != nil {
+				return fmt.Errorf("restart %s: %w", victim.name, err)
+			}
+			defer ln.Close()
+			victim.ln = ln
+			if err := waitFrontRecovery(f, victim.name, 10*time.Second); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "              %s restarted and recovered (active, breaker closed, pressure 0)\n", victim.name)
+		}
+	}
+
+	fmt.Fprintln(w)
+	tbl := stats.NewTable("backend", "handled", "state", "breaker", "pressure", "estimate")
+	for _, bs := range f.DebugSnapshot().Backends {
+		var handled int64
+		for _, rig := range rigs {
+			if rig.name == bs.Name {
+				handled = rig.handled.Load()
+			}
+		}
+		tbl.AddRow(bs.Name, fmt.Sprintf("%d", handled), bs.State, bs.Breaker,
+			fmt.Sprintf("%d", bs.Estimator.Pressure), bs.Estimator.Effective.String())
+	}
+	tbl.Render(w)
+	return nil
+}
+
+func describeRamp(phases []frontPhase) string {
+	s := ""
+	for i, ph := range phases {
+		if i > 0 {
+			s += "→"
+		}
+		s += fmt.Sprintf("%d", ph.callers)
+	}
+	return s + " callers"
+}
+
+// waitFrontRecovery polls the router's snapshot until the named
+// backend is back at full quality.
+func waitFrontRecovery(f *front.Front, name string, timeout time.Duration) error {
+	end := time.Now().Add(timeout)
+	for time.Now().Before(end) {
+		for _, bs := range f.DebugSnapshot().Backends {
+			if bs.Name == name && bs.State == "active" && bs.Breaker == "closed" && bs.Estimator.Pressure == 0 {
+				return nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("backend %s did not recover within %s", name, timeout)
+}

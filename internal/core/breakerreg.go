@@ -1,0 +1,84 @@
+package core
+
+import "sync"
+
+// BreakerRegistry holds one Breaker per endpoint key, created on first
+// use from a shared config. It turns the per-client Breaker singleton
+// into the endpoint-keyed shape a router needs: one breaker per backend,
+// shared by every call routed there, so a sick backend trips once for
+// the whole process instead of once per client.
+//
+// Safe for concurrent use; For is cheap enough for the per-call path.
+type BreakerRegistry struct {
+	cfg BreakerConfig
+
+	mu       sync.RWMutex
+	breakers map[string]*Breaker
+}
+
+// NewBreakerRegistry returns an empty registry whose breakers are built
+// with cfg (zero fields defaulted per NewBreaker).
+func NewBreakerRegistry(cfg BreakerConfig) *BreakerRegistry {
+	return &BreakerRegistry{cfg: cfg, breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for key, creating it closed on first use.
+// Concurrent callers for the same key always observe the same Breaker.
+func (r *BreakerRegistry) For(key string) *Breaker {
+	r.mu.RLock()
+	b := r.breakers[key]
+	r.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b = r.breakers[key]; b == nil {
+		b = NewBreaker(r.cfg)
+		r.breakers[key] = b
+	}
+	return b
+}
+
+// Keys returns the registered endpoint keys in unspecified order.
+func (r *BreakerRegistry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.breakers))
+	for k := range r.breakers {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Remove drops key's breaker (a departed backend); a later For(key)
+// starts fresh with a closed breaker.
+func (r *BreakerRegistry) Remove(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.breakers, key)
+}
+
+// BreakerSnapshot is one endpoint's breaker state for debug surfaces.
+type BreakerSnapshot struct {
+	Key       string `json:"key"`
+	State     string `json:"state"`
+	Opens     int    `json:"opens"`
+	FastFails int    `json:"fast_fails"`
+}
+
+// Snapshot returns every endpoint's breaker state.
+func (r *BreakerRegistry) Snapshot() []BreakerSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]BreakerSnapshot, 0, len(r.breakers))
+	for k, b := range r.breakers {
+		out = append(out, BreakerSnapshot{
+			Key:       k,
+			State:     b.State().String(),
+			Opens:     b.Opens(),
+			FastFails: b.FastFails(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerRegistrySameInstance verifies For is create-once per key.
+func TestBreakerRegistrySameInstance(t *testing.T) {
+	r := NewBreakerRegistry(BreakerConfig{})
+	a, b := r.For("backend-1"), r.For("backend-1")
+	if a != b {
+		t.Fatal("For returned distinct breakers for one key")
+	}
+	if r.For("backend-2") == a {
+		t.Fatal("distinct keys shared a breaker")
+	}
+}
+
+// TestBreakerRegistryConcurrent hammers create/allow/record across
+// overlapping keys; run under -race this is the registry's
+// thread-safety proof.
+func TestBreakerRegistryConcurrent(t *testing.T) {
+	r := NewBreakerRegistry(BreakerConfig{Window: 4, MinSamples: 2, Cooldown: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := r.For(fmt.Sprintf("backend-%d", (g+i)%4))
+				if err := b.Allow(); err == nil {
+					var outcome error
+					if i%2 == 0 {
+						outcome = errors.New("transport down")
+					}
+					b.Record(outcome)
+				}
+				_ = r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Keys()); got != 4 {
+		t.Fatalf("keys after hammering = %d, want 4", got)
+	}
+}
+
+// TestBreakerRegistryIsolation trips one key hard and verifies the
+// others stay closed — one sick backend must not fast-fail the fleet.
+func TestBreakerRegistryIsolation(t *testing.T) {
+	r := NewBreakerRegistry(BreakerConfig{Window: 4, MinSamples: 2, Cooldown: time.Hour})
+	sick := r.For("sick")
+	for i := 0; i < 4; i++ {
+		if err := sick.Allow(); err != nil {
+			break
+		}
+		sick.Record(errors.New("connection refused"))
+	}
+	if sick.State() != BreakerOpen {
+		t.Fatalf("sick breaker state = %v, want open", sick.State())
+	}
+	if st := r.For("healthy").State(); st != BreakerClosed {
+		t.Fatalf("healthy breaker state = %v, want closed", st)
+	}
+	// Remove resets: the key comes back closed.
+	r.Remove("sick")
+	if st := r.For("sick").State(); st != BreakerClosed {
+		t.Fatalf("recreated breaker state = %v, want closed", st)
+	}
+}

@@ -59,9 +59,24 @@ func codeToWire(code byte) (string, error) {
 	}
 }
 
-// TCPListener serves a Server over raw TCP framing.
+// Processor handles one serialized envelope and always answers with one
+// — failures become fault envelopes, never errors. It is the surface the
+// TCP listeners (legacy and multiplexed alike) serve: *Server implements
+// it by dispatching to handlers, and the front router implements it by
+// forwarding the raw envelope to a backend, which is what lets a router
+// speak both wire protocols on a shared listener without re-encoding.
+//
+// The returned body is owned by the caller and may be recycled with
+// bufpool.Put once written.
+type Processor interface {
+	Process(ctx context.Context, contentType, action string, body []byte) (respContentType string, respBody []byte)
+}
+
+var _ Processor = (*Server)(nil)
+
+// TCPListener serves a Processor over raw TCP framing.
 type TCPListener struct {
-	server *Server
+	proc   Processor
 	ctx    context.Context // parent of every request's context
 	cancel context.CancelFunc
 
@@ -72,23 +87,23 @@ type TCPListener struct {
 	wg       sync.WaitGroup
 }
 
-// ServeTCP binds addr and dispatches framed envelopes to srv until Close.
-// It returns once the listener is bound.
-func ServeTCP(srv *Server, addr string) (*TCPListener, error) {
+// ServeTCP binds addr and dispatches framed envelopes to proc until
+// Close. It returns once the listener is bound.
+func ServeTCP(proc Processor, addr string) (*TCPListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: tcp listen: %w", err)
 	}
-	return ServeTCPListener(srv, ln), nil
+	return ServeTCPListener(proc, ln), nil
 }
 
 // ServeTCPListener dispatches framed envelopes from an already-bound
 // listener — the hook for wrapping the accept path with netem
-// throttling or fault injection before the server sees a connection.
-func ServeTCPListener(srv *Server, ln net.Listener) *TCPListener {
+// throttling or fault injection before the processor sees a connection.
+func ServeTCPListener(proc Processor, ln net.Listener) *TCPListener {
 	//lint:ignore ctxfirst the listener owns this root; Close cancels it for every in-flight request
 	ctx, cancel := context.WithCancel(context.Background())
-	l := &TCPListener{server: srv, ctx: ctx, cancel: cancel, listener: ln, conns: make(map[net.Conn]struct{})}
+	l := &TCPListener{proc: proc, ctx: ctx, cancel: cancel, listener: ln, conns: make(map[net.Conn]struct{})}
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -176,7 +191,7 @@ func (l *TCPListener) serveLegacy(r io.Reader, conn net.Conn) {
 			bufpool.Put(body)
 			return
 		}
-		respCT, respBody := l.server.Process(l.ctx, ct, action, body)
+		respCT, respBody := l.proc.Process(l.ctx, ct, action, body)
 		bufpool.Put(body) // Process copies what it keeps; the frame buffer is free
 		respCode, err := wireToCode(respCT)
 		if err != nil {
@@ -403,4 +418,53 @@ func readTCPFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
+}
+
+// ProbeTCP performs one active health-check round trip against a
+// SOAP-bin TCP endpoint: dial, send a minimal legacy-framed XML request
+// (empty action — the server answers it with a Client fault envelope),
+// and read the response frame. A healthy endpoint completes the whole
+// exchange; a dead one fails the dial, and a gray-failed one — accepting
+// connections but never answering (the blackhole fault) — fails the
+// read at ctx's deadline. Any well-formed response frame, fault
+// included, counts as healthy: the probe tests the request path, not the
+// application.
+func ProbeTCP(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: probe dial: %w", err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	if ctx.Done() != nil {
+		watchStop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Unix(1, 0)) // in the past: fails in-flight I/O
+			case <-watchStop:
+			}
+		}()
+		defer func() {
+			close(watchStop)
+			<-watchDone
+		}()
+	}
+	if err := writeTCPRequest(conn, tcpWireXML, "", nil); err != nil {
+		return fmt.Errorf("core: probe write: %w", err)
+	}
+	_, body, err := readTCPFrame(conn)
+	if err != nil {
+		if ce := ctxTimeout(ctx, err); ce != nil {
+			return fmt.Errorf("core: probe: %w", ce)
+		}
+		return fmt.Errorf("core: probe read: %w", err)
+	}
+	bufpool.Put(body)
+	return nil
 }

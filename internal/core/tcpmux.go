@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"soapbinq/internal/bufpool"
+	"soapbinq/internal/soap"
 )
 
 // Multiplexed TCP: the pooled, pipelined sibling of TCPTransport.
@@ -322,7 +323,7 @@ func (l *TCPListener) serveMux(conn net.Conn) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			respCT, respBody := l.server.Process(l.ctx, ct, action, body)
+			respCT, respBody := l.proc.Process(l.ctx, ct, action, body)
 			bufpool.Put(payload) // body's backing buffer; Process is done with it
 			respCode, err := wireToCode(respCT)
 			if err != nil {
@@ -352,9 +353,17 @@ type TCPPoolTransport struct {
 	addr string
 	size int
 
-	mu     sync.Mutex
-	conns  []*muxConn
-	closed bool
+	// leases counts RoundTrips between admission and completion. It is
+	// taken BEFORE checkout consults the draining flag (both ordered by
+	// mu), so Drain — which flips the flag, then waits for leases to hit
+	// zero — can never close the pool under a call that was admitted but
+	// has not yet registered its stream on a connection.
+	leases atomic.Int64
+
+	mu       sync.Mutex
+	conns    []*muxConn
+	closed   bool
+	draining bool
 }
 
 // NewTCPPoolTransport returns a pooled transport for the SOAP-bin TCP
@@ -382,6 +391,44 @@ func (t *TCPPoolTransport) Close() error {
 	return nil
 }
 
+// Drain gracefully retires the pool, mirroring Server.Shutdown: new
+// checkouts fail immediately with a Server.Unavailable.Draining fault
+// (so concurrent callers fail over instead of blocking until the mux
+// closes), in-flight correlated calls run to completion, and the
+// connections are closed once the pool is idle. If ctx ends first the
+// pool is closed anyway — pending calls are woken with an error — and
+// ctx's error is returned.
+func (t *TCPPoolTransport) Drain(ctx context.Context) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.draining = true
+	t.mu.Unlock()
+
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if t.leases.Load() == 0 {
+			return t.Close()
+		}
+		select {
+		case <-ctx.Done():
+			t.Close()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (t *TCPPoolTransport) Draining() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.draining && !t.closed
+}
+
 // checkout returns a live connection: the least-loaded of the live
 // slots, or a fresh dial into the first empty/dead slot while the pool
 // is not yet full. Dialing happens outside the pool lock; a lost dial
@@ -391,6 +438,13 @@ func (t *TCPPoolTransport) checkout(ctx context.Context) (*muxConn, error) {
 	if t.closed {
 		t.mu.Unlock()
 		return nil, errMuxClosed
+	}
+	if t.draining {
+		// Refuse immediately with an unavailable-family fault: the caller
+		// (a router, a retrying client) fails over elsewhere instead of
+		// blocking until the pool finishes draining.
+		t.mu.Unlock()
+		return nil, soap.DrainingFault(0)
 	}
 	var best *muxConn
 	empty := -1
@@ -420,9 +474,16 @@ func (t *TCPPoolTransport) checkout(ctx context.Context) (*muxConn, error) {
 		return nil, err
 	}
 	t.mu.Lock()
-	if t.closed {
+	if t.closed || t.draining {
+		// The pool closed or entered drain while we were dialing; the
+		// fresh connection must not admit a call the drain would then
+		// have to wait out.
+		draining := t.draining
 		t.mu.Unlock()
 		m.fail(errMuxClosed)
+		if draining {
+			return nil, soap.DrainingFault(0)
+		}
 		return nil, errMuxClosed
 	}
 	if old := t.conns[empty]; old == nil || old.isDead() {
@@ -451,6 +512,8 @@ func (t *TCPPoolTransport) RoundTrip(ctx context.Context, req *WireRequest) (*Wi
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t.leases.Add(1)
+	defer t.leases.Add(-1)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		m, err := t.checkout(ctx)

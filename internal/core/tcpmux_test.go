@@ -18,6 +18,7 @@ import (
 type muxRig struct {
 	client *Client
 	ln     *TCPListener
+	pool   *TCPPoolTransport
 	gate   chan struct{}
 	arm    func(bool)
 }
@@ -59,7 +60,7 @@ func newMuxRig(t *testing.T, wire WireFormat, conns int) *muxRig {
 		blocked = on
 		mu.Unlock()
 	}
-	return &muxRig{client: client, ln: ln, gate: gate, arm: arm}
+	return &muxRig{client: client, ln: ln, pool: transport, gate: gate, arm: arm}
 }
 
 func TestTCPPoolAllWires(t *testing.T) {
@@ -254,5 +255,122 @@ func TestTCPPoolLegacyClientCoexists(t *testing.T) {
 		if _, err := legacy.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload}); err != nil {
 			t.Fatalf("legacy call %d: %v", i, err)
 		}
+	}
+}
+
+// TestTCPPoolDrainVsCheckout covers the checkout-vs-drain race: once a
+// pool enters drain, a checkout fails immediately with an
+// unavailable-family fault — so a router retries the call elsewhere —
+// instead of blocking until the mux closes; the call already in flight
+// when drain began runs to completion.
+func TestTCPPoolDrainVsCheckout(t *testing.T) {
+	rig := newMuxRig(t, WireBinary, 2)
+	rig.arm(true)
+	payload := workload.NestedStruct(3, 1)
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := rig.client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: payload})
+		inFlight <- err
+	}()
+	poolLoad := func() int64 {
+		rig.pool.mu.Lock()
+		defer rig.pool.mu.Unlock()
+		var n int64
+		for _, m := range rig.pool.conns {
+			if m != nil && !m.isDead() {
+				n += m.inflight.Load()
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for poolLoad() == 0 {
+		select {
+		case err := <-inFlight:
+			t.Fatalf("blocked call returned early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked call never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- rig.pool.Drain(context.Background()) }()
+	for !rig.pool.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never entered drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The race under test: a checkout against the draining pool must be
+	// refused now, not after the in-flight call (still parked on the
+	// gate) finishes.
+	start := time.Now()
+	_, err := rig.pool.checkout(context.Background())
+	if !errors.Is(err, soap.ErrUnavailable) {
+		t.Fatalf("checkout during drain = %v, want ErrUnavailable family", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("draining checkout blocked %v", waited)
+	}
+
+	rig.arm(false)
+	close(rig.gate)
+	if err := <-inFlight; err != nil {
+		t.Fatalf("in-flight call during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Drain ends in Close: the pool is fully retired.
+	if _, err := rig.pool.checkout(context.Background()); !errors.Is(err, errMuxClosed) {
+		t.Fatalf("checkout after drain = %v, want closed", err)
+	}
+}
+
+// TestTCPPoolDrainDeadline verifies a drain abandoned by its context
+// still closes the pool and wakes the stuck call.
+func TestTCPPoolDrainDeadline(t *testing.T) {
+	rig := newMuxRig(t, WireBinary, 1)
+	rig.arm(true)
+	defer close(rig.gate)
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := rig.client.Call(context.Background(), "echo", nil, soap.Param{Name: "payload", Value: workload.NestedStruct(3, 1)})
+		inFlight <- err
+	}()
+	load := func() int64 {
+		rig.pool.mu.Lock()
+		defer rig.pool.mu.Unlock()
+		if m := rig.pool.conns[0]; m != nil {
+			return m.inflight.Load()
+		}
+		return 0
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for load() == 0 {
+		select {
+		case err := <-inFlight:
+			t.Fatalf("blocked call returned early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked call never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := rig.pool.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain past deadline = %v", err)
+	}
+	if err := <-inFlight; err == nil {
+		t.Fatal("call stuck past drain deadline returned success")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -312,4 +313,91 @@ func findParam(params []soap.Param, name string) (idl.Value, bool) {
 		}
 	}
 	return idl.Value{}, false
+}
+
+// RequestOp extracts the operation name of a serialized request without
+// decoding it: XML wires carry it as the action, the binary envelope
+// embeds it after the frame kind. ok is false when the envelope is too
+// mangled to name an operation — the router forwards such requests
+// anyway and lets a backend produce the fault.
+func RequestOp(contentType, action string, body []byte) (op string, ok bool) {
+	if action != "" {
+		return action, true
+	}
+	if contentType != ContentTypeBinary || len(body) < 1 {
+		return "", false
+	}
+	name, _, err := readString16(body[1:])
+	if err != nil || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// SniffFaultCode reports the fault code of a serialized response if it
+// is a fault envelope, without a codec or a full decode: the binary
+// fault frame's code field sits at a fixed walk past the op and header,
+// and XML faults carry a literal <faultcode> element. Deflate bodies are
+// not inspected (an inflate per response is not worth it — matching
+// isFaultBody). ok is false for non-fault responses.
+//
+// This is the router's passive fault sniffer: an unavailable-family code
+// from a backend (draining, shed, breaker) marks the backend sick and —
+// because those faults mean the request was provably not processed —
+// makes the attempt safe to fail over regardless of idempotency.
+func SniffFaultCode(contentType string, body []byte) (code string, ok bool) {
+	switch contentType {
+	case ContentTypeBinary:
+		if len(body) < 1 || body[0] != frameFault {
+			return "", false
+		}
+		rest := body[1:]
+		var err error
+		if _, rest, err = readString16(rest); err != nil { // op
+			return "", false
+		}
+		if _, rest, err = readHeader(rest); err != nil {
+			return "", false
+		}
+		if code, _, err = readString16(rest); err != nil {
+			return "", false
+		}
+		return code, true
+	case ContentTypeXML, "text/xml":
+		i := bytes.Index(body, []byte("<faultcode>"))
+		if i < 0 {
+			return "", false
+		}
+		rest := body[i+len("<faultcode>"):]
+		j := bytes.IndexByte(rest, '<')
+		if j < 0 {
+			return "", false
+		}
+		return string(rest[:j]), true
+	default:
+		return "", false
+	}
+}
+
+// FaultEnvelope renders f as a serialized fault response in the wire
+// format of contentType (falling back to XML for unknown formats), for
+// components that answer on the wire without a Server — the front
+// router's own faults (no eligible backend, drained) use it. The body is
+// pooled where the format allows; callers may bufpool.Put it once
+// written.
+func FaultEnvelope(contentType, op string, f *soap.Fault) (respContentType string, respBody []byte) {
+	wire := wireOrXML(contentType)
+	if wire == WireBinary {
+		return ContentTypeBinary, marshalBinaryFault(op, nil, f)
+	}
+	body, err := soap.MarshalFault(f)
+	if err != nil {
+		body = []byte(xmlFaultFallback)
+	}
+	if wire == WireXMLDeflate {
+		if z, zerr := Deflate(body); zerr == nil {
+			return ContentTypeXMLDeflate, z
+		}
+	}
+	return ContentTypeXML, body
 }

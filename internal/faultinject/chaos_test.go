@@ -427,3 +427,46 @@ func TestChaosQualityDegradeRecover(t *testing.T) {
 		t.Errorf("pressure = %d after 20 successes, want 0", p)
 	}
 }
+
+// TestChaosBlackholeTCP injects the gray-failure mode: the connection
+// is accepted but the request is swallowed before the server can read
+// it. The call must die by its own deadline with the handler never
+// invoked (unlike Stall, whose request is processed), and the endpoint
+// must serve normally on the next, un-blackholed connection.
+func TestChaosBlackholeTCP(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv, handled := newChaosServer(fs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.Script(faultinject.Blackhole)
+	l := core.ServeTCPListener(srv, &faultinject.Listener{Listener: ln, Plan: plan})
+	defer l.Close()
+
+	tr := core.NewTCPTransport(l.Addr())
+	defer tr.Close()
+	client := newChaosClient(fs, tr)
+	client.Policy = &core.CallPolicy{Timeout: 100 * time.Millisecond}
+
+	start := time.Now()
+	err = callEcho(client, 7)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed call error = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed call took %v; deadline not enforced", elapsed)
+	}
+	if handled.Load() != 0 {
+		t.Fatalf("handler ran %d times; a blackholed request must never be seen", handled.Load())
+	}
+
+	// The script is drained: the redialed connection passes through and
+	// the endpoint is healthy.
+	if err := callEcho(client, 8); err != nil {
+		t.Fatalf("post-blackhole call failed: %v", err)
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("handler ran %d times after recovery, want 1", handled.Load())
+	}
+}

@@ -45,6 +45,12 @@ const (
 	Status503
 	// Duplicate delivers the request twice (at-least-once delivery).
 	Duplicate
+	// Blackhole accepts the exchange and never answers a byte — the
+	// gray-failure mode where the endpoint looks alive (dial succeeds,
+	// the request is swallowed) but no response ever comes. Distinct
+	// from Stall, which holds an exchange that did reach the server:
+	// a blackholed server never sees the request at all.
+	Blackhole
 
 	kindCount = iota
 )
@@ -67,6 +73,8 @@ func (k Kind) String() string {
 		return "status503"
 	case Duplicate:
 		return "duplicate"
+	case Blackhole:
+		return "blackhole"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -10,7 +10,7 @@ func TestKindString(t *testing.T) {
 	want := map[Kind]string{
 		None: "none", Refuse: "refuse", Reset: "reset", Stall: "stall",
 		Truncate: "truncate", FlipBit: "flipbit", Status503: "status503",
-		Duplicate: "duplicate", Kind(99): "kind(99)",
+		Duplicate: "duplicate", Blackhole: "blackhole", Kind(99): "kind(99)",
 	}
 	for k, s := range want {
 		if got := k.String(); got != s {

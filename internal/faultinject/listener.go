@@ -17,7 +17,12 @@ import (
 //   - Stall blocks the response write until the connection is torn
 //     down — the peer's deadline is what ends the exchange;
 //   - Truncate writes half the response, then kills the connection;
-//   - FlipBit corrupts one bit of the response bytes.
+//   - FlipBit corrupts one bit of the response bytes;
+//   - Blackhole accepts the connection and swallows everything the
+//     peer sends — the server behind the listener never sees a byte,
+//     so no response is ever produced. This is the gray failure a
+//     TCP-dial health check cannot see: the port answers, the service
+//     does not.
 //
 // Status503 and Duplicate have no byte-level meaning and pass through.
 type Listener struct {
@@ -39,6 +44,8 @@ func (l *Listener) Accept() (net.Conn, error) {
 			continue
 		case Reset, Stall, Truncate, FlipBit:
 			return newFaultConn(conn, d), nil
+		case Blackhole:
+			return newBlackholeConn(conn), nil
 		default:
 			return conn, nil
 		}
@@ -105,4 +112,32 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	default:
 		return c.Conn.Write(p)
 	}
+}
+
+// blackholeConn swallows the peer's bytes before the server can read
+// them: Read blocks until the connection is torn down, so the exchange
+// dies by the client's deadline with the request unseen. The underlying
+// socket stays open — the dial succeeded, keepalives flow — which is
+// what makes the failure gray rather than hard.
+type blackholeConn struct {
+	net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newBlackholeConn(c net.Conn) *blackholeConn {
+	return &blackholeConn{Conn: c, closed: make(chan struct{})}
+}
+
+// Read implements net.Conn; it never delivers a byte.
+func (c *blackholeConn) Read(p []byte) (int, error) {
+	<-c.closed
+	return 0, syscall.ECONNRESET
+}
+
+// Close implements net.Conn; it releases the blocked Read.
+func (c *blackholeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
 }

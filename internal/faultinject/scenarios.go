@@ -49,6 +49,11 @@ var scenarios = []Scenario{
 		Probs: map[Kind]float64{Refuse: 0.45, Reset: 0.45},
 	},
 	{
+		Name:  "grayfail",
+		Desc:  "blackholed exchanges: port answers, service never does",
+		Probs: map[Kind]float64{Blackhole: 0.12},
+	},
+	{
 		Name: "mixed",
 		Desc: "a little of everything",
 		Probs: map[Kind]float64{

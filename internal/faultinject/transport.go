@@ -17,6 +17,9 @@ import (
 //   - Status503 surfaces a core.StatusError (an HTTP overload answer)
 //     before the inner transport runs;
 //   - Stall blocks until ctx is done, then returns its error;
+//   - Blackhole does the same without running the inner transport —
+//     the request vanishes unprocessed, the gray-failure counterpart
+//     of Stall (whose request does reach the server);
 //   - Reset lets the inner round trip complete (the server processes
 //     the request) but surfaces ECONNRESET — the mid-response reset;
 //   - Truncate / FlipBit corrupt the response frame in flight;
@@ -37,7 +40,9 @@ func (t *Transport) RoundTrip(ctx context.Context, req *core.WireRequest) (*core
 		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
 	case Status503:
 		return nil, &core.StatusError{Code: http.StatusServiceUnavailable}
-	case Stall:
+	case Stall, Blackhole:
+		// Both hold the exchange open until the caller's budget ends;
+		// they differ server-side (a blackholed request is never seen).
 		if ctx.Done() == nil {
 			// No budget to stall against; surface a transport timeout
 			// rather than blocking forever.

@@ -147,3 +147,20 @@ func TestTransportClean(t *testing.T) {
 		t.Errorf("clean pass-through broken: calls=%d body=%v", inner.calls, resp.Body)
 	}
 }
+
+func TestTransportBlackhole(t *testing.T) {
+	tr, inner := newStubRig(Blackhole)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.RoundTrip(ctx, &core.WireRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("blackhole released after %v, want the ctx deadline", elapsed)
+	}
+	if inner.calls != 0 {
+		t.Errorf("blackholed request reached the inner transport (%d calls)", inner.calls)
+	}
+}

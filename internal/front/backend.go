@@ -1,0 +1,223 @@
+package front
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/obs"
+	"soapbinq/internal/quality"
+)
+
+// State is a backend's lifecycle position in the registry.
+type State int
+
+const (
+	// StateActive: routable; probes watch it.
+	StateActive State = iota
+	// StateDraining: finishing in-flight calls, refusing new ones —
+	// the router-side mirror of Server.Shutdown.
+	StateDraining
+	// StateDown: failed its probe threshold; not routable until probes
+	// see it recover.
+	StateDown
+	// StateDrained: retired by an operator's Drain. Unlike StateDown
+	// this is not probe-managed — the server may well still answer
+	// probes, but only an explicit Join puts it back in rotation.
+	StateDrained
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	case StateDrained:
+		return "drained"
+	default:
+		return "unknown"
+	}
+}
+
+// backend is one routed endpoint: its pooled transport, lifecycle
+// state, and load/probes bookkeeping. The breaker and estimator live in
+// the Front's registries under the backend's name.
+type backend struct {
+	name    string
+	addr    string
+	metrics *backendMetrics
+
+	inflight atomic.Int64
+
+	mu         sync.Mutex
+	pool       *core.TCPPoolTransport
+	state      State
+	probeFails int
+	probeOKs   int
+}
+
+// transport returns the current pool (swapped when the backend cycles
+// through down, so calls stuck in a dead pool are released rather than
+// inherited).
+func (b *backend) transport() *core.TCPPoolTransport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pool
+}
+
+// State returns the backend's lifecycle state.
+func (b *backend) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setState moves the backend to next, publishing the transition to the
+// state gauge and the decision ring when it actually changes.
+func (b *backend) setState(next State) (prev State, changed bool) {
+	b.mu.Lock()
+	prev = b.state
+	changed = prev != next
+	b.state = next
+	b.mu.Unlock()
+	if changed {
+		b.metrics.state.Set(int64(next))
+		noteBackendState(b.name, prev, next)
+	}
+	return prev, changed
+}
+
+// noteBackendState publishes a lifecycle transition to the decision
+// ring.
+func noteBackendState(name string, from, to State) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Emit(obs.Event{
+		Kind:    obs.EventBackendState,
+		Side:    "front",
+		Backend: name,
+		From:    from.String(),
+		To:      to.String(),
+	})
+}
+
+// BackendSnapshot is one backend's row in DebugSnapshot.
+type BackendSnapshot struct {
+	Name       string                    `json:"name"`
+	Addr       string                    `json:"addr"`
+	State      string                    `json:"state"`
+	Inflight   int64                     `json:"inflight"`
+	ProbeFails int                       `json:"probe_fails"`
+	Breaker    string                    `json:"breaker"`
+	Estimator  quality.EstimatorSnapshot `json:"estimator"`
+}
+
+func (b *backend) snapshot() BackendSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendSnapshot{
+		Name:       b.name,
+		Addr:       b.addr,
+		State:      b.state.String(),
+		Inflight:   b.inflight.Load(),
+		ProbeFails: b.probeFails,
+	}
+}
+
+// Join adds (or revives) a backend. A new backend starts active with a
+// fresh lazily-dialing pool; rejoining a down or drained backend swaps
+// in a fresh pool and clears its breaker so recovery is immediate —
+// the operator (or the prober's recovery path) asserted health.
+func (f *Front) Join(name, addr string) error {
+	if name == "" || addr == "" {
+		return fmt.Errorf("front: join needs a name and an address")
+	}
+	f.mu.Lock()
+	b, exists := f.backends[name]
+	if exists && b.addr != addr {
+		f.mu.Unlock()
+		return fmt.Errorf("front: backend %q already registered at %s", name, b.addr)
+	}
+	if !exists {
+		b = &backend{
+			name:    name,
+			addr:    addr,
+			metrics: metricsFor(name),
+			pool:    core.NewTCPPoolTransport(addr, f.cfg.PoolConns),
+			state:   StateDown, // setState below flips to active with the event
+		}
+		f.backends[name] = b
+	}
+	f.mu.Unlock()
+
+	if exists {
+		b.mu.Lock()
+		old := b.pool
+		b.pool = core.NewTCPPoolTransport(addr, f.cfg.PoolConns)
+		b.probeFails, b.probeOKs = 0, 0
+		b.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		f.breakers.Remove(name)
+	}
+	b.setState(StateActive)
+	return nil
+}
+
+// Drain gracefully retires a backend, mirroring Server.Shutdown: the
+// router stops picking it immediately, its pool refuses new checkouts
+// with the draining fault (failed over elsewhere), and in-flight calls
+// run to completion — or until ctx ends, when the pool is torn down
+// anyway. The backend stays registered as drained — a state the prober
+// never touches, so a still-running server is not put back in rotation
+// behind the operator's back — until an explicit Join revives it.
+func (f *Front) Drain(ctx context.Context, name string) error {
+	f.mu.RLock()
+	b := f.backends[name]
+	f.mu.RUnlock()
+	if b == nil {
+		return fmt.Errorf("front: unknown backend %q", name)
+	}
+	if _, changed := b.setState(StateDraining); !changed {
+		return fmt.Errorf("front: backend %q already draining", name)
+	}
+	err := b.transport().Drain(ctx)
+	b.setState(StateDrained)
+	return err
+}
+
+// Remove deletes a backend outright, closing its pool and dropping its
+// breaker and estimator state. For graceful retirement Drain first.
+func (f *Front) Remove(name string) {
+	f.mu.Lock()
+	b := f.backends[name]
+	delete(f.backends, name)
+	f.mu.Unlock()
+	if b == nil {
+		return
+	}
+	b.transport().Close()
+	f.breakers.Remove(name)
+	f.estimators.Remove(name)
+	noteBackendState(name, b.State(), StateDown)
+}
+
+// Backends lists the registered backend names, sorted.
+func (f *Front) Backends() []string {
+	f.mu.RLock()
+	names := make([]string, 0, len(f.backends))
+	for name := range f.backends {
+		names = append(names, name)
+	}
+	f.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,57 @@
+package front
+
+import "sync"
+
+// retryBudget is the failover throttle, after gRPC's retry token
+// bucket: a failover spends one token, a successful call earns back a
+// fraction, and failovers are only allowed while the bucket is above
+// half capacity. Under a fleet-wide outage successes stop, the bucket
+// drains below the threshold, and the front degrades to single-attempt
+// fast faults instead of multiplying a storm of retries onto already
+// sick backends.
+type retryBudget struct {
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+}
+
+// successRefill is the fraction of a token a success earns back: ten
+// successes buy one failover.
+const successRefill = 0.1
+
+func newRetryBudget(capacity float64) *retryBudget {
+	frontBudgetTokens.Set(int64(capacity))
+	return &retryBudget{capacity: capacity, tokens: capacity}
+}
+
+// allow reports whether one failover may proceed, spending a token if
+// so.
+func (b *retryBudget) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens <= b.capacity/2 {
+		frontBudgetExhausted.Inc()
+		return false
+	}
+	b.tokens--
+	frontBudgetTokens.Set(int64(b.tokens))
+	return true
+}
+
+// success refills a fraction of a token.
+func (b *retryBudget) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += successRefill
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	frontBudgetTokens.Set(int64(b.tokens))
+}
+
+// tokensLeft reads the bucket for debug snapshots.
+func (b *retryBudget) tokensLeft() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

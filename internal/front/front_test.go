@@ -1,0 +1,312 @@
+package front_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soapbinq/internal/core"
+	"soapbinq/internal/front"
+	"soapbinq/internal/idl"
+	"soapbinq/internal/pbio"
+	"soapbinq/internal/soap"
+	"soapbinq/internal/wsdl"
+)
+
+// frontSpec is the little service the front tests route: echo is
+// idempotent (failover-eligible on transport errors), put is not.
+func frontSpec() *core.ServiceSpec {
+	return core.MustServiceSpec("FrontTest",
+		&core.OpDef{
+			Name:       "echo",
+			Params:     []soap.ParamSpec{{Name: "v", Type: idl.Int()}},
+			Result:     idl.Int(),
+			Idempotent: true,
+		},
+		&core.OpDef{
+			Name:   "put",
+			Params: []soap.ParamSpec{{Name: "v", Type: idl.Int()}},
+			Result: idl.Int(),
+		},
+	)
+}
+
+// beRig is one live backend: a real server on a real socket, counting
+// the calls it handled.
+type beRig struct {
+	name    string
+	srv     *core.Server
+	addr    string
+	ln      *core.TCPListener
+	handled atomic.Int64
+	delayNS atomic.Int64
+}
+
+func startBackend(t *testing.T, fs *pbio.MemServer, name string) *beRig {
+	t.Helper()
+	rig := &beRig{name: name}
+	rig.srv = core.NewServer(frontSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	handler := func(_ *core.CallCtx, params []soap.Param) (idl.Value, error) {
+		rig.handled.Add(1)
+		if d := rig.delayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		return params[0].Value, nil
+	}
+	rig.srv.MustHandle("echo", handler)
+	rig.srv.MustHandle("put", handler)
+	ln, err := core.ServeTCP(rig.srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	rig.ln = ln
+	rig.addr = ln.Addr()
+	return rig
+}
+
+// restart rebinds the backend's server on its original address after a
+// kill, simulating the process coming back.
+func (rig *beRig) restart(t *testing.T) {
+	t.Helper()
+	ln, err := core.ServeTCP(rig.srv, rig.addr)
+	if err != nil {
+		t.Fatalf("restart backend %s: %v", rig.name, err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	rig.ln = ln
+}
+
+// newFrontClient serves f on a real socket and returns a pooled client
+// through it.
+func newFrontClient(t *testing.T, fs *pbio.MemServer, f *front.Front) *core.Client {
+	t.Helper()
+	fln, err := core.ServeTCP(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fln.Close() })
+	tr := core.NewTCPPoolTransport(fln.Addr(), 4)
+	t.Cleanup(func() { tr.Close() })
+	return core.NewClient(frontSpec(), tr, pbio.NewCodec(pbio.NewRegistry(fs)), core.WireBinary)
+}
+
+func callOp(c *core.Client, op string, v int64) error {
+	resp, err := c.Call(context.Background(), op, nil, soap.Param{Name: "v", Value: idl.IntV(v)})
+	if err != nil {
+		return err
+	}
+	if resp.Value.Int != v {
+		return errors.New("value mismatch through front")
+	}
+	return nil
+}
+
+func TestFrontRoutesAcrossBackends(t *testing.T) {
+	fs := pbio.NewMemServer()
+	a, b := startBackend(t, fs, "a"), startBackend(t, fs, "b")
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("a", a.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Join("b", b.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	client := newFrontClient(t, fs, f)
+
+	// With latency on the handlers, concurrent callers pile up in-flight
+	// load, so least-loaded routing must use both backends.
+	a.delayNS.Store(int64(5 * time.Millisecond))
+	b.delayNS.Store(int64(5 * time.Millisecond))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := int64(0); i < 64; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			if err := callOp(client, "echo", v); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("call: %v", err)
+	}
+	if a.handled.Load() == 0 || b.handled.Load() == 0 {
+		t.Errorf("load not spread: a=%d b=%d", a.handled.Load(), b.handled.Load())
+	}
+	if a.handled.Load()+b.handled.Load() != 64 {
+		t.Errorf("handled %d+%d, want 64", a.handled.Load(), b.handled.Load())
+	}
+}
+
+func TestFrontPassesAppFaultsThrough(t *testing.T) {
+	fs := pbio.NewMemServer()
+	srv := core.NewServer(frontSpec(), pbio.NewCodec(pbio.NewRegistry(fs)))
+	srv.MustHandle("echo", func(*core.CallCtx, []soap.Param) (idl.Value, error) {
+		return idl.Value{}, errors.New("kaboom")
+	})
+	ln, err := core.ServeTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("only", ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	client := newFrontClient(t, fs, f)
+
+	err = callOp(client, "echo", 1)
+	var fault *soap.Fault
+	if !errors.As(err, &fault) || fault.String != "kaboom" {
+		t.Fatalf("fault through front = %v, want the handler's kaboom", err)
+	}
+	if errors.Is(err, soap.ErrUnavailable) {
+		t.Fatal("app fault must not read as unavailable")
+	}
+}
+
+func TestFrontNoBackends(t *testing.T) {
+	fs := pbio.NewMemServer()
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	client := newFrontClient(t, fs, f)
+
+	err := callOp(client, "echo", 1)
+	var fault *soap.Fault
+	if !errors.As(err, &fault) || fault.Code != soap.FaultCodeNoBackends {
+		t.Fatalf("err = %v, want %s fault", err, soap.FaultCodeNoBackends)
+	}
+	if !errors.Is(err, soap.ErrUnavailable) {
+		t.Fatal("no-backends fault must match ErrUnavailable")
+	}
+}
+
+// TestFrontFailoverIdempotencyGate pins the failover safety rule: with
+// a dead backend deterministically picked first (tie-break by name), an
+// idempotent call moves to the live backend and succeeds, while a
+// non-idempotent call surfaces the failure — a transport error may have
+// executed, so the front must not re-send it.
+func TestFrontFailoverIdempotencyGate(t *testing.T) {
+	fs := pbio.NewMemServer()
+	live := startBackend(t, fs, "b-live")
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("a-dead", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Join("b-live", live.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	client := newFrontClient(t, fs, f)
+
+	if err := callOp(client, "put", 1); !errors.Is(err, soap.ErrUnavailable) {
+		t.Fatalf("non-idempotent call against dead-first pool = %v, want unavailable fault", err)
+	}
+	if err := callOp(client, "echo", 2); err != nil {
+		t.Fatalf("idempotent call did not fail over: %v", err)
+	}
+	if live.handled.Load() != 1 {
+		t.Fatalf("live backend handled %d, want 1", live.handled.Load())
+	}
+}
+
+func TestFrontWSDLAdvertisesBackends(t *testing.T) {
+	fs := pbio.NewMemServer()
+	a, b := startBackend(t, fs, "a"), startBackend(t, fs, "b")
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("a", a.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Join("b", b.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := f.WSDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []string{a.ln.Addr(), b.ln.Addr()} {
+		if !strings.Contains(string(doc), addr) {
+			t.Errorf("WSDL missing backend %s\n%s", addr, doc)
+		}
+	}
+	d, err := wsdl.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Endpoints) != 2 {
+		t.Fatalf("advertised endpoints = %v, want 2", d.Endpoints)
+	}
+	if _, err := d.ServiceSpec(); err != nil {
+		t.Fatalf("advertised WSDL lost the spec: %v", err)
+	}
+}
+
+func TestFrontDrainRejectsUnknownAndDouble(t *testing.T) {
+	fs := pbio.NewMemServer()
+	a := startBackend(t, fs, "a")
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("a", a.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drain(context.Background(), "ghost"); err == nil {
+		t.Fatal("draining an unknown backend succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := f.Drain(ctx, "a"); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Drained backend is out of rotation; the pool answers no-backends.
+	client := newFrontClient(t, fs, f)
+	if err := callOp(client, "echo", 1); !errors.Is(err, soap.ErrUnavailable) {
+		t.Fatalf("call after drain = %v, want unavailable", err)
+	}
+	// Rejoin revives it.
+	if err := f.Join("a", a.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := callOp(client, "echo", 2); err != nil {
+		t.Fatalf("call after rejoin: %v", err)
+	}
+}
+
+func TestFrontDebugSnapshot(t *testing.T) {
+	fs := pbio.NewMemServer()
+	a := startBackend(t, fs, "a")
+	f := front.New(front.Config{Spec: frontSpec()})
+	t.Cleanup(f.Close)
+	if err := f.Join("a", a.ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	client := newFrontClient(t, fs, f)
+	if err := callOp(client, "echo", 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.DebugSnapshot()
+	if len(snap.Backends) != 1 {
+		t.Fatalf("snapshot backends = %d, want 1", len(snap.Backends))
+	}
+	bs := snap.Backends[0]
+	if bs.Name != "a" || bs.State != "active" || bs.Breaker != "closed" {
+		t.Fatalf("snapshot row = %+v", bs)
+	}
+	if bs.Estimator.Samples == 0 {
+		t.Error("estimator saw no samples after a routed call")
+	}
+	if snap.Budget <= 0 {
+		t.Error("retry budget missing from snapshot")
+	}
+}

@@ -1,0 +1,64 @@
+package front
+
+import (
+	"sync"
+
+	"soapbinq/internal/obs"
+)
+
+// Process-wide router metrics. Handles resolve at init; the hot path
+// never formats a metric name.
+var (
+	frontRequests = obs.NewCounter("soapbinq_front_requests_total",
+		"Requests accepted by the front router.")
+	frontFailovers = obs.NewCounter("soapbinq_front_failovers_total",
+		"Calls moved to another backend after a failed attempt.")
+	frontNoBackend = obs.NewCounter("soapbinq_front_nobackend_total",
+		"Requests answered with the no-backends fault.")
+	frontBudgetTokens = obs.NewGauge("soapbinq_front_retry_tokens_count",
+		"Failover budget tokens remaining.")
+	frontBudgetExhausted = obs.NewCounter("soapbinq_front_budget_exhausted_total",
+		"Failovers suppressed by an exhausted retry budget.")
+)
+
+// backendMetrics is one backend's labeled series. The obs registry
+// panics on duplicate registration, so handles are created once per
+// backend name and cached process-wide — tests and rejoining backends
+// reuse them.
+type backendMetrics struct {
+	requests      *obs.Counter
+	failures      *obs.Counter
+	probeFailures *obs.Counter
+	state         *obs.Gauge
+	inflight      *obs.Gauge
+}
+
+var (
+	backendMetricsMu sync.Mutex
+	backendMetricsBy = map[string]*backendMetrics{}
+)
+
+// metricsFor returns the cached handle set for a backend name,
+// registering the labeled series on first use.
+func metricsFor(name string) *backendMetrics {
+	backendMetricsMu.Lock()
+	defer backendMetricsMu.Unlock()
+	if m, ok := backendMetricsBy[name]; ok {
+		return m
+	}
+	label := obs.L("backend", name)
+	m := &backendMetrics{
+		requests: obs.NewCounter("soapbinq_front_backend_requests_total",
+			"Requests forwarded to this backend.", label),
+		failures: obs.NewCounter("soapbinq_front_backend_failures_total",
+			"Failed attempts against this backend (transport errors and refused-before-processing faults).", label),
+		probeFailures: obs.NewCounter("soapbinq_front_probe_failures_total",
+			"Active health probes this backend failed.", label),
+		state: obs.NewGauge("soapbinq_front_backend_state",
+			"Backend lifecycle state (0 active, 1 draining, 2 down, 3 drained).", label),
+		inflight: obs.NewGauge("soapbinq_front_backend_inflight_count",
+			"Calls in flight to this backend through the front.", label),
+	}
+	backendMetricsBy[name] = m
+	return m
+}

@@ -1,0 +1,144 @@
+package front
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"soapbinq/internal/core"
+)
+
+// Start launches the active health prober: every ProbeInterval each
+// non-draining backend gets one full probe exchange (core.ProbeTCP
+// performs a real frame round trip, so a blackholed backend — dial
+// succeeds, bytes vanish — fails by the probe deadline, which a bare
+// TCP dial check would miss). FailThreshold consecutive failures take
+// an active backend down; RecoverThreshold consecutive successes bring
+// a down backend back. Start is idempotent; Close stops the prober.
+func (f *Front) Start() {
+	f.startOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		f.probeCancel = cancel
+		f.probeDone = make(chan struct{})
+		go f.probeLoop(ctx)
+	})
+}
+
+// Close stops the prober and closes every backend pool. The Front
+// answers NoBackends afterwards; it is not restartable.
+func (f *Front) Close() {
+	f.closeOnce.Do(func() {
+		if f.probeCancel != nil {
+			f.probeCancel()
+			<-f.probeDone
+		}
+		f.mu.Lock()
+		backends := make([]*backend, 0, len(f.backends))
+		for _, b := range f.backends {
+			backends = append(backends, b)
+		}
+		f.backends = make(map[string]*backend)
+		f.mu.Unlock()
+		for _, b := range backends {
+			b.transport().Close()
+		}
+	})
+}
+
+// probeLoop drives one probe round per tick until ctx ends.
+func (f *Front) probeLoop(ctx context.Context) {
+	defer close(f.probeDone)
+	ticker := time.NewTicker(f.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			f.probeRound(ctx)
+		}
+	}
+}
+
+// probeRound probes every probeable backend concurrently and waits for
+// the round to finish — rounds never pile up on a slow fleet.
+func (f *Front) probeRound(ctx context.Context) {
+	f.mu.RLock()
+	backends := make([]*backend, 0, len(f.backends))
+	for _, b := range f.backends {
+		backends = append(backends, b)
+	}
+	f.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		if s := b.State(); s == StateDraining || s == StateDrained {
+			continue // operator-owned states; probes must not override
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+			err := core.ProbeTCP(pctx, b.addr)
+			cancel()
+			f.noteProbe(b, err)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// noteProbe folds one probe outcome into the backend's lifecycle.
+func (f *Front) noteProbe(b *backend, err error) {
+	if err != nil {
+		b.metrics.probeFailures.Inc()
+		b.mu.Lock()
+		b.probeOKs = 0
+		b.probeFails++
+		fails := b.probeFails
+		state := b.state
+		b.mu.Unlock()
+		if state == StateActive && fails >= f.cfg.FailThreshold {
+			f.takeDown(b)
+		}
+		return
+	}
+	b.mu.Lock()
+	b.probeFails = 0
+	b.probeOKs++
+	oks := b.probeOKs
+	state := b.state
+	b.mu.Unlock()
+	if state == StateDown && oks >= f.cfg.RecoverThreshold {
+		f.revive(b)
+	}
+}
+
+// takeDown marks a backend down and swaps its pool for a fresh one, so
+// calls wedged in the dead pool are woken now instead of by their
+// forward timeouts, and the next routing decision after recovery dials
+// clean connections.
+func (f *Front) takeDown(b *backend) {
+	if _, changed := b.setState(StateDown); !changed {
+		return
+	}
+	b.mu.Lock()
+	old := b.pool
+	b.pool = core.NewTCPPoolTransport(b.addr, f.cfg.PoolConns)
+	b.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// revive brings a probed-healthy backend back: fresh breaker and zero
+// fault pressure (the probes just proved the endpoint answers; stale
+// breaker cooldowns would serve faults from a healthy fleet, and stale
+// pressure would starve it — a pressure-inflated score means routing
+// never picks it, so the per-success decay that would clear the
+// pressure never runs). The RTT estimate survives, so routing still
+// remembers how fast the backend really is.
+func (f *Front) revive(b *backend) {
+	f.breakers.Remove(b.name)
+	f.estimators.For(b.name).ResetPressure()
+	b.setState(StateActive)
+}

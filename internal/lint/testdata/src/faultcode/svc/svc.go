@@ -59,3 +59,23 @@ func GoodResilienceCtors() []*soap.Fault {
 		soap.BreakerOpenFault(250 * time.Millisecond),
 	}
 }
+
+// BadRouterLit hand-rolls a router fault code instead of using the
+// declared constant (or the DrainingFault/NoBackendsFault constructors).
+func BadRouterLit() *soap.Fault {
+	return &soap.Fault{Code: "Server.Unavailable.NoBackends", String: "pool empty"} // want "ad-hoc fault code"
+}
+
+// GoodRouterConsts uses the declared router fault codes.
+func GoodRouterConsts(f *soap.Fault) {
+	f.Code = soap.FaultCodeDraining
+	f.Code = soap.FaultCodeNoBackends
+}
+
+// GoodRouterCtors builds router faults through their constructors.
+func GoodRouterCtors() []*soap.Fault {
+	return []*soap.Fault{
+		soap.DrainingFault(40 * time.Millisecond),
+		soap.NoBackendsFault(90 * time.Millisecond),
+	}
+}

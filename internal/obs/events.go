@@ -33,6 +33,16 @@ const (
 	// EventPolicySwap: a Manager.SetPolicy replaced the quality policy
 	// at run time.
 	EventPolicySwap EventKind = "policy-swap"
+	// EventRoute: a router picked a backend for a call (Backend is the
+	// choice, Detail the scoring context).
+	EventRoute EventKind = "route"
+	// EventFailover: a router re-sent a call to another backend after an
+	// attempt failed (From = failed backend, To = next backend, Detail
+	// says why the attempt was safe to move).
+	EventFailover EventKind = "failover"
+	// EventBackendState: a routed backend changed lifecycle state
+	// (From/To are state names: active, draining, down, drained).
+	EventBackendState EventKind = "backend-state"
 )
 
 // Event is one decision the quality/resilience loop took, with enough
@@ -47,6 +57,7 @@ type Event struct {
 	Op       string        `json:"op,omitempty"`
 	Trace    string        `json:"trace,omitempty"` // hex, matches SpanView.Trace
 	ClientID string        `json:"client_id,omitempty"`
+	Backend  string        `json:"backend,omitempty"` // routed backend name
 	From     string        `json:"from,omitempty"` // type/state before
 	To       string        `json:"to,omitempty"`   // type/state after
 	Estimate time.Duration `json:"estimate_ns,omitempty"`

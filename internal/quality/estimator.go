@@ -22,6 +22,7 @@ const DefaultAlpha = 0.875
 type Estimator struct {
 	mu       sync.Mutex
 	alpha    float64
+	label    string // endpoint key, stamped on pressure events
 	current  time.Duration
 	primed   bool
 	samples  int
@@ -124,10 +125,20 @@ func (e *Estimator) notePressure() {
 	if obs.Enabled() {
 		obs.Emit(obs.Event{
 			Kind:     obs.EventPressure,
+			Backend:  e.label,
 			Pressure: e.pressure,
 			Estimate: e.effectiveLocked(),
 		})
 	}
+}
+
+// SetLabel names the endpoint this estimator tracks; pressure events
+// carry it so per-backend degradation is attributable in the decision
+// ring. EstimatorRegistry labels its estimators with their key.
+func (e *Estimator) SetLabel(label string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.label = label
 }
 
 // Pressure returns the current fault-pressure level (0 = healthy).
@@ -135,6 +146,22 @@ func (e *Estimator) Pressure() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.pressure
+}
+
+// ResetPressure clears all fault pressure at once. It is the recovery
+// signal when an external authority — active health probes, an
+// operator — has verified the endpoint answers again: per-success decay
+// would starve there, because pressure-weighted routing no longer sends
+// the endpoint the successes it would need to decay. The RTT estimate
+// and sample history are kept.
+func (e *Estimator) ResetPressure() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pressure == 0 {
+		return
+	}
+	e.pressure = 0
+	e.notePressure()
 }
 
 // Relax releases one unit of fault pressure. It is the success signal

@@ -1,0 +1,75 @@
+package quality
+
+import "sync"
+
+// EstimatorRegistry holds one Estimator per endpoint key, created on
+// first use with a shared alpha. It is the endpoint-keyed counterpart
+// of the per-client Estimator singleton: a router keeps one smoothed
+// RTT + fault-pressure level per backend, so one sick backend's
+// penalty never bleeds into another's Effective().
+//
+// Safe for concurrent use; For is cheap enough for the per-call path.
+type EstimatorRegistry struct {
+	alpha float64
+
+	mu         sync.RWMutex
+	estimators map[string]*Estimator
+}
+
+// NewEstimatorRegistry returns an empty registry whose estimators are
+// built with alpha (out-of-range values fall back to DefaultAlpha per
+// NewEstimator).
+func NewEstimatorRegistry(alpha float64) *EstimatorRegistry {
+	return &EstimatorRegistry{alpha: alpha, estimators: make(map[string]*Estimator)}
+}
+
+// For returns the estimator for key, creating it unprimed on first use.
+// Concurrent callers for the same key always observe the same
+// Estimator.
+func (r *EstimatorRegistry) For(key string) *Estimator {
+	r.mu.RLock()
+	e := r.estimators[key]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.estimators[key]; e == nil {
+		e = NewEstimator(r.alpha)
+		e.SetLabel(key)
+		r.estimators[key] = e
+	}
+	return e
+}
+
+// Keys returns the registered endpoint keys in unspecified order.
+func (r *EstimatorRegistry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.estimators))
+	for k := range r.estimators {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Remove drops key's estimator (a departed backend); a later For(key)
+// starts unprimed with zero pressure.
+func (r *EstimatorRegistry) Remove(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.estimators, key)
+}
+
+// Snapshot returns each endpoint's estimator snapshot, keyed by
+// endpoint, for debug surfaces.
+func (r *EstimatorRegistry) Snapshot() map[string]EstimatorSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]EstimatorSnapshot, len(r.estimators))
+	for k, e := range r.estimators {
+		out[k] = e.Snapshot()
+	}
+	return out
+}

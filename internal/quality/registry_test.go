@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEstimatorRegistrySameInstance verifies For is create-once: every
+// caller for a key shares one estimator.
+func TestEstimatorRegistrySameInstance(t *testing.T) {
+	r := NewEstimatorRegistry(DefaultAlpha)
+	a, b := r.For("backend-1"), r.For("backend-1")
+	if a != b {
+		t.Fatal("For returned distinct estimators for one key")
+	}
+	if r.For("backend-2") == a {
+		t.Fatal("distinct keys shared an estimator")
+	}
+	keys := r.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v, want 2 entries", keys)
+	}
+}
+
+// TestEstimatorRegistryConcurrent hammers create/observe/fail/relax
+// across overlapping keys; run under -race this is the registry's
+// thread-safety proof.
+func TestEstimatorRegistryConcurrent(t *testing.T) {
+	r := NewEstimatorRegistry(DefaultAlpha)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("backend-%d", (g+i)%4)
+				e := r.For(key)
+				switch i % 4 {
+				case 0:
+					e.Observe(time.Duration(i) * time.Microsecond)
+				case 1:
+					e.ObserveFailure(errors.New("transport down"))
+				case 2:
+					e.Relax()
+				case 3:
+					_ = e.Effective()
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Keys()); got != 4 {
+		t.Fatalf("keys after hammering = %d, want 4", got)
+	}
+}
+
+// TestEstimatorRegistryNoPressureBleed is the per-backend-degradation
+// regression: saturating one key's fault pressure must not move any
+// other key's Effective() — that isolation is what lets a router keep
+// healthy backends at full fidelity while one is sick.
+func TestEstimatorRegistryNoPressureBleed(t *testing.T) {
+	r := NewEstimatorRegistry(DefaultAlpha)
+	const rtt = 2 * time.Millisecond
+	sick, healthy := r.For("sick"), r.For("healthy")
+	sick.Observe(rtt)
+	healthy.Observe(rtt)
+	before := healthy.Effective()
+
+	for i := 0; i < 10; i++ {
+		sick.ObserveFailure(errors.New("connection refused"))
+	}
+	if sick.Pressure() == 0 {
+		t.Fatal("sick estimator accumulated no pressure")
+	}
+	if sick.Effective() <= rtt {
+		t.Fatal("sick Effective not penalized")
+	}
+	if healthy.Pressure() != 0 {
+		t.Fatalf("healthy pressure = %d, want 0", healthy.Pressure())
+	}
+	if got := healthy.Effective(); got != before {
+		t.Fatalf("healthy Effective moved %v -> %v under sibling pressure", before, got)
+	}
+
+	// And removal resets: a re-created key starts clean.
+	r.Remove("sick")
+	if p := r.For("sick").Pressure(); p != 0 {
+		t.Fatalf("recreated key pressure = %d, want 0", p)
+	}
+}

@@ -20,6 +20,15 @@ const (
 	// open circuit breaker: the endpoint has been failing and the call
 	// was abandoned without touching the network.
 	FaultCodeBreakerOpen = "Server.Unavailable.BreakerOpen"
+	// FaultCodeDraining reports an endpoint refusing new work while it
+	// finishes in-flight calls (graceful shutdown, or a router draining a
+	// backend). Refused before any processing, so re-sending elsewhere is
+	// safe regardless of idempotency.
+	FaultCodeDraining = "Server.Unavailable.Draining"
+	// FaultCodeNoBackends is a router's answer when every backend in the
+	// pool is down, draining, or breaker-open: the request was never
+	// forwarded anywhere.
+	FaultCodeNoBackends = "Server.Unavailable.NoBackends"
 )
 
 // ErrUnavailable is the sentinel for the whole unavailable family —
@@ -54,6 +63,27 @@ func BreakerOpenFault(remaining time.Duration) *Fault {
 	return f
 }
 
+// DrainingFault builds the fault a draining endpoint answers new calls
+// with, embedding retryAfter as a hint in the Detail field when
+// positive.
+func DrainingFault(retryAfter time.Duration) *Fault {
+	f := &Fault{Code: FaultCodeDraining, String: "endpoint draining, request refused"}
+	if retryAfter > 0 {
+		f.Detail = retryAfterPrefix + retryAfter.String()
+	}
+	return f
+}
+
+// NoBackendsFault builds a router's every-backend-unavailable fault,
+// embedding retryAfter as a hint in the Detail field when positive.
+func NoBackendsFault(retryAfter time.Duration) *Fault {
+	f := &Fault{Code: FaultCodeNoBackends, String: "no backend available for request"}
+	if retryAfter > 0 {
+		f.Detail = retryAfterPrefix + retryAfter.String()
+	}
+	return f
+}
+
 // RetryAfterHint extracts the server's retry hint from a fault carried
 // anywhere in err's chain. ok is false when there is no fault or no
 // parseable hint; the hint fields are whitespace-separated within
@@ -81,4 +111,22 @@ func RetryAfterHint(err error) (time.Duration, bool) {
 func IsBusy(err error) bool {
 	var f *Fault
 	return errors.As(err, &f) && f != nil && f.Code == FaultCodeBusy
+}
+
+// IsNotProcessed reports whether err is (or wraps) a fault whose code
+// guarantees the request was refused before any processing — shed
+// (busy), draining, breaker fast-fail, or a router with no backends.
+// Such calls are safe to retry or fail over regardless of idempotency;
+// transport errors and timeouts are NOT in this set (the request may
+// have executed).
+func IsNotProcessed(err error) bool {
+	var f *Fault
+	if !errors.As(err, &f) || f == nil {
+		return false
+	}
+	switch f.Code {
+	case FaultCodeBusy, FaultCodeDraining, FaultCodeBreakerOpen, FaultCodeNoBackends:
+		return true
+	}
+	return false
 }

@@ -61,6 +61,51 @@ func TestUnavailableFamilyMatching(t *testing.T) {
 	}
 }
 
+func TestRouterFaultShapes(t *testing.T) {
+	d := DrainingFault(40 * time.Millisecond)
+	if d.Code != FaultCodeDraining {
+		t.Errorf("draining code = %q", d.Code)
+	}
+	nb := NoBackendsFault(90 * time.Millisecond)
+	if nb.Code != FaultCodeNoBackends {
+		t.Errorf("no-backends code = %q", nb.Code)
+	}
+	for _, f := range []*Fault{d, nb} {
+		if !errors.Is(f, ErrUnavailable) {
+			t.Errorf("%s must match ErrUnavailable (dotted Server.Unavailable refinement)", f.Code)
+		}
+		if IsBusy(f) {
+			t.Errorf("%s must not read as busy", f.Code)
+		}
+		if _, ok := RetryAfterHint(f); !ok {
+			t.Errorf("%s lost its retry-after hint", f.Code)
+		}
+	}
+}
+
+func TestIsNotProcessed(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"busy", BusyFault(0), true},
+		{"draining", DrainingFault(0), true},
+		{"breaker", BreakerOpenFault(0), true},
+		{"no backends", NoBackendsFault(0), true},
+		{"wrapped draining", fmt.Errorf("route: %w", DrainingFault(time.Millisecond)), true},
+		{"plain unavailable", &Fault{Code: FaultCodeUnavailable}, false},
+		{"app fault", &Fault{Code: FaultCodeServer}, false},
+		{"transport", errors.New("connection reset"), false},
+		{"nil", nil, false},
+	}
+	for _, c := range cases {
+		if got := IsNotProcessed(c.err); got != c.want {
+			t.Errorf("%s: IsNotProcessed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestRetryAfterHintParsing(t *testing.T) {
 	// The hint survives alongside other detail text.
 	f := &Fault{Code: FaultCodeBusy, Detail: "queue=overflow retry-after=30ms shard=2"}

@@ -24,12 +24,17 @@ import (
 // Namespace is the target-namespace prefix for generated definitions.
 const Namespace = "urn:soapbinq:"
 
-// Definitions is the parsed model of a WSDL document.
+// Definitions is the parsed model of a WSDL document. Endpoint is the
+// first advertised port address (the common single-backend case);
+// Endpoints lists every port in document order — a router advertising
+// its backend fleet writes one <port> per backend (GeneratePorts), and
+// clients or sibling routers recover the full set here.
 type Definitions struct {
-	Name     string
-	Endpoint string
-	Types    map[string]*idl.Type // named struct/array types
-	Ops      []*core.OpDef
+	Name      string
+	Endpoint  string
+	Endpoints []string
+	Types     map[string]*idl.Type // named struct/array types
+	Ops       []*core.OpDef
 }
 
 // ServiceSpec converts parsed definitions to the runtime spec.
@@ -45,12 +50,25 @@ func Generate(spec *core.ServiceSpec, endpoint string) ([]byte, error) {
 	return GenerateWithTypes(spec, endpoint, nil)
 }
 
+// GeneratePorts renders a WSDL document advertising one <port> per
+// endpoint — how a router publishes its backend fleet. The ports share
+// the service's single portType; an empty endpoints slice produces an
+// address-less template like Generate("").
+func GeneratePorts(spec *core.ServiceSpec, endpoints []string) ([]byte, error) {
+	return generate(spec, endpoints, nil)
+}
+
 // GenerateWithTypes is Generate with additional named types included in
 // the <types> section even though no message references them — the
 // alternative message types a quality file selects among travel with the
 // WSDL this way, as the paper envisions publishing quality files "along
 // with the WSDL file, through UDDI or a similar WSDL repository".
 func GenerateWithTypes(spec *core.ServiceSpec, endpoint string, extra map[string]*idl.Type) ([]byte, error) {
+	return generate(spec, []string{endpoint}, extra)
+}
+
+// generate renders the document for any number of port addresses.
+func generate(spec *core.ServiceSpec, endpoints []string, extra map[string]*idl.Type) ([]byte, error) {
 	g := &generator{named: map[string]*idl.Type{}}
 	extraNames := make([]string, 0, len(extra))
 	for name := range extra {
@@ -121,9 +139,21 @@ func GenerateWithTypes(spec *core.ServiceSpec, endpoint string, extra map[string
 	buf.WriteString("  </portType>\n")
 
 	fmt.Fprintf(&buf, `  <service name="%s">`+"\n", xmlEscape(spec.Name))
-	fmt.Fprintf(&buf, `    <port name="%sPort">`+"\n", xmlEscape(spec.Name))
-	fmt.Fprintf(&buf, `      <address location="%s"/>`+"\n", xmlEscape(endpoint))
-	buf.WriteString("    </port>\n  </service>\n</definitions>\n")
+	if len(endpoints) == 0 {
+		endpoints = []string{""}
+	}
+	for i, endpoint := range endpoints {
+		// The first port keeps the historical name so single-port
+		// documents round-trip byte-identically.
+		suffix := ""
+		if i > 0 {
+			suffix = fmt.Sprintf("%d", i+1)
+		}
+		fmt.Fprintf(&buf, `    <port name="%sPort%s">`+"\n", xmlEscape(spec.Name), suffix)
+		fmt.Fprintf(&buf, `      <address location="%s"/>`+"\n", xmlEscape(endpoint))
+		buf.WriteString("    </port>\n")
+	}
+	buf.WriteString("  </service>\n</definitions>\n")
 	return buf.Bytes(), nil
 }
 
@@ -299,8 +329,11 @@ func Parse(data []byte) (*Definitions, error) {
 	}
 
 	d := &Definitions{Name: doc.Name, Types: types}
-	if len(doc.Service.Ports) > 0 {
-		d.Endpoint = doc.Service.Ports[0].Address.Location
+	for _, p := range doc.Service.Ports {
+		d.Endpoints = append(d.Endpoints, p.Address.Location)
+	}
+	if len(d.Endpoints) > 0 {
+		d.Endpoint = d.Endpoints[0]
 	}
 
 	for _, pt := range doc.PortType {

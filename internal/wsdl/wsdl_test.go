@@ -154,3 +154,65 @@ func TestParseToleratesSchemaWrapper(t *testing.T) {
 		t.Error("schema-wrapped type not collected")
 	}
 }
+
+// TestGeneratePortsRoundTrip advertises a backend fleet as multiple
+// ports and recovers the full endpoint list on parse — the discovery
+// path a router's WSDL serves.
+func TestGeneratePortsRoundTrip(t *testing.T) {
+	spec := imageSpec()
+	endpoints := []string{
+		"tcp://10.0.0.1:9001",
+		"tcp://10.0.0.2:9001",
+		"tcp://10.0.0.3:9001",
+	}
+	doc, err := GeneratePorts(spec, endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<port name="ImageServicePort">`,
+		`<port name="ImageServicePort2">`,
+		`<port name="ImageServicePort3">`,
+	} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("generated WSDL missing %q\n%s", want, doc)
+		}
+	}
+	d, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Endpoints) != len(endpoints) {
+		t.Fatalf("Endpoints = %v, want %v", d.Endpoints, endpoints)
+	}
+	for i, ep := range endpoints {
+		if d.Endpoints[i] != ep {
+			t.Errorf("endpoint %d = %q, want %q", i, d.Endpoints[i], ep)
+		}
+	}
+	if d.Endpoint != endpoints[0] {
+		t.Errorf("Endpoint = %q, want first of the list", d.Endpoint)
+	}
+	if _, err := d.ServiceSpec(); err != nil {
+		t.Fatalf("multi-port definitions lost the spec: %v", err)
+	}
+}
+
+// TestGeneratePortsEmpty keeps the template behavior: no endpoints
+// still yields one address-less port.
+func TestGeneratePortsEmpty(t *testing.T) {
+	doc, err := GeneratePorts(imageSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), `<address location=""/>`) {
+		t.Errorf("template WSDL missing empty address\n%s", doc)
+	}
+	d, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Endpoints) != 1 || d.Endpoints[0] != "" {
+		t.Errorf("Endpoints = %v, want one empty entry", d.Endpoints)
+	}
+}
